@@ -1,0 +1,24 @@
+//! Criterion wrapper for Fig 14: the stream-storage paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_stream");
+    group.sample_size(10);
+    group.bench_function("produce_5k_msgs_no_scm", |b| {
+        b.iter(|| bench::fig14::stream_load(200_000, 5_000, false))
+    });
+    group.bench_function("produce_5k_msgs_with_scm", |b| {
+        b.iter(|| bench::fig14::stream_load(200_000, 5_000, true))
+    });
+    group.bench_function("rescale_100_to_1000_streams", |b| {
+        b.iter(|| bench::fig14::elasticity(100, 1_000, 1_000))
+    });
+    group.bench_function("space_consumption_2k_packets", |b| {
+        b.iter(|| bench::fig14::space_consumption(2_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

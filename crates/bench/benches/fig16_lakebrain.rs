@@ -1,0 +1,52 @@
+//! Criterion wrapper for Fig 16: LakeBrain training/inference and
+//! partitioning construction costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lakebrain::cardinality::ExactEstimator;
+use lakebrain::qdtree::{QdTree, QdTreeConfig};
+use lakebrain::spn::Spn;
+use workloads::queries::QueryGen;
+use workloads::tpch::LineitemGen;
+
+fn bench_lakebrain(c: &mut Criterion) {
+    let schema = LineitemGen::schema();
+    let mut gen = LineitemGen::new(1);
+    let rows = gen.generate_rows(4_000);
+    let mut qg = QueryGen::new(2, schema.clone(), &rows);
+    let workload = qg.workload(30, 2);
+
+    let mut group = c.benchmark_group("fig16_lakebrain");
+    group.sample_size(10);
+    group.bench_function("spn_learn_4k_rows", |b| {
+        b.iter(|| Spn::learn(schema.clone(), &rows))
+    });
+    let spn = Spn::learn(schema.clone(), &rows);
+    group.bench_function("spn_estimate_30_queries", |b| {
+        b.iter(|| {
+            workload
+                .iter()
+                .map(|q| spn.probability(q))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("qdtree_build_exact", |b| {
+        b.iter(|| {
+            let est = ExactEstimator::new(&schema, &rows);
+            QdTree::build(schema.clone(), &workload, &est, QdTreeConfig::default())
+        })
+    });
+    group.bench_function("dqn_train_2_episodes", |b| {
+        b.iter(|| {
+            lakebrain::compaction::train_compaction_agent(
+                lakebrain::env::EnvConfig { partitions: 4, ..Default::default() },
+                2,
+                40,
+                1,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lakebrain);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Microbenchmarks of the from-scratch substrates: erasure coding,
+//! compression, the columnar format, the KV engine and checksums.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ec::{Redundancy, ReedSolomon, Stripe};
+use format::{LakeFileReader, LakeFileWriter};
+use kvstore::KvStore;
+use workloads::packets::PacketGen;
+
+fn bench_ec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_ec");
+    let data = vec![0xA5u8; 1024 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("rs_10_2_encode_1mib", |b| {
+        b.iter(|| Stripe::encode(&data, Redundancy::ErasureCode { k: 10, m: 2 }).unwrap())
+    });
+    let rs = ReedSolomon::new(10, 2).unwrap();
+    let shards: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 104_858]).collect();
+    let encoded = rs.encode(&shards).unwrap();
+    group.bench_function("rs_10_2_reconstruct_2_losses", |b| {
+        b.iter(|| {
+            let mut survivors: Vec<Option<Vec<u8>>> =
+                encoded.iter().cloned().map(Some).collect();
+            survivors[0] = None;
+            survivors[11] = None;
+            rs.reconstruct(&survivors).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut gen = PacketGen::new(1, 0, 1000);
+    let data: Vec<u8> = gen.batch(500).iter().flat_map(|p| p.to_wire()).collect();
+    let mut group = c.benchmark_group("micro_compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("lz_compress_packets", |b| {
+        b.iter(|| format::compress::compress(&data))
+    });
+    let compressed = format::compress::compress(&data);
+    group.bench_function("lz_decompress_packets", |b| {
+        b.iter(|| format::compress::decompress(&compressed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_format(c: &mut Criterion) {
+    let mut gen = PacketGen::new(2, 0, 1000);
+    let rows: Vec<_> = gen.batch(2_000).iter().map(|p| p.to_row()).collect();
+    let writer = LakeFileWriter::new(PacketGen::schema(), 1024).unwrap();
+    let mut group = c.benchmark_group("micro_format");
+    group.sample_size(20);
+    group.bench_function("lakefile_encode_2k_rows", |b| {
+        b.iter(|| writer.encode(&rows).unwrap())
+    });
+    let bytes = writer.encode(&rows).unwrap();
+    group.bench_function("lakefile_full_scan_2k_rows", |b| {
+        b.iter(|| {
+            LakeFileReader::open(bytes.clone())
+                .unwrap()
+                .scan(&format::Expr::True, None)
+                .unwrap()
+        })
+    });
+    let pred = format::Expr::Pred(format::Predicate::cmp(
+        "province",
+        format::CmpOp::Eq,
+        "beijing",
+    ));
+    group.bench_function("lakefile_filtered_scan_2k_rows", |b| {
+        b.iter(|| {
+            LakeFileReader::open(bytes.clone())
+                .unwrap()
+                .scan(&pred, Some(&[1]))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_kvstore");
+    group.bench_function("put_get_1k_keys", |b| {
+        b.iter(|| {
+            let mut kv = KvStore::new();
+            for i in 0..1000u32 {
+                kv.put(i.to_be_bytes().to_vec(), vec![0u8; 64]);
+            }
+            (0..1000u32)
+                .filter(|i| kv.get(&i.to_be_bytes()).is_some())
+                .count()
+        })
+    });
+    let mut kv = KvStore::new();
+    for i in 0..10_000u32 {
+        kv.put(i.to_be_bytes().to_vec(), vec![0u8; 32]);
+    }
+    group.bench_function("recover_10k_keys", |b| {
+        b.iter(|| KvStore::recover(kv.wal_bytes().to_vec()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0x5Au8; 64 * 1024];
+    let mut group = c.benchmark_group("micro_crc32");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("crc32_64k", |b| {
+        b.iter(|| common::checksum::crc32(&data))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ec, bench_compress, bench_format, bench_kv, bench_crc);
+criterion_main!(benches);

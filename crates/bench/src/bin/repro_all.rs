@@ -1,0 +1,35 @@
+//! Regenerate every table and figure in one run (used to produce
+//! `EXPERIMENTS.md`). `cargo run --release -p bench --bin repro_all`
+
+fn main() {
+    println!("==================== Table 1 ====================");
+    let rows = bench::table1::run(&bench::table1::default_sizes());
+    bench::table1::print(&rows);
+
+    println!("\n==================== Fig 1(b) ====================");
+    let summary = bench::fig1::run(40_000);
+    bench::fig1::print(&summary);
+
+    println!("\n==================== Fig 14 ====================");
+    let rates = [50_000u64, 100_000, 200_000, 500_000, 1_000_000, 1_500_000];
+    let (set1, set2) = bench::fig14::latency_throughput_sweep(&rates, 30_000);
+    let el = bench::fig14::elasticity(1_000, 10_000, 5_000);
+    let space = bench::fig14::space_consumption(4_000);
+    bench::fig14::print(&set1, &set2, &el, &space);
+
+    println!("\n==================== Fig 15 ====================");
+    let points = bench::fig15::partition_sweep(&[96, 192, 384, 768, 960], 5, 25);
+    let testbed = bench::fig15::build_testbed(96, 5);
+    let budgets = bench::fig15::default_budgets(&testbed);
+    let memory = bench::fig15::memory_sweep(&testbed, &budgets, 10);
+    bench::fig15::print(&points, &memory);
+
+    println!("\n==================== Fig 16 ====================");
+    let compaction = bench::fig16::compaction_sweep(&[3.0, 5.0, 7.0, 9.0], 24, 300);
+    let partitions = bench::fig16::partition_sweep(&[1.0, 2.0, 5.0, 10.0]);
+    bench::fig16::print(&compaction, &partitions);
+    let (spn_err, sample_err) = bench::fig16::estimator_ablation(6_000, 60);
+    println!(
+        "\nEstimator ablation: mean |selectivity error| spn={spn_err:.4} sampling(3%)={sample_err:.4}"
+    );
+}

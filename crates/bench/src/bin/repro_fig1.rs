@@ -1,0 +1,7 @@
+//! Regenerate the Fig 1(b) deployment summary.
+//! `cargo run --release -p bench --bin repro_fig1`
+
+fn main() {
+    let summary = bench::fig1::run(40_000);
+    bench::fig1::print(&summary);
+}

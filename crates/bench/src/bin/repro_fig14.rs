@@ -1,0 +1,9 @@
+//! Regenerate Fig 14. `cargo run --release -p bench --bin repro_fig14`
+
+fn main() {
+    let rates = [50_000u64, 100_000, 200_000, 500_000, 1_000_000, 1_500_000];
+    let (set1, set2) = bench::fig14::latency_throughput_sweep(&rates, 30_000);
+    let el = bench::fig14::elasticity(1_000, 10_000, 5_000);
+    let space = bench::fig14::space_consumption(4_000);
+    bench::fig14::print(&set1, &set2, &el, &space);
+}

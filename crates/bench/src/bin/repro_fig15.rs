@@ -1,0 +1,10 @@
+//! Regenerate Fig 15. `cargo run --release -p bench --bin repro_fig15`
+
+fn main() {
+    // partitions scaled ~10x down from the paper's 960..9600 hour range
+    let points = bench::fig15::partition_sweep(&[96, 192, 384, 768, 960], 5, 25);
+    let testbed = bench::fig15::build_testbed(96, 5);
+    let budgets = bench::fig15::default_budgets(&testbed);
+    let memory = bench::fig15::memory_sweep(&testbed, &budgets, 10);
+    bench::fig15::print(&points, &memory);
+}

@@ -1,0 +1,13 @@
+//! Regenerate Fig 16. `cargo run --release -p bench --bin repro_fig16`
+
+fn main() {
+    // (a) data volumes expressed as ingest pressure (scaled from 24..90 GB)
+    let compaction = bench::fig16::compaction_sweep(&[3.0, 5.0, 7.0, 9.0], 24, 300);
+    // (b)/(c) scale factors (scaled from TPC-H SF 2, 5, 10, 100)
+    let partitions = bench::fig16::partition_sweep(&[1.0, 2.0, 5.0, 10.0]);
+    bench::fig16::print(&compaction, &partitions);
+    let (spn_err, sample_err) = bench::fig16::estimator_ablation(6_000, 60);
+    println!(
+        "\nEstimator ablation: mean |selectivity error| spn={spn_err:.4} sampling(3%)={sample_err:.4}"
+    );
+}

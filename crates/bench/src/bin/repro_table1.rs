@@ -1,0 +1,6 @@
+//! Regenerate Table 1. `cargo run --release -p bench --bin repro_table1`
+
+fn main() {
+    let rows = bench::table1::run(&bench::table1::default_sizes());
+    bench::table1::print(&rows);
+}

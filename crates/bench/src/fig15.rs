@@ -1,0 +1,223 @@
+//! Fig 15: metadata acceleration in the lakehouse.
+//!
+//! (a) metadata-operation time vs number of files/partitions, with and
+//!     without the KV write-cache acceleration — the file-based path grows
+//!     linearly, the accelerated path stays nearly flat;
+//! (b) query time vs compute-side memory — without acceleration the engine
+//!     must materialize *all* file metadata and OOMs below the footprint;
+//!     with acceleration it pulls only the touched partitions.
+
+use common::clock::Nanos;
+use common::size::GIB;
+use lake::metacache::PER_FILE_META_BYTES;
+use lake::{MetadataMode, MetadataCache, ScanOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use streamlake::{StreamLake, StreamLakeConfig};
+use workloads::packets::PacketGen;
+
+/// The query-day base timestamp.
+pub const T0: i64 = 1_656_806_400;
+
+/// A loaded deployment for the metadata experiments.
+pub struct MetaTestbed {
+    /// The deployment.
+    pub sl: StreamLake,
+    /// Hour partitions in the table.
+    pub partitions: usize,
+    /// Live data files.
+    pub files: usize,
+}
+
+/// Build an hour-partitioned table with `partitions` hours ×
+/// `files_per_partition` files (the production layout of §VII-D).
+pub fn build_testbed(partitions: usize, files_per_partition: usize) -> MetaTestbed {
+    let mut cfg = StreamLakeConfig::evaluation();
+    cfg.ssd_capacity = 2 * GIB;
+    cfg.meta_flush_threshold = 10_000; // flush explicitly at the end
+    let sl = StreamLake::new(cfg);
+    sl.tables()
+        .create_table(
+            "dpi_hours",
+            PacketGen::schema(),
+            Some(lake::catalog::PartitionSpec::hourly("start_time")),
+            100_000,
+            0,
+        )
+        .unwrap();
+    for h in 0..partitions {
+        let mut gen = PacketGen::new(h as u64, T0 + h as i64 * 3600, 1000);
+        for _ in 0..files_per_partition {
+            let rows: Vec<_> = gen.batch(8).iter().map(|p| p.to_row()).collect();
+            sl.tables().insert("dpi_hours", &rows, 0).unwrap();
+        }
+    }
+    sl.sync(0).unwrap(); // persist metadata so the file-based path works
+    let files = sl.tables().live_files("dpi_hours", 0).unwrap().len();
+    MetaTestbed { sl, partitions, files }
+}
+
+/// One point of Fig 15(a).
+#[derive(Debug, Clone, Copy)]
+pub struct MetaOpPoint {
+    /// Hour partitions in the table.
+    pub partitions: usize,
+    /// Live files.
+    pub files: usize,
+    /// Mean metadata time per query, accelerated path (virtual ns).
+    pub accelerated: Nanos,
+    /// Mean metadata time per query, file-based path.
+    pub file_based: Nanos,
+}
+
+/// Run `queries` hour-window DAU-style queries against both metadata paths.
+pub fn metadata_op_times(testbed: &MetaTestbed, queries: usize) -> MetaOpPoint {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut total = [0u64; 2];
+    for q in 0..queries {
+        let hour = rng.gen_range(0..testbed.partitions) as i64;
+        let predicate = format::Expr::all(vec![
+            format::Predicate::cmp("start_time", format::CmpOp::Ge, T0 + hour * 3600),
+            format::Predicate::cmp("start_time", format::CmpOp::Lt, T0 + (hour + 1) * 3600),
+        ]);
+        // quiet, far-apart instants so device queues never interfere
+        let quiet = common::clock::secs(10_000 + 100 * q as u64);
+        for (i, mode) in [MetadataMode::Accelerated, MetadataMode::FileBased]
+            .into_iter()
+            .enumerate()
+        {
+            let opts = ScanOptions { predicate: predicate.clone(), mode, ..Default::default() };
+            let r = testbed
+                .sl
+                .tables()
+                .select("dpi_hours", &opts, quiet + i as u64 * common::clock::secs(50))
+                .unwrap();
+            total[i] += r.stats.metadata_time;
+        }
+    }
+    MetaOpPoint {
+        partitions: testbed.partitions,
+        files: testbed.files,
+        accelerated: total[0] / queries as u64,
+        file_based: total[1] / queries as u64,
+    }
+}
+
+/// Fig 15(a): sweep partition counts.
+pub fn partition_sweep(partition_counts: &[usize], files_per_partition: usize, queries: usize) -> Vec<MetaOpPoint> {
+    partition_counts
+        .iter()
+        .map(|&p| {
+            let tb = build_testbed(p, files_per_partition);
+            metadata_op_times(&tb, queries)
+        })
+        .collect()
+}
+
+/// One point of Fig 15(b).
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryPoint {
+    /// Compute-side memory budget (bytes).
+    pub memory_budget: u64,
+    /// Query time without acceleration; `None` = OOM.
+    pub without: Option<Nanos>,
+    /// Query time with acceleration; `None` = OOM (never happens here).
+    pub with: Option<Nanos>,
+}
+
+/// Fig 15(b): query time vs compute memory.
+///
+/// Without acceleration the compute engine materializes metadata for every
+/// live file (`files × PER_FILE_META_BYTES`); if that exceeds the budget
+/// the query OOMs. With acceleration only the touched partition's files
+/// are materialized.
+pub fn memory_sweep(testbed: &MetaTestbed, budgets: &[u64], queries: usize) -> Vec<MemoryPoint> {
+    let full_footprint = MetadataCache::metadata_footprint_bytes(testbed.files as u64);
+    let touched_files = testbed.files / testbed.partitions;
+    let touched_footprint = MetadataCache::metadata_footprint_bytes(touched_files as u64);
+    let op = metadata_op_times(testbed, queries);
+    budgets
+        .iter()
+        .map(|&budget| MemoryPoint {
+            memory_budget: budget,
+            without: (full_footprint <= budget).then_some(op.file_based),
+            with: (touched_footprint <= budget).then_some(op.accelerated),
+        })
+        .collect()
+}
+
+/// Default budget ladder around the testbed's metadata footprint.
+pub fn default_budgets(testbed: &MetaTestbed) -> Vec<u64> {
+    let full = MetadataCache::metadata_footprint_bytes(testbed.files as u64);
+    vec![full / 4, full / 2, full, full * 2, full * 4]
+}
+
+/// Print Fig 15.
+pub fn print(points: &[MetaOpPoint], memory: &[MemoryPoint]) {
+    println!("Fig 15(a): metadata operation time vs partitions/files");
+    println!(
+        "{:>11} {:>9} | {:>16} {:>16} {:>8}",
+        "partitions", "files", "accelerated", "file-based", "ratio"
+    );
+    for p in points {
+        println!(
+            "{:>11} {:>9} | {:>13.1} us {:>13.1} us {:>7.1}x",
+            p.partitions,
+            p.files,
+            p.accelerated as f64 / 1e3,
+            p.file_based as f64 / 1e3,
+            p.file_based as f64 / p.accelerated.max(1) as f64
+        );
+    }
+    println!("\nFig 15(b): query metadata time vs compute memory ({}B/file)", PER_FILE_META_BYTES);
+    println!("{:>14} | {:>18} {:>18}", "memory budget", "no acceleration", "accelerated");
+    for m in memory {
+        let fmt = |v: Option<Nanos>| match v {
+            Some(ns) => format!("{:.1} us", ns as f64 / 1e3),
+            None => "OOM".to_string(),
+        };
+        println!(
+            "{:>14} | {:>18} {:>18}",
+            common::size::human_bytes(m.memory_budget),
+            fmt(m.without),
+            fmt(m.with)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerated_metadata_stays_flat_while_file_based_grows() {
+        let points = partition_sweep(&[12, 48], 4, 8);
+        let growth_fb = points[1].file_based as f64 / points[0].file_based.max(1) as f64;
+        let growth_acc = points[1].accelerated as f64 / points[0].accelerated.max(1) as f64;
+        assert!(
+            growth_fb > 2.5,
+            "file-based must grow ~linearly in partitions: {growth_fb}"
+        );
+        assert!(
+            growth_acc < growth_fb / 2.0,
+            "accelerated growth {growth_acc} must be far below file-based {growth_fb}"
+        );
+        // and accelerated is absolutely faster at every size
+        for p in &points {
+            assert!(p.accelerated < p.file_based);
+        }
+    }
+
+    #[test]
+    fn memory_model_ooms_only_without_acceleration() {
+        let tb = build_testbed(24, 4);
+        let budgets = default_budgets(&tb);
+        let points = memory_sweep(&tb, &budgets, 5);
+        // smallest budget: no-acceleration OOMs, accelerated survives
+        assert!(points[0].without.is_none(), "must OOM below the full footprint");
+        assert!(points[0].with.is_some());
+        // largest budget: both run, accelerated still faster
+        let last = points.last().unwrap();
+        assert!(last.without.unwrap() > last.with.unwrap());
+    }
+}

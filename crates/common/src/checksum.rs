@@ -1,0 +1,107 @@
+//! CRC32 (IEEE 802.3 polynomial), implemented from scratch.
+//!
+//! Used to frame WAL records in `kvstore`, PLog entries, and the footer of
+//! the columnar lake file format. The table is generated at first use and
+//! cached in a `OnceLock`.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320; // reflected IEEE polynomial
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *e = crc;
+        }
+        t
+    })
+}
+
+/// Compute the CRC32 of `data` in one shot.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental CRC32 hasher for multi-part records.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed more bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut s = self.state;
+        for &b in data {
+            s = (s >> 8) ^ t[((s ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = s;
+    }
+
+    /// Finalize and return the checksum value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 ("check" value) test vectors.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"hello streamlake world";
+        let mut h = Crc32::new();
+        h.update(&data[..5]);
+        h.update(&data[5..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    proptest! {
+        #[test]
+        fn split_points_do_not_matter(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+            let split = split.min(data.len());
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finish(), crc32(&data));
+        }
+
+        #[test]
+        fn single_bit_flip_changes_crc(data in proptest::collection::vec(any::<u8>(), 1..256), idx in 0usize..256, bit in 0u8..8) {
+            let idx = idx % data.len();
+            let mut mutated = data.clone();
+            mutated[idx] ^= 1 << bit;
+            prop_assert_ne!(crc32(&mutated), crc32(&data));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The common error taxonomy shared by every StreamLake component.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by storage, stream and lakehouse operations.
+///
+/// The variants mirror the failure classes a disaggregated storage service
+/// reports to its clients: not-found/exists for namespace operations,
+/// `Corruption` for checksum or framing failures, `Conflict` for optimistic
+/// concurrency control aborts, `QuotaExceeded` for throttled streams and
+/// `CapacityExhausted` when a simulated pool runs out of space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The named entity (object, topic, table, key…) does not exist.
+    NotFound(String),
+    /// The named entity already exists and the operation required it not to.
+    AlreadyExists(String),
+    /// Stored bytes failed validation (bad magic, CRC mismatch, truncation).
+    Corruption(String),
+    /// An optimistic-concurrency commit lost the race and must be retried.
+    Conflict(String),
+    /// A caller supplied an argument outside the accepted domain.
+    InvalidArgument(String),
+    /// A stream exceeded its configured processing-rate quota.
+    QuotaExceeded(String),
+    /// A storage pool or device has no free space for the request.
+    CapacityExhausted(String),
+    /// Too many redundancy shards were lost to reconstruct the data.
+    Unrecoverable(String),
+    /// The operation is not supported in the current configuration.
+    Unsupported(String),
+    /// A simulated I/O failure (injected fault or unreachable device).
+    Io(String),
+    /// A transaction was aborted by the coordinator or a participant.
+    TxnAborted(String),
+}
+
+impl Error {
+    /// Short machine-readable category name, used by metrics and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::NotFound(_) => "not_found",
+            Error::AlreadyExists(_) => "already_exists",
+            Error::Corruption(_) => "corruption",
+            Error::Conflict(_) => "conflict",
+            Error::InvalidArgument(_) => "invalid_argument",
+            Error::QuotaExceeded(_) => "quota_exceeded",
+            Error::CapacityExhausted(_) => "capacity_exhausted",
+            Error::Unrecoverable(_) => "unrecoverable",
+            Error::Unsupported(_) => "unsupported",
+            Error::Io(_) => "io",
+            Error::TxnAborted(_) => "txn_aborted",
+        }
+    }
+
+    /// Whether retrying the same operation may succeed without intervention.
+    ///
+    /// Conflicts and quota rejections are transient by construction; the rest
+    /// require either a namespace change or operator action.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::Conflict(_) | Error::QuotaExceeded(_) | Error::TxnAborted(_)
+        )
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            Error::NotFound(m) => ("not found", m),
+            Error::AlreadyExists(m) => ("already exists", m),
+            Error::Corruption(m) => ("corruption", m),
+            Error::Conflict(m) => ("commit conflict", m),
+            Error::InvalidArgument(m) => ("invalid argument", m),
+            Error::QuotaExceeded(m) => ("quota exceeded", m),
+            Error::CapacityExhausted(m) => ("capacity exhausted", m),
+            Error::Unrecoverable(m) => ("unrecoverable data loss", m),
+            Error::Unsupported(m) => ("unsupported", m),
+            Error::Io(m) => ("i/o error", m),
+            Error::TxnAborted(m) => ("transaction aborted", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::NotFound("topic t0".into());
+        assert_eq!(e.to_string(), "not found: topic t0");
+        let e = Error::Conflict("snapshot 7".into());
+        assert_eq!(e.to_string(), "commit conflict: snapshot 7");
+    }
+
+    #[test]
+    fn retryability_matches_taxonomy() {
+        assert!(Error::Conflict(String::new()).is_retryable());
+        assert!(Error::QuotaExceeded(String::new()).is_retryable());
+        assert!(Error::TxnAborted(String::new()).is_retryable());
+        assert!(!Error::Corruption(String::new()).is_retryable());
+        assert!(!Error::NotFound(String::new()).is_retryable());
+        assert!(!Error::CapacityExhausted(String::new()).is_retryable());
+    }
+
+    #[test]
+    fn kind_is_stable() {
+        assert_eq!(Error::Io("x".into()).kind(), "io");
+        assert_eq!(Error::Unrecoverable("x".into()).kind(), "unrecoverable");
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared primitives for the StreamLake reproduction.
+//!
+//! Every other crate in the workspace builds on the types defined here:
+//!
+//! * [`Error`] / [`Result`] — the common error taxonomy for storage, stream and
+//!   lakehouse operations;
+//! * typed identifiers ([`ObjectId`], [`ShardId`], …) so that shard numbers,
+//!   PLog handles and table ids cannot be confused with each other;
+//! * [`SimClock`] — the virtual nanosecond clock that the simulated hardware
+//!   substrate charges latency against;
+//! * [`crc32`](checksum::crc32) and varint codecs used by the WAL and the
+//!   columnar file format;
+//! * a tiny [`metrics`] registry used by the benchmark harness.
+
+pub mod checksum;
+pub mod clock;
+pub mod error;
+pub mod id;
+pub mod metrics;
+pub mod size;
+pub mod varint;
+
+pub use clock::SimClock;
+pub use error::{Error, Result};
+pub use id::{ObjectId, PlogId, ShardId, SnapshotId, StreamId, TableId, TxnId, WorkerId};

@@ -1,0 +1,154 @@
+//! A minimal metrics registry.
+//!
+//! The benchmark harness records counters (bytes written, commits, conflicts)
+//! and latency histograms (produce latency, metadata-op latency) against a
+//! shared [`Metrics`] handle. Histograms store raw samples because the
+//! experiment scales here are small enough that exact percentiles are cheaper
+//! than maintaining sketch datastructures.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Shared registry of named counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Vec<u64>>,
+}
+
+/// Summary statistics of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: usize,
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// 50th percentile (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Metrics {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter `name`, creating it at zero if absent.
+    pub fn incr(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record one histogram sample.
+    pub fn observe(&self, name: &str, sample: u64) {
+        let mut inner = self.inner.lock();
+        inner.histograms.entry(name.to_string()).or_default().push(sample);
+    }
+
+    /// Summarize histogram `name`; `None` if it has no samples.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        let inner = self.inner.lock();
+        let samples = inner.histograms.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let nearest = |q: f64| -> u64 {
+            let rank = ((q * count as f64).ceil() as usize).clamp(1, count);
+            sorted[rank - 1]
+        };
+        Some(HistogramSummary {
+            count,
+            mean: sorted.iter().sum::<u64>() as f64 / count as f64,
+            p50: nearest(0.50),
+            p99: nearest(0.99),
+            max: *sorted.last().unwrap(),
+        })
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Drop all recorded data.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x", 2);
+        m.incr("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_nearest_rank() {
+        let m = Metrics::new();
+        for v in 1..=100u64 {
+            m.observe("lat", v);
+        }
+        let s = m.histogram("lat").unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_histogram_is_none() {
+        assert!(Metrics::new().histogram("nope").is_none());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::new();
+        m.incr("c", 1);
+        m.observe("h", 1);
+        m.reset();
+        assert_eq!(m.counter("c"), 0);
+        assert!(m.histogram("h").is_none());
+        assert!(m.counters().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Metrics::new();
+        let b = a.clone();
+        a.incr("shared", 1);
+        assert_eq!(b.counter("shared"), 1);
+    }
+}

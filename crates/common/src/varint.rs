@@ -1,0 +1,144 @@
+//! LEB128 variable-length integer codecs.
+//!
+//! The columnar file format and the KV write-ahead log store lengths and
+//! deltas as varints; zig-zag encoding maps signed deltas onto the unsigned
+//! codec.
+
+use crate::{Error, Result};
+
+/// Append `v` to `out` as an unsigned LEB128 varint.
+pub fn encode_u64(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode an unsigned varint from the front of `buf`.
+///
+/// Returns the value and the number of bytes consumed.
+pub fn decode_u64(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, &byte) in buf.iter().enumerate().take(10) {
+        let payload = (byte & 0x7F) as u64;
+        if i == 9 && byte > 1 {
+            return Err(Error::Corruption("varint overflows u64".into()));
+        }
+        v |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+    }
+    Err(Error::Corruption("truncated varint".into()))
+}
+
+/// Zig-zag map a signed integer onto an unsigned one.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a signed integer as a zig-zag varint.
+pub fn encode_i64(v: i64, out: &mut Vec<u8>) {
+    encode_u64(zigzag(v), out);
+}
+
+/// Decode a zig-zag varint from the front of `buf`.
+pub fn decode_i64(buf: &[u8]) -> Result<(i64, usize)> {
+    let (u, n) = decode_u64(buf)?;
+    Ok((unzigzag(u), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut out = Vec::new();
+        encode_u64(0, &mut out);
+        encode_u64(127, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(decode_u64(&out).unwrap(), (0, 1));
+        assert_eq!(decode_u64(&out[1..]).unwrap(), (127, 1));
+    }
+
+    #[test]
+    fn max_value_roundtrips() {
+        let mut out = Vec::new();
+        encode_u64(u64::MAX, &mut out);
+        assert_eq!(out.len(), 10);
+        assert_eq!(decode_u64(&out).unwrap(), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn truncated_input_is_corruption() {
+        let mut out = Vec::new();
+        encode_u64(1 << 40, &mut out);
+        out.pop();
+        assert!(matches!(decode_u64(&out), Err(Error::Corruption(_))));
+        assert!(matches!(decode_u64(&[]), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // Ten continuation bytes whose final byte pushes past 64 bits.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert!(matches!(decode_u64(&buf), Err(Error::Corruption(_))));
+    }
+
+    #[test]
+    fn zigzag_known_values() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+    }
+
+    proptest! {
+        #[test]
+        fn u64_roundtrip(v in any::<u64>()) {
+            let mut out = Vec::new();
+            encode_u64(v, &mut out);
+            let (back, n) = decode_u64(&out).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert_eq!(n, out.len());
+        }
+
+        #[test]
+        fn i64_roundtrip(v in any::<i64>()) {
+            let mut out = Vec::new();
+            encode_i64(v, &mut out);
+            let (back, n) = decode_i64(&out).unwrap();
+            prop_assert_eq!(back, v);
+            prop_assert_eq!(n, out.len());
+        }
+
+        #[test]
+        fn concatenated_varints_decode_in_order(vs in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut out = Vec::new();
+            for &v in &vs {
+                encode_u64(v, &mut out);
+            }
+            let mut off = 0;
+            for &v in &vs {
+                let (back, n) = decode_u64(&out[off..]).unwrap();
+                prop_assert_eq!(back, v);
+                off += n;
+            }
+            prop_assert_eq!(off, out.len());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # StreamLake
+//!
+//! The top-level crate of this reproduction: one handle that wires the
+//! whole system of the paper together —
+//!
+//! * SSD/HDD storage pools and an SCM cache on a simulated OceanStor-class
+//!   substrate ([`simdisk`]);
+//! * sharded persistence logs with replication or erasure coding
+//!   ([`plog`], [`ec`]);
+//! * the message streaming service: stream objects, workers, dispatcher,
+//!   producers/consumers, transactions ([`stream`]);
+//! * lakehouse table objects with ACID commits, snapshots, time travel and
+//!   metadata acceleration ([`lake`]);
+//! * the LakeBrain optimizer ([`lakebrain`]).
+//!
+//! ```
+//! use streamlake::{StreamLake, StreamLakeConfig};
+//!
+//! let sl = StreamLake::new(StreamLakeConfig::default());
+//! sl.stream()
+//!     .create_topic("topic_streamlake_test", stream::TopicConfig::with_streams(3))
+//!     .unwrap();
+//! let mut producer = sl.producer();
+//! producer.set_batch_size(1);
+//! producer.send("topic_streamlake_test", "key", "Hello world", 0).unwrap();
+//! let mut consumer = sl.consumer("quickstart");
+//! consumer.subscribe("topic_streamlake_test").unwrap();
+//! let records = consumer.poll(10, 0).unwrap();
+//! assert_eq!(records.len(), 1);
+//! ```
+
+pub mod access;
+pub mod pipeline;
+pub mod query;
+pub mod system;
+
+pub use access::{AccessController, Permission, Principal};
+pub use pipeline::{PipelineReport, StreamLakePipeline};
+pub use query::{Aggregate, Query, QueryEngine, QueryOutput};
+pub use system::{StreamLake, StreamLakeConfig};

@@ -1,0 +1,334 @@
+//! A small aggregate query engine with storage-side pushdown.
+//!
+//! Enough SQL surface for the paper's evaluation queries — Fig 13's DAU
+//! query is `SELECT COUNT(*) … WHERE url = … AND start_time ∈ […) GROUP BY
+//! province`. With pushdown on (the StreamLake path), filters, projection
+//! and the aggregate all run at the storage side and only the aggregate
+//! result crosses to the compute engine; with pushdown off (the baseline
+//! path), every candidate row ships to compute first.
+
+use common::clock::Nanos;
+use common::{Error, Result};
+use format::{Expr, Value};
+use lake::table::ScanStats;
+use lake::{MetadataMode, ScanOptions, TableStore};
+use simdisk::Transport;
+use std::collections::BTreeMap;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*)`
+    CountStar,
+    /// `SUM(column)` over an Int64/Float64 column.
+    Sum(String),
+    /// `MIN(column)`.
+    Min(String),
+    /// `MAX(column)`.
+    Max(String),
+}
+
+/// One aggregate query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Table to query.
+    pub table: String,
+    /// `WHERE` clause.
+    pub predicate: Expr,
+    /// Optional `GROUP BY` column.
+    pub group_by: Option<String>,
+    /// The aggregate to compute.
+    pub aggregate: Aggregate,
+}
+
+impl Query {
+    /// The Fig 13 DAU query: count flows to `url` within `[lo, hi)` grouped
+    /// by province.
+    pub fn dau(table: &str, url: &str, lo: i64, hi: i64) -> Query {
+        use format::{CmpOp, Predicate};
+        Query {
+            table: table.to_string(),
+            predicate: Expr::all(vec![
+                Predicate::cmp("url", CmpOp::Eq, url),
+                Predicate::cmp("start_time", CmpOp::Ge, lo),
+                Predicate::cmp("start_time", CmpOp::Lt, hi),
+            ]),
+            group_by: Some("province".to_string()),
+            aggregate: Aggregate::CountStar,
+        }
+    }
+}
+
+/// Result of a query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// `(group key, aggregate value)` rows; a single `(Str(""), v)` row for
+    /// ungrouped queries.
+    pub groups: BTreeMap<String, f64>,
+    /// Storage scan statistics.
+    pub scan: ScanStats,
+    /// End-to-end virtual time, including the compute-transfer leg.
+    pub elapsed: Nanos,
+}
+
+/// The query engine.
+#[derive(Debug)]
+pub struct QueryEngine {
+    transport: Transport,
+    /// Whether filters/aggregates are pushed down to storage.
+    pub pushdown: bool,
+    /// Metadata path used for planning.
+    pub metadata_mode: MetadataMode,
+}
+
+impl QueryEngine {
+    /// An engine with pushdown enabled over RDMA (the StreamLake setup).
+    pub fn new() -> Self {
+        QueryEngine { transport: Transport::Rdma, pushdown: true, metadata_mode: MetadataMode::Accelerated }
+    }
+
+    /// The baseline engine: no pushdown, file-based metadata, TCP.
+    pub fn baseline() -> Self {
+        QueryEngine {
+            transport: Transport::Tcp,
+            pushdown: false,
+            metadata_mode: MetadataMode::FileBased,
+        }
+    }
+
+    /// Execute `query` at virtual time `now`.
+    pub fn execute(&self, store: &TableStore, query: &Query, now: Nanos) -> Result<QueryOutput> {
+        // Columns the aggregate needs.
+        let mut projection: Vec<String> = Vec::new();
+        if let Some(g) = &query.group_by {
+            projection.push(g.clone());
+        }
+        match &query.aggregate {
+            Aggregate::CountStar => {}
+            Aggregate::Sum(c) | Aggregate::Min(c) | Aggregate::Max(c) => {
+                if !projection.contains(c) {
+                    projection.push(c.clone());
+                }
+            }
+        }
+        let opts = ScanOptions {
+            predicate: query.predicate.clone(),
+            // With pushdown, only needed columns leave storage; without it,
+            // full rows ship to the compute engine.
+            projection: if self.pushdown && !projection.is_empty() {
+                Some(projection.clone())
+            } else {
+                None
+            },
+            as_of: None,
+            mode: self.metadata_mode,
+            pushdown: self.pushdown,
+            // conventional engines prune partitions too (Hive-style layouts)
+            partition_pruning: true,
+        };
+        let result = store.select(&query.table, &opts, now)?;
+        // Aggregate (at storage when pushed down, at compute otherwise).
+        let profile = store.catalog().get(&query.table)?;
+        let group_idx = match (&query.group_by, self.pushdown && !projection.is_empty()) {
+            (Some(_), true) => Some(0),
+            (Some(g), false) => Some(profile.schema.index_of(g)?),
+            (None, _) => None,
+        };
+        let value_idx = match (&query.aggregate, self.pushdown && !projection.is_empty()) {
+            (Aggregate::CountStar, _) => None,
+            (Aggregate::Sum(_) | Aggregate::Min(_) | Aggregate::Max(_), true) => {
+                Some(projection.len() - 1)
+            }
+            (Aggregate::Sum(c) | Aggregate::Min(c) | Aggregate::Max(c), false) => {
+                Some(profile.schema.index_of(c)?)
+            }
+        };
+        let mut groups: BTreeMap<String, f64> = BTreeMap::new();
+        for row in &result.rows {
+            let key = match group_idx {
+                Some(i) => match &row[i] {
+                    Value::Str(s) => s.clone(),
+                    other => other.to_string(),
+                },
+                None => String::new(),
+            };
+            let val = match value_idx {
+                None => 1.0,
+                Some(i) => match &row[i] {
+                    Value::Int(v) => *v as f64,
+                    Value::Float(v) => *v,
+                    other => {
+                        return Err(Error::InvalidArgument(format!(
+                            "cannot aggregate over {other}"
+                        )))
+                    }
+                },
+            };
+            let entry = groups.entry(key);
+            match &query.aggregate {
+                Aggregate::CountStar | Aggregate::Sum(_) => {
+                    *entry.or_insert(0.0) += val;
+                }
+                Aggregate::Min(_) => {
+                    let e = entry.or_insert(f64::INFINITY);
+                    *e = e.min(val);
+                }
+                Aggregate::Max(_) => {
+                    let e = entry.or_insert(f64::NEG_INFINITY);
+                    *e = e.max(val);
+                }
+            }
+        }
+        // Compute-transfer leg: pushed-down queries ship only the aggregate;
+        // the baseline ships every matching row's bytes.
+        let transfer_bytes = if self.pushdown {
+            groups.len() as u64 * 24
+        } else {
+            result
+                .rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|v| {
+                            let mut b = Vec::new();
+                            v.encode(&mut b);
+                            b.len() as u64
+                        })
+                        .sum::<u64>()
+                })
+                .sum()
+        };
+        let transfer = self.transport.transfer_time(transfer_bytes);
+        let elapsed =
+            result.stats.metadata_time + result.stats.data_time + transfer;
+        Ok(QueryOutput { groups, scan: result.stats, elapsed })
+    }
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{StreamLake, StreamLakeConfig};
+    use lake::catalog::PartitionSpec;
+    use workloads::packets::PacketGen;
+
+    const T0: i64 = 1_656_806_400;
+
+    fn loaded_system(n: usize) -> (StreamLake, Vec<workloads::packets::Packet>) {
+        let sl = StreamLake::new(StreamLakeConfig::small());
+        sl.tables()
+            .create_table(
+                "dpi",
+                PacketGen::schema(),
+                Some(PartitionSpec::hourly("start_time")),
+                5000,
+                0,
+            )
+            .unwrap();
+        // spread the data over six hourly partitions
+        let mut packets = Vec::new();
+        for h in 0..6u64 {
+            let mut g = PacketGen::new(1 + h, T0 + h as i64 * 3600, 500);
+            let batch = g.batch(n / 6);
+            let rows: Vec<_> = batch.iter().map(|p| p.to_row()).collect();
+            sl.tables().insert("dpi", &rows, 0).unwrap();
+            packets.extend(batch);
+        }
+        (sl, packets)
+    }
+
+    #[test]
+    fn dau_query_counts_by_province() {
+        let (sl, packets) = loaded_system(2000);
+        let url = &packets[0].url.clone();
+        let q = Query::dau("dpi", url, T0, T0 + 86_400);
+        let out = QueryEngine::new().execute(sl.tables(), &q, 0).unwrap();
+        // ground truth
+        let mut truth: BTreeMap<String, f64> = BTreeMap::new();
+        for p in &packets {
+            if &p.url == url && p.start_time >= T0 && p.start_time < T0 + 86_400 {
+                *truth.entry(p.province.clone()).or_insert(0.0) += 1.0;
+            }
+        }
+        assert_eq!(out.groups, truth);
+    }
+
+    #[test]
+    fn pushdown_and_baseline_agree_but_pushdown_is_faster() {
+        let (sl, packets) = loaded_system(3000);
+        let url = packets[0].url.clone();
+        sl.sync(0).unwrap(); // baseline needs persisted metadata files
+        let q = Query::dau("dpi", &url, T0, T0 + 2);
+        // evaluate both at quiet, distinct virtual instants so device queues
+        // from loading have drained
+        let fast = QueryEngine::new()
+            .execute(sl.tables(), &q, common::clock::secs(100))
+            .unwrap();
+        let slow = QueryEngine::baseline()
+            .execute(sl.tables(), &q, common::clock::secs(200))
+            .unwrap();
+        assert_eq!(fast.groups, slow.groups, "pushdown must not change answers");
+        assert!(
+            fast.elapsed < slow.elapsed,
+            "pushdown {} must beat baseline {}",
+            fast.elapsed,
+            slow.elapsed
+        );
+        // Both engines prune partitions (Hive-style layouts do too), so
+        // file counts match; the win is row shipping avoided + RDMA.
+        assert!(fast.scan.files_scanned <= slow.scan.files_scanned);
+    }
+
+    #[test]
+    fn sum_min_max_aggregates() {
+        let (sl, _) = loaded_system(500);
+        let engine = QueryEngine::new();
+        let base = Query {
+            table: "dpi".into(),
+            predicate: Expr::True,
+            group_by: None,
+            aggregate: Aggregate::Sum("bytes_down".into()),
+        };
+        let sum = engine.execute(sl.tables(), &base, 0).unwrap();
+        let min = engine
+            .execute(
+                sl.tables(),
+                &Query { aggregate: Aggregate::Min("bytes_down".into()), ..base.clone() },
+                0,
+            )
+            .unwrap();
+        let max = engine
+            .execute(
+                sl.tables(),
+                &Query { aggregate: Aggregate::Max("bytes_down".into()), ..base.clone() },
+                0,
+            )
+            .unwrap();
+        let s = sum.groups[""];
+        let lo = min.groups[""];
+        let hi = max.groups[""];
+        assert!(lo <= hi);
+        assert!(s >= hi);
+        assert!(s / 500.0 >= lo && s / 500.0 <= hi, "mean must lie in [min, max]");
+    }
+
+    #[test]
+    fn ungrouped_count() {
+        let (sl, packets) = loaded_system(200);
+        let q = Query {
+            table: "dpi".into(),
+            predicate: Expr::True,
+            group_by: None,
+            aggregate: Aggregate::CountStar,
+        };
+        let out = QueryEngine::new().execute(sl.tables(), &q, 0).unwrap();
+        assert_eq!(out.groups.len(), 1);
+        assert_eq!(out.groups[""], packets.len() as f64);
+    }
+}

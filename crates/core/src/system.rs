@@ -1,0 +1,286 @@
+//! The [`StreamLake`] system handle.
+
+use common::size::{GIB, MIB};
+use common::{Result, SimClock};
+use ec::Redundancy;
+use lake::TableStore;
+use plog::{PlogConfig, PlogStore};
+use simdisk::{MediaKind, StoragePool, TieringService, Transport};
+use stream::archive::ArchiveService;
+use stream::service::{StreamService, StreamServiceOptions};
+use stream::{Consumer, Producer};
+use std::sync::Arc;
+
+/// Construction parameters for a StreamLake deployment.
+#[derive(Debug, Clone)]
+pub struct StreamLakeConfig {
+    /// SSD pool: device count.
+    pub ssd_devices: usize,
+    /// SSD pool: capacity per device.
+    pub ssd_capacity: u64,
+    /// HDD (cold/archive) pool: device count.
+    pub hdd_devices: usize,
+    /// HDD pool: capacity per device.
+    pub hdd_capacity: u64,
+    /// SCM staging capacity (0 disables; Set-2 hardware has 16 GiB/node).
+    pub scm_capacity: u64,
+    /// Logical PLog shard count (paper default 4096; tests use less).
+    pub shard_count: usize,
+    /// Redundancy for PLog writes.
+    pub redundancy: Redundancy,
+    /// Stream workers.
+    pub workers: usize,
+    /// Metadata write-cache flush threshold (pending entries).
+    pub meta_flush_threshold: u64,
+    /// Data bus transport.
+    pub transport: Transport,
+    /// Tiering: demote data idle longer than this many virtual seconds.
+    pub tier_demote_after_secs: u64,
+}
+
+impl Default for StreamLakeConfig {
+    fn default() -> Self {
+        StreamLakeConfig {
+            // enough devices for the default k=10, m=2 erasure-coded
+            // stripes (every shard lands on a distinct device)
+            ssd_devices: 12,
+            ssd_capacity: 4 * GIB,
+            hdd_devices: 12,
+            hdd_capacity: 16 * GIB,
+            scm_capacity: 0,
+            shard_count: 64,
+            redundancy: Redundancy::ErasureCode { k: 10, m: 2 },
+            workers: 3,
+            meta_flush_threshold: 64,
+            transport: Transport::Rdma,
+            tier_demote_after_secs: 3600,
+        }
+    }
+}
+
+impl StreamLakeConfig {
+    /// The evaluation configuration: enough devices for wide erasure-coded
+    /// stripes (k=10, m=2 — ~83% disk utilization vs 33% for 3-way
+    /// replication), as used by the Table 1 / Fig 14 experiments.
+    pub fn evaluation() -> Self {
+        StreamLakeConfig {
+            ssd_devices: 12,
+            hdd_devices: 12,
+            redundancy: Redundancy::ErasureCode { k: 10, m: 2 },
+            ..Default::default()
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn small() -> Self {
+        StreamLakeConfig {
+            ssd_devices: 4,
+            ssd_capacity: 512 * MIB,
+            hdd_devices: 4,
+            hdd_capacity: 2 * GIB,
+            shard_count: 16,
+            redundancy: Redundancy::Replicate { copies: 2 },
+            ..Default::default()
+        }
+    }
+}
+
+/// One StreamLake deployment: pools, PLogs, streaming, lakehouse, archive.
+#[derive(Debug)]
+pub struct StreamLake {
+    clock: SimClock,
+    ssd: Arc<StoragePool>,
+    hdd: Arc<StoragePool>,
+    plog: Arc<PlogStore>,
+    stream: Arc<StreamService>,
+    tables: Arc<TableStore>,
+    archive: ArchiveService,
+    tiering: TieringService,
+}
+
+impl StreamLake {
+    /// Bring up a deployment.
+    pub fn new(config: StreamLakeConfig) -> Self {
+        let clock = SimClock::new();
+        let ssd = Arc::new(StoragePool::new(
+            "ssd-pool",
+            MediaKind::NvmeSsd,
+            config.ssd_devices,
+            config.ssd_capacity,
+            clock.clone(),
+        ));
+        let hdd = Arc::new(StoragePool::new(
+            "hdd-pool",
+            MediaKind::SasHdd,
+            config.hdd_devices,
+            config.hdd_capacity,
+            clock.clone(),
+        ));
+        let plog = Arc::new(
+            PlogStore::new(
+                ssd.clone(),
+                PlogConfig {
+                    shard_count: config.shard_count,
+                    redundancy: config.redundancy,
+                    shard_capacity: config.ssd_capacity, // generous per-shard space
+                },
+            )
+            .expect("valid plog config"),
+        );
+        let stream = StreamService::new(
+            plog.clone(),
+            clock.clone(),
+            StreamServiceOptions {
+                workers: config.workers,
+                scm_capacity: config.scm_capacity,
+                transport: config.transport,
+                ..Default::default()
+            },
+        );
+        let tables = Arc::new(TableStore::new(plog.clone(), config.meta_flush_threshold));
+        let archive = ArchiveService::new(hdd.clone());
+        let tiering = TieringService::new(
+            ssd.clone(),
+            hdd.clone(),
+            clock.clone(),
+            common::clock::secs(config.tier_demote_after_secs),
+            true,
+        );
+        StreamLake { clock, ssd, hdd, plog, stream, tables, archive, tiering }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The message streaming service.
+    pub fn stream(&self) -> &Arc<StreamService> {
+        &self.stream
+    }
+
+    /// The lakehouse table store.
+    pub fn tables(&self) -> &Arc<TableStore> {
+        &self.tables
+    }
+
+    /// The persistence-log store.
+    pub fn plog(&self) -> &Arc<PlogStore> {
+        &self.plog
+    }
+
+    /// The archive service over the HDD pool.
+    pub fn archive(&self) -> &ArchiveService {
+        &self.archive
+    }
+
+    /// The SSD↔HDD tiering service.
+    pub fn tiering(&self) -> &TieringService {
+        &self.tiering
+    }
+
+    /// The hot (SSD) pool.
+    pub fn ssd_pool(&self) -> &Arc<StoragePool> {
+        &self.ssd
+    }
+
+    /// The cold (HDD) pool.
+    pub fn hdd_pool(&self) -> &Arc<StoragePool> {
+        &self.hdd
+    }
+
+    /// Convenience: a new producer.
+    pub fn producer(&self) -> Producer {
+        self.stream.producer()
+    }
+
+    /// Convenience: a new consumer in `group`.
+    pub fn consumer(&self, group: &str) -> Consumer {
+        self.stream.consumer(group)
+    }
+
+    /// Total physical bytes across both pools (redundancy included).
+    pub fn physical_bytes(&self) -> u64 {
+        self.ssd.used() + self.hdd.used()
+    }
+
+    /// Flush any buffered state (stream object buffers, metadata cache) so
+    /// that storage accounting is complete.
+    pub fn sync(&self, now: common::clock::Nanos) -> Result<()> {
+        for table in self.tables.catalog().list() {
+            self.tables.meta().flush(&table, now)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use format::{DataType, Field, Schema, Value};
+    use stream::TopicConfig;
+
+    #[test]
+    fn end_to_end_stream_and_table_share_one_substrate() {
+        let sl = StreamLake::new(StreamLakeConfig::small());
+        // stream side
+        sl.stream()
+            .create_topic("t", TopicConfig::with_streams(2))
+            .unwrap();
+        let mut p = sl.producer();
+        p.set_batch_size(1);
+        for i in 0..10 {
+            p.send("t", format!("k{i}"), format!("v{i}"), 0).unwrap();
+        }
+        // table side
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Utf8),
+            Field::new("n", DataType::Int64),
+        ])
+        .unwrap();
+        sl.tables().create_table("demo", schema, None, 1000, 0).unwrap();
+        sl.tables()
+            .insert("demo", &[vec![Value::from("a"), Value::Int(1)]], 0)
+            .unwrap();
+        // both live in the same physical pools
+        assert!(sl.physical_bytes() > 0);
+        let r = sl
+            .tables()
+            .select("demo", &lake::ScanOptions::default(), 0)
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let mut c = sl.consumer("g");
+        c.subscribe("t").unwrap();
+        assert_eq!(c.poll(100, 0).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn default_config_uses_erasure_coding() {
+        let cfg = StreamLakeConfig::default();
+        assert!(matches!(cfg.redundancy, Redundancy::ErasureCode { .. }));
+        assert!(cfg.redundancy.utilization() > 0.8, "EC must beat replication");
+    }
+
+    #[test]
+    fn sync_flushes_metadata() {
+        let sl = StreamLake::new(StreamLakeConfig::small());
+        let schema =
+            Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
+        sl.tables().create_table("t", schema, None, 100, 0).unwrap();
+        sl.tables().insert("t", &[vec![Value::Int(1)]], 0).unwrap();
+        sl.sync(0).unwrap();
+        // file-based metadata reads work after a sync
+        let r = sl
+            .tables()
+            .select(
+                "t",
+                &lake::ScanOptions {
+                    mode: lake::MetadataMode::FileBased,
+                    ..Default::default()
+                },
+                0,
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Striping arbitrary-length buffers into redundancy shards.
+//!
+//! PLogs store each write either as `n` full replicas or as a Reed–Solomon
+//! stripe. [`Redundancy`] captures the strategy, [`Stripe`] carries encoded
+//! shards plus the original length (needed to strip padding on decode), and
+//! `Redundancy::stored_bytes` implements the Fig 14(d) space accounting.
+
+use crate::rs::ReedSolomon;
+use common::size::div_ceil;
+use common::{Error, Result};
+
+/// Data-redundancy strategy for a PLog write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Redundancy {
+    /// Store `copies` identical replicas (paper: HDFS-style, 33% utilization
+    /// at 3 copies). `copies` includes the primary, so `copies = 2` tolerates
+    /// one loss.
+    Replicate {
+        /// Total number of stored copies (primary included).
+        copies: usize,
+    },
+    /// Reed–Solomon with `k` data + `m` parity shards; tolerates `m` losses
+    /// at `(k+m)/k` space overhead.
+    ErasureCode {
+        /// Data shards per stripe.
+        k: usize,
+        /// Parity shards per stripe.
+        m: usize,
+    },
+}
+
+impl Redundancy {
+    /// Replication with fault tolerance `ft` (i.e. `ft + 1` copies).
+    pub fn replication_for_ft(ft: usize) -> Redundancy {
+        Redundancy::Replicate { copies: ft + 1 }
+    }
+
+    /// Erasure coding with `k` data shards and fault tolerance `ft`.
+    pub fn ec_for_ft(k: usize, ft: usize) -> Redundancy {
+        Redundancy::ErasureCode { k, m: ft }
+    }
+
+    /// Number of simultaneous shard/replica losses survivable.
+    pub fn fault_tolerance(&self) -> usize {
+        match *self {
+            Redundancy::Replicate { copies } => copies.saturating_sub(1),
+            Redundancy::ErasureCode { m, .. } => m,
+        }
+    }
+
+    /// Ratio of stored bytes to logical bytes (the Fig 14(d) Y-axis).
+    pub fn space_multiplier(&self) -> f64 {
+        match *self {
+            Redundancy::Replicate { copies } => copies as f64,
+            Redundancy::ErasureCode { k, m } => (k + m) as f64 / k as f64,
+        }
+    }
+
+    /// Physical bytes consumed to store `logical` bytes, including stripe
+    /// padding for erasure coding.
+    pub fn stored_bytes(&self, logical: u64) -> u64 {
+        match *self {
+            Redundancy::Replicate { copies } => logical * copies as u64,
+            Redundancy::ErasureCode { k, m } => {
+                let shard = div_ceil(logical, k as u64);
+                shard * (k + m) as u64
+            }
+        }
+    }
+
+    /// Disk utilization rate: logical bytes / stored bytes. The paper quotes
+    /// 33% for 3-way replication vs 91% for its EC layout.
+    pub fn utilization(&self) -> f64 {
+        1.0 / self.space_multiplier()
+    }
+}
+
+/// Encoded shards of one buffer together with the metadata needed to decode.
+#[derive(Debug, Clone)]
+pub struct Stripe {
+    /// The redundancy strategy that produced the shards.
+    pub redundancy: Redundancy,
+    /// Length of the original buffer (shards are padded to equal length).
+    pub original_len: usize,
+    /// Shard payloads; index order is data shards then parity (EC), or the
+    /// replicas (replication).
+    pub shards: Vec<Vec<u8>>,
+}
+
+impl Stripe {
+    /// Encode `data` under `redundancy`.
+    pub fn encode(data: &[u8], redundancy: Redundancy) -> Result<Stripe> {
+        let shards = match redundancy {
+            Redundancy::Replicate { copies } => {
+                if copies == 0 {
+                    return Err(Error::InvalidArgument("zero replicas".into()));
+                }
+                vec![data.to_vec(); copies]
+            }
+            Redundancy::ErasureCode { k, m } => {
+                let rs = ReedSolomon::new(k, m)?;
+                let shard_len = div_ceil(data.len().max(1) as u64, k as u64) as usize;
+                let mut data_shards = Vec::with_capacity(k);
+                for i in 0..k {
+                    let start = (i * shard_len).min(data.len());
+                    let end = ((i + 1) * shard_len).min(data.len());
+                    let mut shard = data[start..end].to_vec();
+                    shard.resize(shard_len, 0);
+                    data_shards.push(shard);
+                }
+                rs.encode(&data_shards)?
+            }
+        };
+        Ok(Stripe { redundancy, original_len: data.len(), shards })
+    }
+
+    /// Decode the original buffer from surviving shards.
+    ///
+    /// `survivors[i]` is `Some` when shard `i` is readable. Replication needs
+    /// any one survivor; EC needs any `k`.
+    pub fn decode(
+        redundancy: Redundancy,
+        original_len: usize,
+        survivors: &[Option<Vec<u8>>],
+    ) -> Result<Vec<u8>> {
+        match redundancy {
+            Redundancy::Replicate { copies } => {
+                if survivors.len() != copies {
+                    return Err(Error::InvalidArgument("wrong replica slot count".into()));
+                }
+                survivors
+                    .iter()
+                    .flatten()
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| Error::Unrecoverable("all replicas lost".into()))
+            }
+            Redundancy::ErasureCode { k, m } => {
+                let rs = ReedSolomon::new(k, m)?;
+                let data_shards = rs.reconstruct(survivors)?;
+                let mut out = Vec::with_capacity(original_len);
+                for shard in data_shards {
+                    out.extend_from_slice(&shard);
+                }
+                out.truncate(original_len);
+                Ok(out)
+            }
+        }
+    }
+
+    /// Total bytes across all shards (physical footprint of this stripe).
+    pub fn stored_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn replication_space_accounting() {
+        let r = Redundancy::replication_for_ft(2); // 3 copies
+        assert_eq!(r.fault_tolerance(), 2);
+        assert_eq!(r.space_multiplier(), 3.0);
+        assert_eq!(r.stored_bytes(1000), 3000);
+        assert!((r.utilization() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ec_space_accounting_matches_paper_utilization() {
+        // Paper: EC lifts disk utilization from 33% to 91%; 22+2 gives 91.7%.
+        let r = Redundancy::ec_for_ft(22, 2);
+        assert_eq!(r.fault_tolerance(), 2);
+        assert!((r.utilization() - 22.0 / 24.0).abs() < 1e-12);
+        assert!(r.utilization() > 0.91);
+    }
+
+    #[test]
+    fn replicate_roundtrip_with_losses() {
+        let data = b"hello plog".to_vec();
+        let s = Stripe::encode(&data, Redundancy::Replicate { copies: 3 }).unwrap();
+        assert_eq!(s.shards.len(), 3);
+        let mut survivors: Vec<Option<Vec<u8>>> = s.shards.iter().cloned().map(Some).collect();
+        survivors[0] = None;
+        survivors[1] = None;
+        let out =
+            Stripe::decode(Redundancy::Replicate { copies: 3 }, data.len(), &survivors).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn all_replicas_lost_is_unrecoverable() {
+        let data = b"x".to_vec();
+        let s = Stripe::encode(&data, Redundancy::Replicate { copies: 2 }).unwrap();
+        let survivors = vec![None; s.shards.len()];
+        assert!(matches!(
+            Stripe::decode(Redundancy::Replicate { copies: 2 }, 1, &survivors),
+            Err(common::Error::Unrecoverable(_))
+        ));
+    }
+
+    #[test]
+    fn ec_roundtrip_with_padding() {
+        // length 10 over k=4 shards: shard_len 3, 2 bytes padding.
+        let data: Vec<u8> = (0..10).collect();
+        let red = Redundancy::ErasureCode { k: 4, m: 2 };
+        let s = Stripe::encode(&data, red).unwrap();
+        assert_eq!(s.shards.len(), 6);
+        let mut survivors: Vec<Option<Vec<u8>>> = s.shards.iter().cloned().map(Some).collect();
+        survivors[1] = None;
+        survivors[4] = None;
+        let out = Stripe::decode(red, data.len(), &survivors).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn empty_buffer_roundtrips() {
+        let red = Redundancy::ErasureCode { k: 3, m: 1 };
+        let s = Stripe::encode(&[], red).unwrap();
+        let survivors: Vec<Option<Vec<u8>>> = s.shards.iter().cloned().map(Some).collect();
+        assert_eq!(Stripe::decode(red, 0, &survivors).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn ec_saves_three_to_five_x_versus_replication() {
+        // Fig 14(d): at equal fault tolerance EC stores 3-5x less.
+        for ft in 1..=3usize {
+            let rep = Redundancy::replication_for_ft(ft);
+            let ec = Redundancy::ec_for_ft(10, ft);
+            let ratio = rep.space_multiplier() / ec.space_multiplier();
+            assert!(ratio > 1.5, "ft={ft}: EC must beat replication");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn ec_roundtrip_arbitrary(
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+            k in 1usize..8,
+            m in 1usize..4,
+            loss_seed in any::<u64>(),
+        ) {
+            let red = Redundancy::ErasureCode { k, m };
+            let s = Stripe::encode(&data, red).unwrap();
+            let mut survivors: Vec<Option<Vec<u8>>> = s.shards.iter().cloned().map(Some).collect();
+            // lose up to m shards deterministically from the seed
+            let mut x = loss_seed;
+            for _ in 0..m {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let idx = (x >> 33) as usize % survivors.len();
+                survivors[idx] = None;
+            }
+            let out = Stripe::decode(red, data.len(), &survivors).unwrap();
+            prop_assert_eq!(out, data);
+        }
+
+        #[test]
+        fn stored_bytes_at_least_logical(logical in 0u64..1_000_000, k in 1usize..24, m in 1usize..4) {
+            let red = Redundancy::ErasureCode { k, m };
+            prop_assert!(red.stored_bytes(logical) >= logical);
+        }
+    }
+}

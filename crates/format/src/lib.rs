@@ -1,0 +1,34 @@
+//! The columnar file format for StreamLake table objects.
+//!
+//! The paper stores table data "in Parquet files … organized as row-groups
+//! and stored in a columnar format for efficient analysis. Footers … contain
+//! statistics to support data skipping within the file" (§IV-B). This crate
+//! implements an equivalent self-describing columnar format from scratch:
+//!
+//! * [`schema`] — data types, fields, schemas;
+//! * [`value`] — dynamically-typed values and rows;
+//! * [`mod@column`] — typed column vectors built from rows;
+//! * [`encoding`] — plain, delta-varint, dictionary and bit-packed column
+//!   encodings chosen per chunk;
+//! * [`compress`] — an LZ77-family byte compressor applied per chunk;
+//! * [`stats`] — per-column min/max statistics kept in the footer;
+//! * [`predicate`] — a pushdown predicate AST evaluated against rows *and*
+//!   against footer statistics (data skipping);
+//! * [`mod@file`] — the writer/reader with row groups, projected reads and
+//!   stats-based row-group skipping.
+
+pub mod column;
+pub mod compress;
+pub mod encoding;
+pub mod file;
+pub mod predicate;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use column::{columns_to_rows, rows_to_columns, Column};
+pub use file::{LakeFileReader, LakeFileWriter};
+pub use predicate::{CmpOp, Expr, Predicate};
+pub use schema::{DataType, Field, Schema};
+pub use stats::ColumnStats;
+pub use value::{Row, Value};

@@ -1,0 +1,368 @@
+//! Pushdown predicates.
+//!
+//! The query jobs in the paper push `WHERE` filters and aggregates down to
+//! the storage side (§VII-A: "the three filters in the WHERE clause and the
+//! COUNT aggregate … are pushed down to compute in StreamLake"), and
+//! LakeBrain's predicate-aware partitioning builds its query tree from the
+//! same predicate shape: `(attribute, operator, literal)` with operators
+//! `{<=, >=, <, >, =, IN}` (§VI-B).
+//!
+//! [`Predicate`] is one such comparison; [`Expr`] combines them with
+//! AND/OR. Both evaluate against concrete rows and, conservatively, against
+//! [`ColumnStats`] — the stats evaluation answers "may this chunk contain a
+//! matching row?", never producing false negatives.
+
+use crate::schema::Schema;
+use crate::stats::ColumnStats;
+use crate::value::{Row, Value};
+use common::Result;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=` (negation of Eq, needed to split query-tree branches)
+    Ne,
+    /// `IN (v1, v2, …)`
+    In,
+    /// `NOT IN (v1, v2, …)`
+    NotIn,
+}
+
+impl CmpOp {
+    /// The operator accepting exactly the rows this one rejects.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::In => CmpOp::NotIn,
+            CmpOp::NotIn => CmpOp::In,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::In => "IN",
+            CmpOp::NotIn => "NOT IN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One `(attribute, operator, literal(s))` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Column name the predicate applies to.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literals: one value for scalar operators, the full list for
+    /// `In`/`NotIn`.
+    pub literals: Vec<Value>,
+}
+
+impl Predicate {
+    /// Scalar comparison `column op literal`.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, literal: impl Into<Value>) -> Self {
+        Predicate { column: column.into(), op, literals: vec![literal.into()] }
+    }
+
+    /// Membership test `column IN literals`.
+    pub fn in_list(column: impl Into<String>, literals: Vec<Value>) -> Self {
+        Predicate { column: column.into(), op: CmpOp::In, literals }
+    }
+
+    /// The predicate matching exactly the complement set of rows.
+    pub fn negated(&self) -> Predicate {
+        Predicate { column: self.column.clone(), op: self.op.negated(), literals: self.literals.clone() }
+    }
+
+    /// Evaluate against a single value of the predicate column.
+    pub fn eval_value(&self, v: &Value) -> bool {
+        match self.op {
+            CmpOp::In => self
+                .literals
+                .iter()
+                .any(|lit| v.partial_cmp_same_type(lit) == Some(Ordering::Equal)),
+            CmpOp::NotIn => !self
+                .literals
+                .iter()
+                .any(|lit| v.partial_cmp_same_type(lit) == Some(Ordering::Equal)),
+            op => {
+                let Some(ord) = v.partial_cmp_same_type(&self.literals[0]) else {
+                    return false; // type mismatch never matches
+                };
+                match op {
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::In | CmpOp::NotIn => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Evaluate against a row under `schema`.
+    pub fn eval_row(&self, schema: &Schema, row: &Row) -> Result<bool> {
+        let idx = schema.index_of(&self.column)?;
+        Ok(self.eval_value(&row[idx]))
+    }
+
+    /// Conservative evaluation against chunk statistics: `true` when the
+    /// chunk *may* contain matching rows, `false` only when it provably
+    /// cannot (safe to skip).
+    pub fn may_match_stats(&self, stats: &ColumnStats) -> bool {
+        let cmp_min = |lit: &Value| lit.partial_cmp_same_type(&stats.min);
+        let cmp_max = |lit: &Value| lit.partial_cmp_same_type(&stats.max);
+        match self.op {
+            // rows < lit exist iff min < lit
+            CmpOp::Lt => cmp_min(&self.literals[0]) == Some(Ordering::Greater),
+            CmpOp::Le => cmp_min(&self.literals[0]) != Some(Ordering::Less),
+            // rows > lit exist iff max > lit
+            CmpOp::Gt => cmp_max(&self.literals[0]) == Some(Ordering::Less),
+            CmpOp::Ge => cmp_max(&self.literals[0]) != Some(Ordering::Greater),
+            CmpOp::Eq => stats.may_contain(&self.literals[0]),
+            CmpOp::Ne => {
+                // Only skippable when the chunk is constant and equal to lit.
+                !(stats.min.partial_cmp_same_type(&stats.max) == Some(Ordering::Equal)
+                    && cmp_min(&self.literals[0]) == Some(Ordering::Equal))
+            }
+            CmpOp::In => self.literals.iter().any(|lit| stats.may_contain(lit)),
+            CmpOp::NotIn => {
+                let constant =
+                    stats.min.partial_cmp_same_type(&stats.max) == Some(Ordering::Equal);
+                !(constant
+                    && self
+                        .literals
+                        .iter()
+                        .any(|lit| cmp_min(lit) == Some(Ordering::Equal)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            CmpOp::In | CmpOp::NotIn => {
+                write!(f, "{} {} (", self.column, self.op)?;
+                for (i, lit) in self.literals.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{lit}")?;
+                }
+                write!(f, ")")
+            }
+            _ => write!(f, "{} {} {}", self.column, self.op, self.literals[0]),
+        }
+    }
+}
+
+/// A boolean combination of predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Matches every row.
+    True,
+    /// A single comparison.
+    Pred(Predicate),
+    /// Both sub-expressions must match.
+    And(Box<Expr>, Box<Expr>),
+    /// Either sub-expression must match.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Conjunction of a list of predicates (`True` when empty).
+    pub fn all(preds: Vec<Predicate>) -> Expr {
+        preds
+            .into_iter()
+            .map(Expr::Pred)
+            .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+            .unwrap_or(Expr::True)
+    }
+
+    /// Evaluate against a row.
+    pub fn eval_row(&self, schema: &Schema, row: &Row) -> Result<bool> {
+        Ok(match self {
+            Expr::True => true,
+            Expr::Pred(p) => p.eval_row(schema, row)?,
+            Expr::And(a, b) => a.eval_row(schema, row)? && b.eval_row(schema, row)?,
+            Expr::Or(a, b) => a.eval_row(schema, row)? || b.eval_row(schema, row)?,
+        })
+    }
+
+    /// Conservative stats evaluation: `stats_of` maps a column name to that
+    /// chunk's statistics (`None` when unknown — treated as "may match").
+    pub fn may_match<'a>(&self, stats_of: &impl Fn(&str) -> Option<&'a ColumnStats>) -> bool {
+        match self {
+            Expr::True => true,
+            Expr::Pred(p) => match stats_of(&p.column) {
+                Some(s) => p.may_match_stats(s),
+                None => true,
+            },
+            Expr::And(a, b) => a.may_match(stats_of) && b.may_match(stats_of),
+            Expr::Or(a, b) => a.may_match(stats_of) || b.may_match(stats_of),
+        }
+    }
+
+    /// Every predicate referenced by the expression, left to right.
+    pub fn predicates(&self) -> Vec<&Predicate> {
+        match self {
+            Expr::True => Vec::new(),
+            Expr::Pred(p) => vec![p],
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                let mut v = a.predicates();
+                v.extend(b.predicates());
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::{DataType, Field};
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DataType::Int64),
+            Field::new("province", DataType::Utf8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn scalar_ops_on_rows() {
+        let s = schema();
+        let row: Row = vec![Value::Int(35), Value::from("beijing")];
+        assert!(Predicate::cmp("age", CmpOp::Ge, 30i64).eval_row(&s, &row).unwrap());
+        assert!(!Predicate::cmp("age", CmpOp::Lt, 30i64).eval_row(&s, &row).unwrap());
+        assert!(Predicate::cmp("province", CmpOp::Eq, "beijing").eval_row(&s, &row).unwrap());
+        assert!(Predicate::cmp("province", CmpOp::Ne, "anhui").eval_row(&s, &row).unwrap());
+    }
+
+    #[test]
+    fn in_and_notin() {
+        let p = Predicate::in_list("province", vec!["beijing".into(), "anhui".into()]);
+        assert!(p.eval_value(&Value::from("anhui")));
+        assert!(!p.eval_value(&Value::from("tibet")));
+        let np = p.negated();
+        assert_eq!(np.op, CmpOp::NotIn);
+        assert!(np.eval_value(&Value::from("tibet")));
+        assert!(!np.eval_value(&Value::from("anhui")));
+    }
+
+    #[test]
+    fn negation_partitions_rows() {
+        // For any predicate p and value v: exactly one of p, ¬p matches —
+        // this is the invariant the QD-tree relies on to split partitions.
+        let preds = [
+            Predicate::cmp("age", CmpOp::Lt, 30i64),
+            Predicate::cmp("age", CmpOp::Le, 30i64),
+            Predicate::cmp("age", CmpOp::Eq, 30i64),
+            Predicate::in_list("age", vec![Value::Int(1), Value::Int(2)]),
+        ];
+        for p in &preds {
+            for v in [Value::Int(1), Value::Int(29), Value::Int(30), Value::Int(31)] {
+                assert_ne!(p.eval_value(&v), p.negated().eval_value(&v), "{p} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_skipping_is_sound_on_boundaries() {
+        let stats = ColumnStats::from_column(&Column::Int(vec![10, 20])).unwrap();
+        // provable skips
+        assert!(!Predicate::cmp("c", CmpOp::Lt, 10i64).may_match_stats(&stats));
+        assert!(!Predicate::cmp("c", CmpOp::Gt, 20i64).may_match_stats(&stats));
+        assert!(!Predicate::cmp("c", CmpOp::Eq, 25i64).may_match_stats(&stats));
+        // must-scan cases
+        assert!(Predicate::cmp("c", CmpOp::Le, 10i64).may_match_stats(&stats));
+        assert!(Predicate::cmp("c", CmpOp::Ge, 20i64).may_match_stats(&stats));
+        assert!(Predicate::cmp("c", CmpOp::Eq, 15i64).may_match_stats(&stats));
+        assert!(Predicate::cmp("c", CmpOp::Ne, 15i64).may_match_stats(&stats));
+    }
+
+    #[test]
+    fn ne_skips_only_constant_chunks() {
+        let constant = ColumnStats::from_column(&Column::Int(vec![7, 7, 7])).unwrap();
+        assert!(!Predicate::cmp("c", CmpOp::Ne, 7i64).may_match_stats(&constant));
+        assert!(Predicate::cmp("c", CmpOp::Ne, 8i64).may_match_stats(&constant));
+    }
+
+    #[test]
+    fn expr_combinators() {
+        let s = schema();
+        let row: Row = vec![Value::Int(35), Value::from("beijing")];
+        let e = Expr::all(vec![
+            Predicate::cmp("age", CmpOp::Ge, 30i64),
+            Predicate::cmp("province", CmpOp::Eq, "beijing"),
+        ]);
+        assert!(e.eval_row(&s, &row).unwrap());
+        let e2 = Expr::Or(
+            Box::new(Expr::Pred(Predicate::cmp("age", CmpOp::Lt, 0i64))),
+            Box::new(Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "beijing"))),
+        );
+        assert!(e2.eval_row(&s, &row).unwrap());
+        assert_eq!(Expr::True.predicates().len(), 0);
+        assert_eq!(e.predicates().len(), 2);
+    }
+
+    #[test]
+    fn missing_column_is_error() {
+        let s = schema();
+        let row: Row = vec![Value::Int(1), Value::from("x")];
+        assert!(Predicate::cmp("nope", CmpOp::Eq, 1i64).eval_row(&s, &row).is_err());
+    }
+
+    proptest! {
+        /// Soundness: if stats says skip, no value in [min, max] matches.
+        #[test]
+        fn stats_never_false_negative(
+            vals in proptest::collection::vec(-50i64..50, 1..20),
+            lit in -60i64..60,
+            op_idx in 0usize..6,
+        ) {
+            let op = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne][op_idx];
+            let col = Column::Int(vals.clone());
+            let stats = ColumnStats::from_column(&col).unwrap();
+            let p = Predicate::cmp("c", op, lit);
+            if !p.may_match_stats(&stats) {
+                for v in &vals {
+                    prop_assert!(!p.eval_value(&Value::Int(*v)),
+                        "stats said skip but {v} matches {p}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-column statistics kept in file footers and commit metadata.
+//!
+//! Statistics power two levels of data skipping: within a file (footer
+//! row-group stats, §IV-B "Footers in the Parquet files contain statistics")
+//! and across files (commit-level value ranges used by the scan planner).
+
+use crate::column::Column;
+use crate::value::Value;
+use common::{Error, Result};
+use std::cmp::Ordering;
+
+/// Min/max/count statistics for one column chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Smallest value in the chunk.
+    pub min: Value,
+    /// Largest value in the chunk.
+    pub max: Value,
+    /// Number of rows in the chunk.
+    pub row_count: u64,
+}
+
+impl ColumnStats {
+    /// Compute stats for a non-empty column; `None` for an empty one.
+    pub fn from_column(col: &Column) -> Option<ColumnStats> {
+        if col.is_empty() {
+            return None;
+        }
+        let mut min = col.value(0);
+        let mut max = col.value(0);
+        for i in 1..col.len() {
+            let v = col.value(i);
+            if v.partial_cmp_same_type(&min) == Some(Ordering::Less) {
+                min = v.clone();
+            }
+            if v.partial_cmp_same_type(&max) == Some(Ordering::Greater) {
+                max = v;
+            }
+        }
+        Some(ColumnStats { min, max, row_count: col.len() as u64 })
+    }
+
+    /// Merge two chunk stats into stats covering both.
+    pub fn merge(&self, other: &ColumnStats) -> ColumnStats {
+        let min = if other.min.partial_cmp_same_type(&self.min) == Some(Ordering::Less) {
+            other.min.clone()
+        } else {
+            self.min.clone()
+        };
+        let max = if other.max.partial_cmp_same_type(&self.max) == Some(Ordering::Greater) {
+            other.max.clone()
+        } else {
+            self.max.clone()
+        };
+        ColumnStats { min, max, row_count: self.row_count + other.row_count }
+    }
+
+    /// Whether `v` can possibly appear in the chunk (`min <= v <= max`).
+    pub fn may_contain(&self, v: &Value) -> bool {
+        matches!(
+            v.partial_cmp_same_type(&self.min),
+            Some(Ordering::Greater) | Some(Ordering::Equal)
+        ) && matches!(
+            v.partial_cmp_same_type(&self.max),
+            Some(Ordering::Less) | Some(Ordering::Equal)
+        )
+    }
+
+    /// Serialize to footer bytes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        self.min.encode(out);
+        self.max.encode(out);
+        common::varint::encode_u64(self.row_count, out);
+    }
+
+    /// Decode from footer bytes; returns stats and bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(ColumnStats, usize)> {
+        let (min, a) = Value::decode(buf)?;
+        let (max, b) = Value::decode(&buf[a..])?;
+        let (row_count, c) = common::varint::decode_u64(&buf[a + b..])?;
+        if min.dtype() != max.dtype() {
+            return Err(Error::Corruption("stats min/max types differ".into()));
+        }
+        Ok((ColumnStats { min, max, row_count }, a + b + c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_column_finds_extremes() {
+        let s = ColumnStats::from_column(&Column::Int(vec![5, -2, 9, 0])).unwrap();
+        assert_eq!(s.min, Value::Int(-2));
+        assert_eq!(s.max, Value::Int(9));
+        assert_eq!(s.row_count, 4);
+    }
+
+    #[test]
+    fn empty_column_has_no_stats() {
+        assert!(ColumnStats::from_column(&Column::Str(vec![])).is_none());
+    }
+
+    #[test]
+    fn string_stats_are_lexicographic() {
+        let s = ColumnStats::from_column(&Column::Str(vec![
+            "beijing".into(),
+            "guangdong".into(),
+            "anhui".into(),
+        ]))
+        .unwrap();
+        assert_eq!(s.min, Value::from("anhui"));
+        assert_eq!(s.max, Value::from("guangdong"));
+    }
+
+    #[test]
+    fn merge_widens_range() {
+        let a = ColumnStats::from_column(&Column::Int(vec![1, 5])).unwrap();
+        let b = ColumnStats::from_column(&Column::Int(vec![-3, 2])).unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.min, Value::Int(-3));
+        assert_eq!(m.max, Value::Int(5));
+        assert_eq!(m.row_count, 4);
+    }
+
+    #[test]
+    fn may_contain_respects_bounds() {
+        let s = ColumnStats::from_column(&Column::Int(vec![10, 20])).unwrap();
+        assert!(s.may_contain(&Value::Int(10)));
+        assert!(s.may_contain(&Value::Int(15)));
+        assert!(s.may_contain(&Value::Int(20)));
+        assert!(!s.may_contain(&Value::Int(9)));
+        assert!(!s.may_contain(&Value::Int(21)));
+        assert!(!s.may_contain(&Value::from("ten"))); // type mismatch is "no"
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = ColumnStats::from_column(&Column::Float(vec![1.5, -0.5])).unwrap();
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        let (back, used) = ColumnStats::decode(&buf).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(used, buf.len());
+    }
+}

@@ -1,0 +1,333 @@
+//! The KV engine proper: memtable + WAL, with a shared thread-safe wrapper.
+
+use crate::batch::{Op, WriteBatch};
+use crate::wal::Wal;
+use common::Result;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// An ordered key-value store with write-ahead logging.
+///
+/// All mutations flow through [`WriteBatch`]es appended to the WAL before
+/// they touch the memtable, so [`recover`](KvStore::recover) rebuilds the
+/// exact committed state from log bytes.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    mem: BTreeMap<Vec<u8>, Vec<u8>>,
+    wal: Wal,
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild a store from WAL bytes (crash recovery).
+    pub fn recover(wal_bytes: Vec<u8>) -> Result<Self> {
+        let wal = Wal::from_bytes(wal_bytes)?;
+        let mut mem = BTreeMap::new();
+        for payload in wal.replay()? {
+            let batch = WriteBatch::decode(&payload)?;
+            Self::apply_to_mem(&mut mem, &batch);
+        }
+        Ok(KvStore { mem, wal })
+    }
+
+    /// Insert or overwrite a single key.
+    pub fn put(&mut self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) {
+        let mut b = WriteBatch::new();
+        b.put(key, value);
+        self.apply(&b);
+    }
+
+    /// Delete a single key (no-op if absent).
+    pub fn delete(&mut self, key: impl Into<Vec<u8>>) {
+        let mut b = WriteBatch::new();
+        b.delete(key);
+        self.apply(&b);
+    }
+
+    /// Apply a batch atomically: logged as one frame, then applied.
+    pub fn apply(&mut self, batch: &WriteBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.wal.append(&batch.encode());
+        Self::apply_to_mem(&mut self.mem, batch);
+    }
+
+    /// Fetch the value for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        self.mem.get(key)
+    }
+
+    /// Whether `key` exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.mem.contains_key(key)
+    }
+
+    /// All pairs whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.mem
+            .range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// All pairs with `lo <= key < hi`, in key order.
+    pub fn scan_range(&self, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.mem
+            .range::<Vec<u8>, _>((Bound::Included(&lo.to_vec()), Bound::Excluded(&hi.to_vec())))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// Size of the WAL in bytes (grows with every batch until compaction).
+    pub fn wal_bytes_len(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// Raw WAL bytes, e.g. for persisting into a PLog.
+    pub fn wal_bytes(&self) -> &[u8] {
+        self.wal.bytes()
+    }
+
+    /// Rewrite the WAL as a single batch of the live state, discarding
+    /// superseded entries.
+    pub fn compact_wal(&mut self) {
+        let mut b = WriteBatch::new();
+        for (k, v) in &self.mem {
+            b.put(k.clone(), v.clone());
+        }
+        self.wal.reset_with(&[b.encode()]);
+    }
+
+    fn apply_to_mem(mem: &mut BTreeMap<Vec<u8>, Vec<u8>>, batch: &WriteBatch) {
+        for op in batch.ops() {
+            match op {
+                Op::Put { key, value } => {
+                    mem.insert(key.clone(), value.clone());
+                }
+                Op::Delete { key } => {
+                    mem.remove(key);
+                }
+            }
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`KvStore`].
+///
+/// Services share catalog and topology metadata through this wrapper; all
+/// methods take `&self` and lock internally.
+#[derive(Debug, Clone, Default)]
+pub struct SharedKv {
+    inner: Arc<RwLock<KvStore>>,
+}
+
+impl SharedKv {
+    /// A fresh, empty shared store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) {
+        self.inner.write().put(key, value);
+    }
+
+    /// Delete a key.
+    pub fn delete(&self, key: impl Into<Vec<u8>>) {
+        self.inner.write().delete(key);
+    }
+
+    /// Apply a batch atomically.
+    pub fn apply(&self, batch: &WriteBatch) {
+        self.inner.write().apply(batch);
+    }
+
+    /// Fetch a value (cloned out of the lock).
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Whether a key exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.read().contains(key)
+    }
+
+    /// Prefix scan (cloned snapshot).
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.inner.read().scan_prefix(prefix)
+    }
+
+    /// Range scan `lo <= key < hi` (cloned snapshot).
+    pub fn scan_range(&self, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.inner.read().scan_range(lo, hi)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Run a closure with exclusive access (for read-modify-write).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut KvStore) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = KvStore::new();
+        kv.put(b"k".to_vec(), b"v".to_vec());
+        assert_eq!(kv.get(b"k"), Some(&b"v".to_vec()));
+        kv.delete(b"k".to_vec());
+        assert_eq!(kv.get(b"k"), None);
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn batch_is_atomic_across_recovery() {
+        let mut kv = KvStore::new();
+        let mut b = WriteBatch::new();
+        b.put(b"a".to_vec(), b"1".to_vec()).put(b"b".to_vec(), b"2".to_vec());
+        kv.apply(&b);
+        // Tear the WAL inside the batch frame: recovery must drop BOTH keys.
+        let mut bytes = kv.wal_bytes().to_vec();
+        bytes.truncate(bytes.len() - 1);
+        let rec = KvStore::recover(bytes).unwrap();
+        assert!(rec.is_empty(), "torn batch must not be half-applied");
+    }
+
+    #[test]
+    fn recovery_replays_committed_state() {
+        let mut kv = KvStore::new();
+        kv.put(b"x".to_vec(), b"1".to_vec());
+        kv.put(b"y".to_vec(), b"2".to_vec());
+        kv.delete(b"x".to_vec());
+        kv.put(b"y".to_vec(), b"3".to_vec());
+        let rec = KvStore::recover(kv.wal_bytes().to_vec()).unwrap();
+        assert_eq!(rec.get(b"x"), None);
+        assert_eq!(rec.get(b"y"), Some(&b"3".to_vec()));
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn prefix_scan_returns_sorted_matches() {
+        let mut kv = KvStore::new();
+        kv.put(b"topic/b".to_vec(), b"2".to_vec());
+        kv.put(b"topic/a".to_vec(), b"1".to_vec());
+        kv.put(b"table/z".to_vec(), b"9".to_vec());
+        let hits = kv.scan_prefix(b"topic/");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, b"topic/a");
+        assert_eq!(hits[1].0, b"topic/b");
+    }
+
+    #[test]
+    fn range_scan_is_half_open() {
+        let mut kv = KvStore::new();
+        for k in [b"a", b"b", b"c"] {
+            kv.put(k.to_vec(), b"v".to_vec());
+        }
+        let hits = kv.scan_range(b"a", b"c");
+        assert_eq!(hits.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), vec![
+            b"a".to_vec(),
+            b"b".to_vec()
+        ]);
+    }
+
+    #[test]
+    fn compaction_shrinks_wal_and_preserves_state() {
+        let mut kv = KvStore::new();
+        for i in 0..200u32 {
+            kv.put(b"hot".to_vec(), i.to_le_bytes().to_vec());
+        }
+        let before = kv.wal_bytes_len();
+        kv.compact_wal();
+        assert!(kv.wal_bytes_len() < before / 10);
+        let rec = KvStore::recover(kv.wal_bytes().to_vec()).unwrap();
+        assert_eq!(rec.get(b"hot"), Some(&199u32.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn shared_kv_is_usable_across_threads() {
+        let kv = SharedKv::new();
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let kv = kv.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    kv.put(format!("t{t}/k{i}").into_bytes(), i.to_le_bytes().to_vec());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kv.len(), 400);
+        assert_eq!(kv.scan_prefix(b"t2/").len(), 100);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn store_matches_model_btreemap(
+            ops in proptest::collection::vec(
+                prop_oneof![
+                    (proptest::collection::vec(any::<u8>(), 1..8),
+                     proptest::collection::vec(any::<u8>(), 0..8)).prop_map(|(k, v)| (true, k, v)),
+                    proptest::collection::vec(any::<u8>(), 1..8).prop_map(|k| (false, k, vec![])),
+                ],
+                0..100,
+            )
+        ) {
+            let mut kv = KvStore::new();
+            let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            for (is_put, k, v) in ops {
+                if is_put {
+                    kv.put(k.clone(), v.clone());
+                    model.insert(k, v);
+                } else {
+                    kv.delete(k.clone());
+                    model.remove(&k);
+                }
+            }
+            prop_assert_eq!(kv.len(), model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(kv.get(k), Some(v));
+            }
+            // recovery agrees with the model too
+            let rec = KvStore::recover(kv.wal_bytes().to_vec()).unwrap();
+            prop_assert_eq!(rec.len(), model.len());
+            for (k, v) in &model {
+                prop_assert_eq!(rec.get(k), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Commit, snapshot and data-file metadata (§IV-B, "Metadata directory").
+//!
+//! *Commits* "contain file-level metadata and statistics such as file
+//! paths, record counts, and value ranges for the data objects. Each data
+//! insert, update, and delete operation will generate a new commit file."
+//!
+//! *Snapshots* "are index files that index valid commit files … Along with
+//! commits, snapshots provide snapshot-level isolation" and time travel.
+
+use common::varint;
+use common::{Error, Result};
+use format::ColumnStats;
+
+/// Metadata of one data file, as recorded in a commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataFileMeta {
+    /// Path of the file within the table directory, e.g.
+    /// `data/location=beijing/00042.lake`.
+    pub path: String,
+    /// Partition value the file belongs to (empty for unpartitioned).
+    pub partition: String,
+    /// Rows in the file.
+    pub record_count: u64,
+    /// Encoded file size in bytes.
+    pub bytes: u64,
+    /// Per-column min/max statistics, in schema order.
+    pub stats: Vec<ColumnStats>,
+}
+
+impl DataFileMeta {
+    /// Serialize into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        encode_str(&self.path, out);
+        encode_str(&self.partition, out);
+        varint::encode_u64(self.record_count, out);
+        varint::encode_u64(self.bytes, out);
+        varint::encode_u64(self.stats.len() as u64, out);
+        for s in &self.stats {
+            s.encode(out);
+        }
+    }
+
+    /// Decode; returns the meta and bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(DataFileMeta, usize)> {
+        let mut off = 0;
+        let (path, n) = decode_str(&buf[off..])?;
+        off += n;
+        let (partition, n) = decode_str(&buf[off..])?;
+        off += n;
+        let (record_count, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let (bytes, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let (stat_count, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let mut stats = Vec::with_capacity(stat_count as usize);
+        for _ in 0..stat_count {
+            let (s, n) = ColumnStats::decode(&buf[off..])?;
+            off += n;
+            stats.push(s);
+        }
+        Ok((DataFileMeta { path, partition, record_count, bytes, stats }, off))
+    }
+}
+
+/// One committed change set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Commit {
+    /// Commit id (monotonic per table).
+    pub id: u64,
+    /// Virtual timestamp (ns) at which the commit became visible.
+    pub timestamp: u64,
+    /// Files added by this commit.
+    pub added: Vec<DataFileMeta>,
+    /// Paths removed by this commit.
+    pub removed: Vec<String>,
+}
+
+impl Commit {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        varint::encode_u64(self.id, &mut out);
+        varint::encode_u64(self.timestamp, &mut out);
+        varint::encode_u64(self.added.len() as u64, &mut out);
+        for f in &self.added {
+            f.encode(&mut out);
+        }
+        varint::encode_u64(self.removed.len() as u64, &mut out);
+        for r in &self.removed {
+            encode_str(r, &mut out);
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`encode`](Self::encode).
+    pub fn decode(buf: &[u8]) -> Result<Commit> {
+        let mut off = 0;
+        let (id, n) = varint::decode_u64(buf)?;
+        off += n;
+        let (timestamp, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let (added_count, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let mut added = Vec::with_capacity(added_count as usize);
+        for _ in 0..added_count {
+            let (f, n) = DataFileMeta::decode(&buf[off..])?;
+            off += n;
+            added.push(f);
+        }
+        let (removed_count, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let mut removed = Vec::with_capacity(removed_count as usize);
+        for _ in 0..removed_count {
+            let (s, n) = decode_str(&buf[off..])?;
+            off += n;
+            removed.push(s);
+        }
+        if off != buf.len() {
+            return Err(Error::Corruption("trailing bytes after commit".into()));
+        }
+        Ok(Commit { id, timestamp, added, removed })
+    }
+}
+
+/// A snapshot: the index of commits valid at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Snapshot id (monotonic per table).
+    pub id: u64,
+    /// Parent snapshot, `None` for the first.
+    pub parent: Option<u64>,
+    /// Ids of all commits included, in application order.
+    pub commit_ids: Vec<u64>,
+    /// Virtual timestamp (ns) of the snapshot.
+    pub timestamp: u64,
+    /// Total live rows after this snapshot (operation-log statistic).
+    pub total_rows: u64,
+    /// Total live files after this snapshot.
+    pub total_files: u64,
+}
+
+impl Snapshot {
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.commit_ids.len() * 4);
+        varint::encode_u64(self.id, &mut out);
+        match self.parent {
+            Some(p) => {
+                out.push(1);
+                varint::encode_u64(p, &mut out);
+            }
+            None => out.push(0),
+        }
+        varint::encode_u64(self.timestamp, &mut out);
+        varint::encode_u64(self.total_rows, &mut out);
+        varint::encode_u64(self.total_files, &mut out);
+        varint::encode_u64(self.commit_ids.len() as u64, &mut out);
+        for &c in &self.commit_ids {
+            varint::encode_u64(c, &mut out);
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`encode`](Self::encode).
+    pub fn decode(buf: &[u8]) -> Result<Snapshot> {
+        let mut off = 0;
+        let (id, n) = varint::decode_u64(buf)?;
+        off += n;
+        let has_parent = *buf
+            .get(off)
+            .ok_or_else(|| Error::Corruption("snapshot truncated".into()))?;
+        off += 1;
+        let parent = if has_parent != 0 {
+            let (p, n) = varint::decode_u64(&buf[off..])?;
+            off += n;
+            Some(p)
+        } else {
+            None
+        };
+        let (timestamp, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let (total_rows, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let (total_files, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let (count, n) = varint::decode_u64(&buf[off..])?;
+        off += n;
+        let mut commit_ids = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (c, n) = varint::decode_u64(&buf[off..])?;
+            off += n;
+            commit_ids.push(c);
+        }
+        if off != buf.len() {
+            return Err(Error::Corruption("trailing bytes after snapshot".into()));
+        }
+        Ok(Snapshot { id, parent, commit_ids, timestamp, total_rows, total_files })
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    varint::encode_u64(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(buf: &[u8]) -> Result<(String, usize)> {
+    let (len, n) = varint::decode_u64(buf)?;
+    let bytes = buf
+        .get(n..n + len as usize)
+        .ok_or_else(|| Error::Corruption("truncated string".into()))?;
+    let s = String::from_utf8(bytes.to_vec())
+        .map_err(|_| Error::Corruption("metadata string not utf-8".into()))?;
+    Ok((s, n + len as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use format::{Column, Value};
+
+    fn sample_file(path: &str) -> DataFileMeta {
+        DataFileMeta {
+            path: path.to_string(),
+            partition: "hour=12".to_string(),
+            record_count: 1000,
+            bytes: 4096,
+            stats: vec![
+                format::ColumnStats::from_column(&Column::Int(vec![1, 100])).unwrap(),
+                format::ColumnStats::from_column(&Column::Str(vec!["a".into(), "z".into()]))
+                    .unwrap(),
+            ],
+        }
+    }
+
+    #[test]
+    fn data_file_meta_roundtrips() {
+        let f = sample_file("data/hour=12/00001.lake");
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        let (back, used) = DataFileMeta::decode(&buf).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(used, buf.len());
+        assert_eq!(back.stats[0].min, Value::Int(1));
+    }
+
+    #[test]
+    fn commit_roundtrips() {
+        let c = Commit {
+            id: 7,
+            timestamp: 123456,
+            added: vec![sample_file("a"), sample_file("b")],
+            removed: vec!["old/file.lake".to_string()],
+        };
+        assert_eq!(Commit::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn empty_commit_roundtrips() {
+        let c = Commit { id: 0, timestamp: 0, added: vec![], removed: vec![] };
+        assert_eq!(Commit::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_with_and_without_parent() {
+        let s1 = Snapshot {
+            id: 1,
+            parent: None,
+            commit_ids: vec![1],
+            timestamp: 10,
+            total_rows: 100,
+            total_files: 1,
+        };
+        let s2 = Snapshot {
+            id: 2,
+            parent: Some(1),
+            commit_ids: vec![1, 2, 3],
+            timestamp: 20,
+            total_rows: 250,
+            total_files: 3,
+        };
+        assert_eq!(Snapshot::decode(&s1.encode()).unwrap(), s1);
+        assert_eq!(Snapshot::decode(&s2.encode()).unwrap(), s2);
+    }
+
+    #[test]
+    fn truncated_metadata_is_corruption() {
+        let c = Commit {
+            id: 7,
+            timestamp: 1,
+            added: vec![sample_file("x")],
+            removed: vec![],
+        };
+        let enc = c.encode();
+        for cut in 0..enc.len() {
+            assert!(Commit::decode(&enc[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

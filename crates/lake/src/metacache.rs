@@ -1,0 +1,571 @@
+//! Metadata acceleration (§V-B INSERT step (b), Fig 9) and the file-based
+//! metadata path it replaces.
+//!
+//! "Metadata updates are mostly small I/O operations. To avoid generating a
+//! significant number of small files, we leverage a write cache to
+//! aggregate the metadata updates … Metadata in the write cache is
+//! asynchronously flushed to the persistent storage pool when the buffer is
+//! full. A metadata management process (MetaFresher) transforms the commits
+//! and snapshots from key-value pairs to files."
+//!
+//! Two read paths are provided so Fig 15 can compare them:
+//!
+//! * [`MetadataMode::Accelerated`] — commits, snapshots and a materialized
+//!   per-partition live-file index are served from the KV cache at
+//!   SCM-class latency; a query pays for the partitions it touches, not
+//!   for the whole table;
+//! * [`MetadataMode::FileBased`] — the reader loads the snapshot file and
+//!   every commit file from the persistence pool and replays them, which is
+//!   linear in the number of commits/files (the classic file-based catalog
+//!   cost).
+
+use crate::meta::{Commit, DataFileMeta, Snapshot};
+use common::clock::{micros, Nanos};
+use common::{Error, Result};
+use kvstore::SharedKv;
+use parking_lot::Mutex;
+use plog::{PlogAddress, PlogStore};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which metadata path a read uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetadataMode {
+    /// KV write-cache + materialized index (StreamLake).
+    Accelerated,
+    /// Read snapshot + commit files from storage and replay (baseline).
+    FileBased,
+}
+
+/// Per-lookup cost of the SCM/RDMA-optimized KV engine.
+pub const KV_LOOKUP_COST: Nanos = micros(2);
+
+/// Approximate in-memory footprint of one file's metadata on the compute
+/// side (path + stats), used by the Fig 15(b) memory model.
+pub const PER_FILE_META_BYTES: u64 = 200;
+
+/// The metadata write cache + MetaFresher.
+#[derive(Debug)]
+pub struct MetadataCache {
+    plog: Arc<PlogStore>,
+    kv: SharedKv,
+    /// Pending (unflushed) commit/snapshot cache entries per table.
+    pending: Mutex<HashMap<String, u64>>,
+    /// MetaFresher flush threshold (pending entries per table).
+    flush_threshold: u64,
+}
+
+impl MetadataCache {
+    /// A cache flushing to `plog` once a table accumulates
+    /// `flush_threshold` unflushed metadata entries.
+    pub fn new(plog: Arc<PlogStore>, flush_threshold: u64) -> Self {
+        MetadataCache {
+            plog,
+            kv: SharedKv::new(),
+            pending: Mutex::new(HashMap::new()),
+            flush_threshold: flush_threshold.max(1),
+        }
+    }
+
+    /// Record a commit: cached as KV pairs, live-file index updated, and
+    /// flushed by the MetaFresher when the buffer is full. Returns the
+    /// virtual completion time of the (cache-resident) update.
+    pub fn put_commit(&self, table: &str, commit: &Commit, now: Nanos) -> Result<Nanos> {
+        self.kv
+            .put(commit_key(table, commit.id), commit.encode());
+        // maintain the materialized per-partition live-file index
+        for f in &commit.added {
+            self.kv.put(live_key(table, &f.partition, &f.path), {
+                let mut buf = Vec::new();
+                f.encode(&mut buf);
+                buf
+            });
+        }
+        for path in &commit.removed {
+            // the removed file's partition is embedded in its index entries;
+            // scan the (small) per-table prefix for it
+            for (k, _) in self.kv.scan_prefix(live_prefix(table).as_bytes()) {
+                if k.ends_with(format!("/{path}").as_bytes()) {
+                    self.kv.delete(k);
+                }
+            }
+        }
+        let mut pending = self.pending.lock();
+        let counter = pending.entry(table.to_string()).or_insert(0);
+        *counter += 1;
+        let mut finish = now + KV_LOOKUP_COST;
+        if *counter >= self.flush_threshold {
+            *counter = 0;
+            drop(pending);
+            finish = self.flush(table, now)?;
+        }
+        Ok(finish)
+    }
+
+    /// Record a snapshot in the cache.
+    pub fn put_snapshot(&self, table: &str, snapshot: &Snapshot, now: Nanos) -> Result<Nanos> {
+        self.kv
+            .put(snapshot_key(table, snapshot.id), snapshot.encode());
+        Ok(now + KV_LOOKUP_COST)
+    }
+
+    /// MetaFresher: persist all cached commit/snapshot entries of `table`
+    /// as files in the storage pool (asynchronous in the paper; charged to
+    /// the background timeline here, so the returned time is when the flush
+    /// completes, not when foreground work may continue).
+    pub fn flush(&self, table: &str, now: Nanos) -> Result<Nanos> {
+        let mut finish = now;
+        for (k, v) in self.kv.scan_prefix(commit_prefix(table).as_bytes()) {
+            if self.kv.get(&addr_key_for(&k)).is_some() {
+                continue; // already persisted
+            }
+            let (addr, t) = self.plog.append_to_shard_at(
+                self.plog.shard_of(&k),
+                &v,
+                now,
+            )?;
+            finish = finish.max(t);
+            self.kv.put(addr_key_for(&k), encode_addr(&addr));
+        }
+        for (k, v) in self.kv.scan_prefix(snapshot_prefix(table).as_bytes()) {
+            if self.kv.get(&addr_key_for(&k)).is_some() {
+                continue;
+            }
+            let (addr, t) = self.plog.append_to_shard_at(
+                self.plog.shard_of(&k),
+                &v,
+                now,
+            )?;
+            finish = finish.max(t);
+            self.kv.put(addr_key_for(&k), encode_addr(&addr));
+        }
+        self.pending.lock().insert(table.to_string(), 0);
+        Ok(finish)
+    }
+
+    /// Fetch a snapshot under the given mode; returns it plus the virtual
+    /// completion time.
+    pub fn get_snapshot(
+        &self,
+        table: &str,
+        id: u64,
+        mode: MetadataMode,
+        now: Nanos,
+    ) -> Result<(Snapshot, Nanos)> {
+        let key = snapshot_key(table, id);
+        match mode {
+            MetadataMode::Accelerated => {
+                let bytes = self
+                    .kv
+                    .get(key.as_bytes())
+                    .ok_or_else(|| Error::NotFound(format!("snapshot {id} of {table}")))?;
+                Ok((Snapshot::decode(&bytes)?, now + KV_LOOKUP_COST))
+            }
+            MetadataMode::FileBased => {
+                let (bytes, t) = self.read_persisted(&key, now)?;
+                Ok((Snapshot::decode(&bytes)?, t))
+            }
+        }
+    }
+
+    /// Fetch a commit under the given mode.
+    pub fn get_commit(
+        &self,
+        table: &str,
+        id: u64,
+        mode: MetadataMode,
+        now: Nanos,
+    ) -> Result<(Commit, Nanos)> {
+        let key = commit_key(table, id);
+        match mode {
+            MetadataMode::Accelerated => {
+                let bytes = self
+                    .kv
+                    .get(key.as_bytes())
+                    .ok_or_else(|| Error::NotFound(format!("commit {id} of {table}")))?;
+                Ok((Commit::decode(&bytes)?, now + KV_LOOKUP_COST))
+            }
+            MetadataMode::FileBased => {
+                let (bytes, t) = self.read_persisted(&key, now)?;
+                Ok((Commit::decode(&bytes)?, t))
+            }
+        }
+    }
+
+    /// The live data files of `snapshot`, optionally restricted to a set of
+    /// partitions.
+    ///
+    /// Accelerated mode serves the materialized index: cost is one KV scan
+    /// per *touched* partition. File-based mode reads every commit file of
+    /// the snapshot from storage and replays it: cost is linear in commits.
+    pub fn live_files(
+        &self,
+        table: &str,
+        snapshot: &Snapshot,
+        partitions: Option<&[String]>,
+        mode: MetadataMode,
+        now: Nanos,
+    ) -> Result<(Vec<DataFileMeta>, Nanos)> {
+        match mode {
+            MetadataMode::Accelerated => {
+                let mut out = Vec::new();
+                let mut finish = now;
+                match partitions {
+                    Some(parts) => {
+                        for p in parts {
+                            finish += KV_LOOKUP_COST;
+                            for (_, v) in self
+                                .kv
+                                .scan_prefix(format!("{}{}/", live_prefix(table), p).as_bytes())
+                            {
+                                out.push(DataFileMeta::decode(&v)?.0);
+                            }
+                        }
+                    }
+                    None => {
+                        finish += KV_LOOKUP_COST;
+                        for (_, v) in self.kv.scan_prefix(live_prefix(table).as_bytes()) {
+                            out.push(DataFileMeta::decode(&v)?.0);
+                        }
+                    }
+                }
+                out.sort_by(|a, b| a.path.cmp(&b.path));
+                Ok((out, finish))
+            }
+            MetadataMode::FileBased => {
+                let mut live: HashMap<String, DataFileMeta> = HashMap::new();
+                let mut t = now;
+                for &cid in &snapshot.commit_ids {
+                    let (commit, tc) = self.get_commit(table, cid, MetadataMode::FileBased, t)?;
+                    t = tc;
+                    for f in commit.added {
+                        live.insert(f.path.clone(), f);
+                    }
+                    for r in &commit.removed {
+                        live.remove(r);
+                    }
+                }
+                let mut out: Vec<DataFileMeta> = live
+                    .into_values()
+                    .filter(|f| {
+                        partitions.is_none_or(|ps| ps.contains(&f.partition))
+                    })
+                    .collect();
+                out.sort_by(|a, b| a.path.cmp(&b.path));
+                Ok((out, t))
+            }
+        }
+    }
+
+    /// Live files of a *historical* snapshot, reconstructed by replaying
+    /// its commits from the KV cache (time travel must not consult the
+    /// materialized index, which always reflects the current snapshot).
+    pub fn live_files_time_travel(
+        &self,
+        table: &str,
+        snapshot: &Snapshot,
+        partitions: Option<&[String]>,
+        now: Nanos,
+    ) -> Result<(Vec<DataFileMeta>, Nanos)> {
+        let mut live: HashMap<String, DataFileMeta> = HashMap::new();
+        let mut t = now;
+        for &cid in &snapshot.commit_ids {
+            let (commit, tc) = self.get_commit(table, cid, MetadataMode::Accelerated, t)?;
+            t = tc;
+            for f in commit.added {
+                live.insert(f.path.clone(), f);
+            }
+            for r in &commit.removed {
+                live.remove(r);
+            }
+        }
+        let mut out: Vec<DataFileMeta> = live
+            .into_values()
+            .filter(|f| partitions.is_none_or(|ps| ps.contains(&f.partition)))
+            .collect();
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok((out, t))
+    }
+
+    /// Remove a commit entry (cache + any persisted file). Used by snapshot
+    /// expiration.
+    pub fn remove_commit(&self, table: &str, id: u64) {
+        self.remove_entry(commit_key(table, id));
+    }
+
+    /// Remove a snapshot entry (cache + any persisted file).
+    pub fn remove_snapshot(&self, table: &str, id: u64) {
+        self.remove_entry(snapshot_key(table, id));
+    }
+
+    /// Invalidate the persisted copy of a commit/snapshot after rewriting
+    /// its cache entry, so the next MetaFresher flush re-persists it.
+    pub fn invalidate_persisted(&self, table: &str, commit_id: u64) {
+        let key = addr_key_for(commit_key(table, commit_id).as_bytes());
+        if let Some(bytes) = self.kv.get(&key) {
+            if let Ok(addr) = decode_addr(&bytes) {
+                self.plog.delete(&addr);
+            }
+            self.kv.delete(key);
+        }
+        let skey = addr_key_for(snapshot_key(table, commit_id).as_bytes());
+        if let Some(bytes) = self.kv.get(&skey) {
+            if let Ok(addr) = decode_addr(&bytes) {
+                self.plog.delete(&addr);
+            }
+            self.kv.delete(skey);
+        }
+    }
+
+    fn remove_entry(&self, key: String) {
+        self.kv.delete(key.as_bytes().to_vec());
+        let akey = addr_key_for(key.as_bytes());
+        if let Some(bytes) = self.kv.get(&akey) {
+            if let Ok(addr) = decode_addr(&bytes) {
+                self.plog.delete(&addr);
+            }
+            self.kv.delete(akey);
+        }
+    }
+
+    /// Compute-side metadata footprint for holding `file_count` files'
+    /// metadata in memory (the Fig 15(b) OOM model).
+    pub fn metadata_footprint_bytes(file_count: u64) -> u64 {
+        file_count * PER_FILE_META_BYTES
+    }
+
+    /// Bytes currently held in the cache KV (for capacity accounting).
+    pub fn cache_entries(&self) -> usize {
+        self.kv.len()
+    }
+
+    fn read_persisted(&self, key: &str, now: Nanos) -> Result<(Vec<u8>, Nanos)> {
+        let addr_bytes = self
+            .kv
+            .get(&addr_key_for(key.as_bytes()))
+            .ok_or_else(|| Error::NotFound(format!("metadata file for {key} not persisted")))?;
+        let addr = decode_addr(&addr_bytes)?;
+        self.plog.read_at(&addr, now)
+    }
+}
+
+fn commit_key(table: &str, id: u64) -> String {
+    format!("meta/{table}/commit/{id:016}")
+}
+fn commit_prefix(table: &str) -> String {
+    format!("meta/{table}/commit/")
+}
+fn snapshot_key(table: &str, id: u64) -> String {
+    format!("meta/{table}/snapshot/{id:016}")
+}
+fn snapshot_prefix(table: &str) -> String {
+    format!("meta/{table}/snapshot/")
+}
+fn live_prefix(table: &str) -> String {
+    format!("live/{table}/")
+}
+fn live_key(table: &str, partition: &str, path: &str) -> String {
+    format!("live/{table}/{partition}/{path}")
+}
+fn addr_key_for(key: &[u8]) -> Vec<u8> {
+    let mut k = b"addr/".to_vec();
+    k.extend_from_slice(key);
+    k
+}
+
+fn encode_addr(addr: &PlogAddress) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20);
+    common::varint::encode_u64(addr.shard as u64, &mut out);
+    common::varint::encode_u64(addr.offset, &mut out);
+    common::varint::encode_u64(addr.len, &mut out);
+    out
+}
+
+fn decode_addr(buf: &[u8]) -> Result<PlogAddress> {
+    let (shard, a) = common::varint::decode_u64(buf)?;
+    let (offset, b) = common::varint::decode_u64(&buf[a..])?;
+    let (len, _) = common::varint::decode_u64(&buf[a + b..])?;
+    Ok(PlogAddress { shard: shard as u32, offset, len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::size::MIB;
+    use common::SimClock;
+    use ec::Redundancy;
+    use format::{Column, ColumnStats};
+    use plog::PlogConfig;
+    use simdisk::{MediaKind, StoragePool};
+
+    fn cache(threshold: u64) -> MetadataCache {
+        let clock = SimClock::new();
+        let pool = Arc::new(StoragePool::new(
+            "meta",
+            MediaKind::NvmeSsd,
+            4,
+            256 * MIB,
+            clock,
+        ));
+        let plog = Arc::new(
+            PlogStore::new(
+                pool,
+                PlogConfig {
+                    shard_count: 16,
+                    redundancy: Redundancy::Replicate { copies: 2 },
+                    shard_capacity: 64 * MIB,
+                },
+            )
+            .unwrap(),
+        );
+        MetadataCache::new(plog, threshold)
+    }
+
+    fn file(partition: &str, path: &str) -> DataFileMeta {
+        DataFileMeta {
+            path: path.to_string(),
+            partition: partition.to_string(),
+            record_count: 10,
+            bytes: 100,
+            stats: vec![ColumnStats::from_column(&Column::Int(vec![1, 9])).unwrap()],
+        }
+    }
+
+    fn commit(id: u64, partition: &str, path: &str) -> Commit {
+        Commit { id, timestamp: id, added: vec![file(partition, path)], removed: vec![] }
+    }
+
+    #[test]
+    fn cached_commit_readable_in_accelerated_mode() {
+        let c = cache(100);
+        c.put_commit("t", &commit(1, "h=0", "f1"), 0).unwrap();
+        let (back, t) = c.get_commit("t", 1, MetadataMode::Accelerated, 0).unwrap();
+        assert_eq!(back.id, 1);
+        assert_eq!(t, KV_LOOKUP_COST);
+    }
+
+    #[test]
+    fn file_based_read_requires_flush() {
+        let c = cache(100);
+        c.put_commit("t", &commit(1, "h=0", "f1"), 0).unwrap();
+        assert!(c.get_commit("t", 1, MetadataMode::FileBased, 0).is_err());
+        c.flush("t", 0).unwrap();
+        let (back, t) = c.get_commit("t", 1, MetadataMode::FileBased, 0).unwrap();
+        assert_eq!(back.id, 1);
+        assert!(t > KV_LOOKUP_COST, "file read must cost device time");
+    }
+
+    #[test]
+    fn metafresher_auto_flushes_at_threshold() {
+        let c = cache(3);
+        c.put_commit("t", &commit(1, "h=0", "f1"), 0).unwrap();
+        c.put_commit("t", &commit(2, "h=0", "f2"), 0).unwrap();
+        assert!(c.get_commit("t", 1, MetadataMode::FileBased, 0).is_err());
+        c.put_commit("t", &commit(3, "h=0", "f3"), 0).unwrap(); // hits threshold
+        assert!(c.get_commit("t", 1, MetadataMode::FileBased, 0).is_ok());
+    }
+
+    #[test]
+    fn live_files_replay_matches_materialized_index() {
+        let c = cache(100);
+        let mut snapshot_commits = Vec::new();
+        for i in 1..=5u64 {
+            c.put_commit("t", &commit(i, &format!("h={}", i % 2), &format!("f{i}")), 0)
+                .unwrap();
+            snapshot_commits.push(i);
+        }
+        // remove f2 in commit 6
+        let rm = Commit { id: 6, timestamp: 6, added: vec![], removed: vec!["f2".into()] };
+        c.put_commit("t", &rm, 0).unwrap();
+        snapshot_commits.push(6);
+        c.flush("t", 0).unwrap();
+        let snap = Snapshot {
+            id: 1,
+            parent: None,
+            commit_ids: snapshot_commits,
+            timestamp: 10,
+            total_rows: 40,
+            total_files: 4,
+        };
+        let (fast, t_fast) = c
+            .live_files("t", &snap, None, MetadataMode::Accelerated, 0)
+            .unwrap();
+        let (slow, t_slow) = c
+            .live_files("t", &snap, None, MetadataMode::FileBased, 0)
+            .unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 4);
+        assert!(!fast.iter().any(|f| f.path == "f2"));
+        assert!(t_slow > t_fast, "file-based replay must be slower");
+    }
+
+    #[test]
+    fn partition_restriction_prunes_and_costs_per_partition() {
+        let c = cache(100);
+        for i in 1..=10u64 {
+            c.put_commit("t", &commit(i, &format!("h={i}"), &format!("f{i}")), 0)
+                .unwrap();
+        }
+        let snap = Snapshot {
+            id: 1,
+            parent: None,
+            commit_ids: (1..=10).collect(),
+            timestamp: 0,
+            total_rows: 100,
+            total_files: 10,
+        };
+        let (one, t_one) = c
+            .live_files("t", &snap, Some(&["h=3".to_string()]), MetadataMode::Accelerated, 0)
+            .unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].path, "f3");
+        let (all, t_all) = c
+            .live_files(
+                "t",
+                &snap,
+                Some(&(1..=10).map(|i| format!("h={i}")).collect::<Vec<_>>()),
+                MetadataMode::Accelerated,
+                0,
+            )
+            .unwrap();
+        assert_eq!(all.len(), 10);
+        assert!(t_all > t_one, "cost scales with touched partitions only");
+    }
+
+    #[test]
+    fn snapshot_cache_roundtrip_and_persisted_read() {
+        let c = cache(100);
+        let snap = Snapshot {
+            id: 3,
+            parent: Some(2),
+            commit_ids: vec![1, 2, 3],
+            timestamp: 99,
+            total_rows: 5,
+            total_files: 2,
+        };
+        c.put_snapshot("t", &snap, 0).unwrap();
+        let (got, _) = c.get_snapshot("t", 3, MetadataMode::Accelerated, 0).unwrap();
+        assert_eq!(got, snap);
+        c.flush("t", 0).unwrap();
+        let (got, _) = c.get_snapshot("t", 3, MetadataMode::FileBased, 0).unwrap();
+        assert_eq!(got, snap);
+    }
+
+    #[test]
+    fn footprint_model_is_linear() {
+        assert_eq!(
+            MetadataCache::metadata_footprint_bytes(1000),
+            1000 * PER_FILE_META_BYTES
+        );
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let c = cache(100);
+        c.put_commit("t", &commit(1, "h", "f"), 0).unwrap();
+        c.flush("t", 0).unwrap();
+        let entries = c.cache_entries();
+        c.flush("t", 0).unwrap(); // second flush persists nothing new
+        assert_eq!(c.cache_entries(), entries);
+    }
+}

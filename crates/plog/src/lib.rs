@@ -1,0 +1,22 @@
+//! Persistence logs (PLogs), StreamLake's unit of durable storage.
+//!
+//! From the paper (§IV-A, Fig 4): incoming data slices "will be distributed
+//! evenly to 4096 logical shards, each of which has the storage space
+//! managed by persistence logs (PLog). Each PLog unit … controls a fixed
+//! amount of storage space on multiple disks and provides 128 MB of
+//! addresses per shard. When a message is received, the PLog unit
+//! replicates it to multiple disks for redundancy. We use key-value
+//! databases to serve as indexes for PLogs for fast record lookup."
+//!
+//! * [`placement`] — the hash placement that spreads slices over shards;
+//! * [`store`] — the [`PlogStore`]: per-shard append-only address spaces,
+//!   replication/erasure-coded writes into a [`simdisk::StoragePool`], a KV
+//!   index from addresses to physical extents, degraded reads and repair.
+
+pub mod placement;
+pub mod replication;
+pub mod store;
+
+pub use placement::shard_for;
+pub use replication::RemoteReplicator;
+pub use store::{PlogAddress, PlogConfig, PlogStore};

@@ -1,0 +1,72 @@
+//! Hash placement of data slices onto logical shards.
+//!
+//! The paper uses a distributed hash table "to ensure even data distribution
+//! for load-balance storage" (Fig 4-d). Placement here is FNV-1a over the
+//! routing key modulo the shard count; the tests verify the evenness claim
+//! directly.
+
+/// Default shard count from the paper.
+pub const DEFAULT_SHARD_COUNT: usize = 4096;
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The logical shard that owns `routing_key` in a `shard_count`-shard table.
+pub fn shard_for(routing_key: &[u8], shard_count: usize) -> usize {
+    debug_assert!(shard_count > 0);
+    (fnv1a(routing_key) % shard_count as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn placement_is_deterministic() {
+        assert_eq!(shard_for(b"topic-a/0", 4096), shard_for(b"topic-a/0", 4096));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn distribution_is_even_across_shards() {
+        // 100k synthetic slice keys over 64 shards: no shard may deviate
+        // from the mean by more than 30%.
+        let shards = 64usize;
+        let mut counts = vec![0u32; shards];
+        for topic in 0..100 {
+            for slice in 0..1000 {
+                let key = format!("topic-{topic}/slice-{slice}");
+                counts[shard_for(key.as_bytes(), shards)] += 1;
+            }
+        }
+        let mean = 100_000.0 / shards as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - mean).abs() < mean * 0.3,
+                "shard {i} holds {c}, mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("") is the offset basis; FNV-1a("a") is a published vector.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    proptest! {
+        #[test]
+        fn shard_always_in_range(key in proptest::collection::vec(any::<u8>(), 0..64), n in 1usize..5000) {
+            prop_assert!(shard_for(&key, n) < n);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The replication service (§III, data-service layer).
+//!
+//! "The replication service provides periodical replications to remote
+//! sites for backup and recovery." A [`RemoteReplicator`] pairs a primary
+//! [`PlogStore`] with a remote-site store; each `run` copies records
+//! appended since the previous run over a WAN link, and
+//! [`recover`](RemoteReplicator::recover) restores a record from the
+//! remote copy when the primary has lost it beyond its redundancy margin.
+
+use crate::store::{PlogAddress, PlogStore};
+use common::clock::Nanos;
+use common::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// WAN throughput between sites (far below the local fabric).
+pub const WAN_BYTES_PER_SEC: u64 = 100_000_000; // ~800 Mb/s
+
+/// Report of one replication cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationReport {
+    /// Records copied this cycle.
+    pub records_copied: u64,
+    /// Logical bytes shipped over the WAN.
+    pub bytes_shipped: u64,
+    /// Virtual completion time of the cycle.
+    pub finished_at: Nanos,
+}
+
+/// Periodic primary → remote-site replication.
+#[derive(Debug)]
+pub struct RemoteReplicator {
+    primary: Arc<PlogStore>,
+    remote: Arc<PlogStore>,
+    /// primary address → remote address for everything already shipped.
+    mapping: Mutex<HashMap<PlogAddress, PlogAddress>>,
+}
+
+impl RemoteReplicator {
+    /// Pair `primary` with a `remote` site store.
+    pub fn new(primary: Arc<PlogStore>, remote: Arc<PlogStore>) -> Self {
+        RemoteReplicator { primary, remote, mapping: Mutex::new(HashMap::new()) }
+    }
+
+    /// One replication cycle: ship every record not yet at the remote site.
+    /// Records the primary can no longer read (beyond redundancy) are
+    /// skipped — recovery for those must come *from* the remote.
+    pub fn run(&self, now: Nanos) -> Result<ReplicationReport> {
+        let mut report = ReplicationReport { finished_at: now, ..Default::default() };
+        let mut mapping = self.mapping.lock();
+        let mut t = now;
+        for addr in self.primary.addresses() {
+            if mapping.contains_key(&addr) {
+                continue;
+            }
+            let Ok((data, t_read)) = self.primary.read_at(&addr, t) else {
+                continue; // unreadable locally; not this service's job
+            };
+            let wan = data.len() as u64 * 1_000_000_000 / WAN_BYTES_PER_SEC;
+            let (raddr, t_write) = self
+                .remote
+                .append_to_shard_at(addr.shard % self.remote.config().shard_count as u32,
+                    &data, t_read + wan)?;
+            mapping.insert(addr, raddr);
+            t = t_write;
+            report.records_copied += 1;
+            report.bytes_shipped += data.len() as u64;
+        }
+        report.finished_at = t;
+        Ok(report)
+    }
+
+    /// Number of records currently protected at the remote site.
+    pub fn replicated_count(&self) -> usize {
+        self.mapping.lock().len()
+    }
+
+    /// Recover the record at `addr` from the remote site (disaster
+    /// recovery: the primary lost it beyond its redundancy margin).
+    pub fn recover(&self, addr: &PlogAddress, now: Nanos) -> Result<(Vec<u8>, Nanos)> {
+        let mapping = self.mapping.lock();
+        let raddr = mapping
+            .get(addr)
+            .ok_or_else(|| Error::NotFound(format!("no remote copy of {addr:?}")))?;
+        let (data, t_read) = self.remote.read_at(raddr, now)?;
+        let wan = data.len() as u64 * 1_000_000_000 / WAN_BYTES_PER_SEC;
+        Ok((data, t_read + wan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::size::MIB;
+    use common::SimClock;
+    use ec::Redundancy;
+    use crate::PlogConfig;
+    use simdisk::{MediaKind, StoragePool};
+
+    fn site(name: &str, devices: usize) -> Arc<PlogStore> {
+        let pool = Arc::new(StoragePool::new(
+            name,
+            MediaKind::NvmeSsd,
+            devices,
+            256 * MIB,
+            SimClock::new(),
+        ));
+        Arc::new(
+            PlogStore::new(
+                pool,
+                PlogConfig {
+                    shard_count: 8,
+                    redundancy: Redundancy::Replicate { copies: 2 },
+                    shard_capacity: 64 * MIB,
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn replication_copies_everything_once() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        let mut addrs = Vec::new();
+        for i in 0..20 {
+            addrs.push(primary.append(format!("k{i}").as_bytes(), &vec![i as u8; 500]).unwrap());
+        }
+        let rep = RemoteReplicator::new(primary.clone(), remote.clone());
+        let r1 = rep.run(0).unwrap();
+        assert_eq!(r1.records_copied, 20);
+        assert_eq!(r1.bytes_shipped, 20 * 500);
+        assert!(r1.finished_at > 0, "WAN time must be charged");
+        // a second cycle with nothing new is a no-op
+        let r2 = rep.run(r1.finished_at).unwrap();
+        assert_eq!(r2.records_copied, 0);
+        // incremental: new appends ship next cycle
+        primary.append(b"new", b"fresh record").unwrap();
+        let r3 = rep.run(r2.finished_at).unwrap();
+        assert_eq!(r3.records_copied, 1);
+        assert_eq!(rep.replicated_count(), 21);
+    }
+
+    #[test]
+    fn disaster_recovery_restores_from_remote() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        let payload = b"business critical".to_vec();
+        let addr = primary.append(b"k", &payload).unwrap();
+        let rep = RemoteReplicator::new(primary.clone(), remote);
+        rep.run(0).unwrap();
+        // primary site burns down (both replicas lost)
+        for i in 0..4 {
+            primary_pool_fail(&primary, i);
+        }
+        assert!(primary.read(&addr).is_err(), "primary must have lost the data");
+        let (back, t) = rep.recover(&addr, 0).unwrap();
+        assert_eq!(back, payload);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn recovery_of_unreplicated_record_fails_cleanly() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        let addr = primary.append(b"k", b"not yet shipped").unwrap();
+        let rep = RemoteReplicator::new(primary, remote);
+        assert!(matches!(rep.recover(&addr, 0), Err(Error::NotFound(_))));
+    }
+
+    fn primary_pool_fail(store: &Arc<PlogStore>, device: usize) {
+        store.pool_for_tests().device(device).fail();
+    }
+}

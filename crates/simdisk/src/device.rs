@@ -1,0 +1,379 @@
+//! A single simulated storage device.
+//!
+//! Each device owns a latency model derived from its media kind, a byte
+//! store keyed by extent id, a service queue expressed as `busy_until`
+//! virtual time, and a fault flag for failure-injection tests.
+
+use common::clock::{micros, millis, Nanos};
+use common::{Error, Result, SimClock};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The physical media class of a device, which fixes its latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MediaKind {
+    /// Storage-class memory (persistent memory): ~1 µs access, ~10 GiB/s.
+    Scm,
+    /// NVMe SSD: ~80 µs access, ~2 GiB/s.
+    NvmeSsd,
+    /// SAS HDD: ~4 ms positioning, ~200 MiB/s streaming.
+    SasHdd,
+}
+
+impl MediaKind {
+    /// Fixed per-operation latency (positioning / protocol overhead).
+    pub fn base_latency(self) -> Nanos {
+        match self {
+            MediaKind::Scm => micros(1),
+            MediaKind::NvmeSsd => micros(80),
+            MediaKind::SasHdd => millis(4),
+        }
+    }
+
+    /// Sustained transfer bandwidth in bytes per second.
+    pub fn bandwidth_bytes_per_sec(self) -> u64 {
+        match self {
+            MediaKind::Scm => 10 * 1024 * 1024 * 1024,
+            MediaKind::NvmeSsd => 2 * 1024 * 1024 * 1024,
+            MediaKind::SasHdd => 200 * 1024 * 1024,
+        }
+    }
+
+    /// Service time for transferring `bytes` (base latency + streaming time).
+    pub fn service_time(self, bytes: u64) -> Nanos {
+        let stream = bytes.saturating_mul(1_000_000_000) / self.bandwidth_bytes_per_sec();
+        self.base_latency() + stream
+    }
+
+    /// Relative cost per stored byte, used for TCO accounting (HDD = 1.0).
+    pub fn cost_per_byte(self) -> f64 {
+        match self {
+            MediaKind::Scm => 40.0,
+            MediaKind::NvmeSsd => 8.0,
+            MediaKind::SasHdd => 1.0,
+        }
+    }
+}
+
+/// Result of a timed device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Virtual time at which the operation started service.
+    pub start: Nanos,
+    /// Virtual time at which the operation completed.
+    pub finish: Nanos,
+}
+
+impl OpTiming {
+    /// Service latency of the operation (queueing included).
+    pub fn latency(&self) -> Nanos {
+        self.finish - self.start
+    }
+}
+
+#[derive(Debug, Default)]
+struct DeviceState {
+    extents: HashMap<u64, Vec<u8>>,
+    used: u64,
+    busy_until: Nanos,
+    failed: bool,
+    reads: u64,
+    writes: u64,
+}
+
+/// A simulated disk.
+///
+/// Operations serialize on the device: each op begins at
+/// `max(now, busy_until)` and advances `busy_until` by its service time,
+/// modelling a single-queue disk. The shared clock is advanced to the
+/// completion time so callers observe end-to-end latency.
+#[derive(Debug)]
+pub struct Device {
+    id: u64,
+    kind: MediaKind,
+    capacity: u64,
+    clock: SimClock,
+    state: Mutex<DeviceState>,
+}
+
+impl Device {
+    /// Create a device of `kind` with `capacity` bytes, charging time to `clock`.
+    pub fn new(id: u64, kind: MediaKind, capacity: u64, clock: SimClock) -> Self {
+        Device { id, kind, capacity, clock, state: Mutex::new(DeviceState::default()) }
+    }
+
+    /// Device identifier (unique within its pool).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Media kind of this device.
+    pub fn kind(&self) -> MediaKind {
+        self.kind
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> u64 {
+        self.state.lock().used
+    }
+
+    /// Bytes still allocatable.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Mark the device failed: all subsequent I/O returns `Error::Io` until
+    /// [`heal`](Self::heal). Stored bytes are considered lost.
+    pub fn fail(&self) {
+        let mut st = self.state.lock();
+        st.failed = true;
+        st.extents.clear();
+        st.used = 0;
+    }
+
+    /// Clear the failure flag (the device returns empty, as after replacement).
+    pub fn heal(&self) {
+        self.state.lock().failed = false;
+    }
+
+    /// Whether the device is currently failed.
+    pub fn is_failed(&self) -> bool {
+        self.state.lock().failed
+    }
+
+    /// Write `data` as extent `extent_id` at explicit virtual time `now`,
+    /// without advancing the shared clock.
+    ///
+    /// This is the parallel-friendly variant: concurrent operations on
+    /// *different* devices issued at the same `now` overlap, and the caller
+    /// combines completion times (e.g. `max` across redundancy shards).
+    pub fn write_extent_at(&self, extent_id: u64, data: &[u8], now: Nanos) -> Result<OpTiming> {
+        let mut st = self.state.lock();
+        if st.failed {
+            return Err(Error::Io(format!("device {} failed", self.id)));
+        }
+        let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
+        let new_used = st.used - old + data.len() as u64;
+        if new_used > self.capacity {
+            return Err(Error::CapacityExhausted(format!(
+                "device {}: {} + {} > {}",
+                self.id,
+                st.used,
+                data.len(),
+                self.capacity
+            )));
+        }
+        st.used = new_used;
+        st.extents.insert(extent_id, data.to_vec());
+        st.writes += 1;
+        Ok(self.charge_at(&mut st, data.len() as u64, now))
+    }
+
+    /// Read extent `extent_id` at explicit virtual time `now`, without
+    /// advancing the shared clock.
+    pub fn read_extent_at(&self, extent_id: u64, now: Nanos) -> Result<(Vec<u8>, OpTiming)> {
+        let mut st = self.state.lock();
+        if st.failed {
+            return Err(Error::Io(format!("device {} failed", self.id)));
+        }
+        let data = st
+            .extents
+            .get(&extent_id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("extent {extent_id} on device {}", self.id)))?;
+        st.reads += 1;
+        let timing = self.charge_at(&mut st, data.len() as u64, now);
+        Ok((data, timing))
+    }
+
+    /// Write `data` as extent `extent_id`, replacing any previous content.
+    pub fn write_extent(&self, extent_id: u64, data: &[u8]) -> Result<OpTiming> {
+        let mut st = self.state.lock();
+        if st.failed {
+            return Err(Error::Io(format!("device {} failed", self.id)));
+        }
+        let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
+        let new_used = st.used - old + data.len() as u64;
+        if new_used > self.capacity {
+            return Err(Error::CapacityExhausted(format!(
+                "device {}: {} + {} > {}",
+                self.id,
+                st.used,
+                data.len(),
+                self.capacity
+            )));
+        }
+        st.used = new_used;
+        st.extents.insert(extent_id, data.to_vec());
+        st.writes += 1;
+        Ok(self.charge(&mut st, data.len() as u64))
+    }
+
+    /// Read back extent `extent_id`.
+    pub fn read_extent(&self, extent_id: u64) -> Result<(Vec<u8>, OpTiming)> {
+        let mut st = self.state.lock();
+        if st.failed {
+            return Err(Error::Io(format!("device {} failed", self.id)));
+        }
+        let data = st
+            .extents
+            .get(&extent_id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("extent {extent_id} on device {}", self.id)))?;
+        st.reads += 1;
+        let timing = self.charge(&mut st, data.len() as u64);
+        Ok((data, timing))
+    }
+
+    /// Delete extent `extent_id`, freeing its space. Missing extents are a
+    /// no-op (idempotent GC).
+    pub fn delete_extent(&self, extent_id: u64) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.failed {
+            return Err(Error::Io(format!("device {} failed", self.id)));
+        }
+        if let Some(e) = st.extents.remove(&extent_id) {
+            st.used -= e.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Whether the device currently stores `extent_id`.
+    pub fn has_extent(&self, extent_id: u64) -> bool {
+        self.state.lock().extents.contains_key(&extent_id)
+    }
+
+    /// (reads, writes) op counters.
+    pub fn op_counts(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.reads, st.writes)
+    }
+
+    fn charge(&self, st: &mut DeviceState, bytes: u64) -> OpTiming {
+        let timing = self.charge_at(st, bytes, self.clock.now());
+        self.clock.advance_to(timing.finish);
+        timing
+    }
+
+    fn charge_at(&self, st: &mut DeviceState, bytes: u64, now: Nanos) -> OpTiming {
+        let start = now.max(st.busy_until);
+        let finish = start + self.kind.service_time(bytes);
+        st.busy_until = finish;
+        OpTiming { start, finish }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::size::MIB;
+
+    fn dev(kind: MediaKind) -> (Device, SimClock) {
+        let clock = SimClock::new();
+        (Device::new(0, kind, 64 * MIB, clock.clone()), clock)
+    }
+
+    #[test]
+    fn service_time_orders_media() {
+        let b = MIB;
+        assert!(MediaKind::Scm.service_time(b) < MediaKind::NvmeSsd.service_time(b));
+        assert!(MediaKind::NvmeSsd.service_time(b) < MediaKind::SasHdd.service_time(b));
+    }
+
+    #[test]
+    fn write_read_roundtrip_charges_time() {
+        let (d, clock) = dev(MediaKind::NvmeSsd);
+        let t0 = clock.now();
+        d.write_extent(1, b"hello").unwrap();
+        assert!(clock.now() > t0, "write must consume virtual time");
+        let (data, timing) = d.read_extent(1).unwrap();
+        assert_eq!(data, b"hello");
+        assert!(timing.latency() >= MediaKind::NvmeSsd.base_latency());
+    }
+
+    #[test]
+    fn capacity_enforced_and_overwrite_replaces() {
+        let clock = SimClock::new();
+        let d = Device::new(0, MediaKind::Scm, 10, clock);
+        d.write_extent(1, &[0u8; 8]).unwrap();
+        assert!(matches!(
+            d.write_extent(2, &[0u8; 4]),
+            Err(Error::CapacityExhausted(_))
+        ));
+        // Overwriting extent 1 with a smaller payload frees space.
+        d.write_extent(1, &[0u8; 2]).unwrap();
+        assert_eq!(d.used(), 2);
+        d.write_extent(2, &[0u8; 8]).unwrap();
+        assert_eq!(d.used(), 10);
+    }
+
+    #[test]
+    fn delete_is_idempotent_and_frees_space() {
+        let (d, _) = dev(MediaKind::Scm);
+        d.write_extent(7, &[1u8; 100]).unwrap();
+        assert_eq!(d.used(), 100);
+        d.delete_extent(7).unwrap();
+        assert_eq!(d.used(), 0);
+        d.delete_extent(7).unwrap(); // no-op
+        assert!(matches!(d.read_extent(7), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn failed_device_rejects_io_and_loses_data() {
+        let (d, _) = dev(MediaKind::NvmeSsd);
+        d.write_extent(1, b"data").unwrap();
+        d.fail();
+        assert!(matches!(d.read_extent(1), Err(Error::Io(_))));
+        assert!(matches!(d.write_extent(2, b"x"), Err(Error::Io(_))));
+        d.heal();
+        // Data written before the failure is gone, as on a replaced disk.
+        assert!(matches!(d.read_extent(1), Err(Error::NotFound(_))));
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn queueing_serializes_operations() {
+        let (d, clock) = dev(MediaKind::SasHdd);
+        let t1 = d.write_extent(1, &[0u8; 1024]).unwrap();
+        let t2 = d.write_extent(2, &[0u8; 1024]).unwrap();
+        assert!(t2.start >= t1.finish, "second op must wait for the first");
+        assert_eq!(clock.now(), t2.finish);
+    }
+
+    #[test]
+    fn at_variants_do_not_advance_shared_clock() {
+        let (d, clock) = dev(MediaKind::NvmeSsd);
+        let t = d.write_extent_at(1, b"x", 1000).unwrap();
+        assert_eq!(clock.now(), 0);
+        assert!(t.start >= 1000 && t.finish > t.start);
+        let (_, t2) = d.read_extent_at(1, 0).unwrap();
+        // device is busy until t.finish, so a read issued at 0 queues
+        assert!(t2.start >= t.finish);
+        assert_eq!(clock.now(), 0);
+    }
+
+    #[test]
+    fn ops_on_different_devices_overlap_with_at() {
+        let clock = SimClock::new();
+        let a = Device::new(0, MediaKind::SasHdd, 64 * MIB, clock.clone());
+        let b = Device::new(1, MediaKind::SasHdd, 64 * MIB, clock.clone());
+        let ta = a.write_extent_at(1, &[0u8; 1024], 0).unwrap();
+        let tb = b.write_extent_at(1, &[0u8; 1024], 0).unwrap();
+        assert_eq!(ta.start, 0);
+        assert_eq!(tb.start, 0, "independent devices must serve in parallel");
+    }
+
+    #[test]
+    fn op_counters_track_reads_and_writes() {
+        let (d, _) = dev(MediaKind::Scm);
+        d.write_extent(1, b"a").unwrap();
+        d.write_extent(2, b"b").unwrap();
+        d.read_extent(1).unwrap();
+        assert_eq!(d.op_counts(), (1, 2));
+    }
+}

@@ -1,0 +1,32 @@
+//! Simulated storage hardware for the StreamLake reproduction.
+//!
+//! The paper's store layer runs on Huawei OceanStor Pacific: SSD and HDD
+//! storage pools, an RDMA data bus, and optional storage-class-memory (SCM)
+//! caches. None of that hardware is available here, so this crate provides a
+//! virtual-time model with the same *structure*:
+//!
+//! * [`device::Device`] — a disk with capacity, a media-specific latency /
+//!   bandwidth model, a service queue (`busy_until`), and injectable faults;
+//! * [`pool::StoragePool`] — a named collection of devices with extent
+//!   allocation, redundancy-aware placement (distinct devices per shard) and
+//!   garbage collection;
+//! * [`tier::TieringService`] — the static/dynamic SSD↔HDD migration policy
+//!   from the data-service layer;
+//! * [`bus::Bus`] — the data exchange and interworking bus, with RDMA and
+//!   TCP transports;
+//! * [`cache::LruCache`] — the SCM cache used by stream-object clients.
+//!
+//! All latency is charged against a [`common::SimClock`], so experiments are
+//! deterministic and independent of the host machine.
+
+pub mod bus;
+pub mod cache;
+pub mod device;
+pub mod pool;
+pub mod tier;
+
+pub use bus::{Bus, Transport};
+pub use cache::LruCache;
+pub use device::{Device, MediaKind};
+pub use pool::{ExtentHandle, StoragePool};
+pub use tier::TieringService;

@@ -1,0 +1,369 @@
+//! Storage pools: homogeneous groups of devices with redundancy-aware
+//! extent placement.
+//!
+//! The paper's store layer divides physical disks into slices organized as
+//! logical units across servers "to ensure data redundancy and load
+//! balancing". Here a pool places each shard of a write on a distinct
+//! device, choosing the device with the most free space (which converges to
+//! balanced utilization), and records the placement in an [`ExtentHandle`]
+//! the caller keeps for reads and GC.
+
+use crate::device::{Device, MediaKind};
+use common::{Error, Result, SimClock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Placement record for one logical extent: where each shard landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentHandle {
+    /// Logical extent id, unique within the pool.
+    pub id: u64,
+    /// `(device_index, device_extent_id)` per shard, in shard order.
+    pub shards: Vec<(usize, u64)>,
+}
+
+impl ExtentHandle {
+    /// Number of shards in this extent.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// A named pool of same-media devices.
+#[derive(Debug)]
+pub struct StoragePool {
+    name: String,
+    kind: MediaKind,
+    devices: Vec<Arc<Device>>,
+    next_extent: AtomicU64,
+}
+
+impl StoragePool {
+    /// Create a pool of `device_count` devices, each with `device_capacity`
+    /// bytes, charging latency against `clock`.
+    pub fn new(
+        name: impl Into<String>,
+        kind: MediaKind,
+        device_count: usize,
+        device_capacity: u64,
+        clock: SimClock,
+    ) -> Self {
+        let devices = (0..device_count)
+            .map(|i| Arc::new(Device::new(i as u64, kind, device_capacity, clock.clone())))
+            .collect();
+        StoragePool { name: name.into(), kind, devices, next_extent: AtomicU64::new(1) }
+    }
+
+    /// Pool name (e.g. `"ssd-pool"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Media kind shared by every device in the pool.
+    pub fn kind(&self) -> MediaKind {
+        self.kind
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Access a device (for fault injection and inspection).
+    pub fn device(&self, idx: usize) -> &Arc<Device> {
+        &self.devices[idx]
+    }
+
+    /// Total pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.devices.iter().map(|d| d.capacity()).sum()
+    }
+
+    /// Bytes currently stored across all devices.
+    pub fn used(&self) -> u64 {
+        self.devices.iter().map(|d| d.used()).sum()
+    }
+
+    /// Fraction of capacity in use.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.used() as f64 / cap as f64
+        }
+    }
+
+    /// Write a set of shards, each to a distinct healthy device.
+    ///
+    /// Placement is most-free-first, which load-balances the pool. Fails if
+    /// there are more shards than healthy devices (redundancy would be
+    /// meaningless on co-located shards).
+    pub fn write_shards(&self, shards: &[Vec<u8>]) -> Result<ExtentHandle> {
+        if shards.is_empty() {
+            return Err(Error::InvalidArgument("no shards to write".into()));
+        }
+        let healthy: Vec<usize> = (0..self.devices.len())
+            .filter(|&i| !self.devices[i].is_failed())
+            .collect();
+        if shards.len() > healthy.len() {
+            return Err(Error::CapacityExhausted(format!(
+                "pool {}: {} shards but only {} healthy devices",
+                self.name,
+                shards.len(),
+                healthy.len()
+            )));
+        }
+        // Rank healthy devices by free space, take the top shards.len().
+        let mut ranked = healthy;
+        ranked.sort_by_key(|&i| std::cmp::Reverse(self.devices[i].free()));
+        ranked.truncate(shards.len());
+
+        let extent_id = self.next_extent.fetch_add(1, Ordering::Relaxed);
+        let mut placements = Vec::with_capacity(shards.len());
+        for (shard_idx, shard) in shards.iter().enumerate() {
+            let dev_idx = ranked[shard_idx];
+            let dev_extent = extent_id * 1024 + shard_idx as u64;
+            match self.devices[dev_idx].write_extent(dev_extent, shard) {
+                Ok(_) => placements.push((dev_idx, dev_extent)),
+                Err(e) => {
+                    // Roll back already-placed shards before reporting.
+                    for &(di, de) in &placements {
+                        let _ = self.devices[di].delete_extent(de);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ExtentHandle { id: extent_id, shards: placements })
+    }
+
+    /// Convenience wrapper for unsharded data.
+    pub fn write_extent(&self, data: &[u8]) -> Result<ExtentHandle> {
+        self.write_shards(std::slice::from_ref(&data.to_vec()))
+    }
+
+    /// Parallel-timed variant of [`write_shards`](Self::write_shards):
+    /// shards are issued concurrently at virtual time `now` (one per
+    /// device), and the returned completion time is the latest shard finish.
+    /// The shared clock is not advanced.
+    pub fn write_shards_at(
+        &self,
+        shards: &[Vec<u8>],
+        now: common::clock::Nanos,
+    ) -> Result<(ExtentHandle, common::clock::Nanos)> {
+        if shards.is_empty() {
+            return Err(Error::InvalidArgument("no shards to write".into()));
+        }
+        let healthy: Vec<usize> = (0..self.devices.len())
+            .filter(|&i| !self.devices[i].is_failed())
+            .collect();
+        if shards.len() > healthy.len() {
+            return Err(Error::CapacityExhausted(format!(
+                "pool {}: {} shards but only {} healthy devices",
+                self.name,
+                shards.len(),
+                healthy.len()
+            )));
+        }
+        let mut ranked = healthy;
+        ranked.sort_by_key(|&i| std::cmp::Reverse(self.devices[i].free()));
+        ranked.truncate(shards.len());
+
+        let extent_id = self.next_extent.fetch_add(1, Ordering::Relaxed);
+        let mut placements = Vec::with_capacity(shards.len());
+        let mut finish = now;
+        for (shard_idx, shard) in shards.iter().enumerate() {
+            let dev_idx = ranked[shard_idx];
+            let dev_extent = extent_id * 1024 + shard_idx as u64;
+            match self.devices[dev_idx].write_extent_at(dev_extent, shard, now) {
+                Ok(t) => {
+                    finish = finish.max(t.finish);
+                    placements.push((dev_idx, dev_extent));
+                }
+                Err(e) => {
+                    for &(di, de) in &placements {
+                        let _ = self.devices[di].delete_extent(de);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok((ExtentHandle { id: extent_id, shards: placements }, finish))
+    }
+
+    /// Parallel-timed variant of [`read_shards`](Self::read_shards); returns
+    /// the shards plus the latest finish time across the per-device reads.
+    pub fn read_shards_at(
+        &self,
+        handle: &ExtentHandle,
+        now: common::clock::Nanos,
+    ) -> (Vec<Option<Vec<u8>>>, common::clock::Nanos) {
+        let mut finish = now;
+        let shards = handle
+            .shards
+            .iter()
+            .map(|&(dev_idx, dev_extent)| {
+                self.devices.get(dev_idx).and_then(|d| {
+                    d.read_extent_at(dev_extent, now).ok().map(|(data, t)| {
+                        finish = finish.max(t.finish);
+                        data
+                    })
+                })
+            })
+            .collect();
+        (shards, finish)
+    }
+
+    /// Read every shard of an extent; failed or missing shards come back as
+    /// `None` so the redundancy layer can reconstruct.
+    pub fn read_shards(&self, handle: &ExtentHandle) -> Vec<Option<Vec<u8>>> {
+        handle
+            .shards
+            .iter()
+            .map(|&(dev_idx, dev_extent)| {
+                self.devices
+                    .get(dev_idx)
+                    .and_then(|d| d.read_extent(dev_extent).ok().map(|(data, _)| data))
+            })
+            .collect()
+    }
+
+    /// Read a single-shard extent, failing if the shard is gone.
+    pub fn read_extent(&self, handle: &ExtentHandle) -> Result<Vec<u8>> {
+        let (dev_idx, dev_extent) = *handle
+            .shards
+            .first()
+            .ok_or_else(|| Error::InvalidArgument("empty extent handle".into()))?;
+        let dev = self
+            .devices
+            .get(dev_idx)
+            .ok_or_else(|| Error::NotFound(format!("device {dev_idx}")))?;
+        Ok(dev.read_extent(dev_extent)?.0)
+    }
+
+    /// Delete all shards of an extent (garbage collection).
+    pub fn delete(&self, handle: &ExtentHandle) {
+        for &(dev_idx, dev_extent) in &handle.shards {
+            if let Some(d) = self.devices.get(dev_idx) {
+                let _ = d.delete_extent(dev_extent);
+            }
+        }
+    }
+
+    /// Standard deviation of per-device utilization — the load-balance metric.
+    pub fn utilization_stddev(&self) -> f64 {
+        let utils: Vec<f64> = self
+            .devices
+            .iter()
+            .map(|d| d.used() as f64 / d.capacity() as f64)
+            .collect();
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        (utils.iter().map(|u| (u - mean).powi(2)).sum::<f64>() / utils.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::size::MIB;
+
+    fn pool(n: usize) -> StoragePool {
+        StoragePool::new("test", MediaKind::NvmeSsd, n, 16 * MIB, SimClock::new())
+    }
+
+    #[test]
+    fn shards_land_on_distinct_devices() {
+        let p = pool(4);
+        let shards = vec![vec![1u8; 100]; 3];
+        let h = p.write_shards(&shards).unwrap();
+        let devices: std::collections::HashSet<usize> =
+            h.shards.iter().map(|&(d, _)| d).collect();
+        assert_eq!(devices.len(), 3);
+    }
+
+    #[test]
+    fn too_many_shards_for_pool_rejected() {
+        let p = pool(2);
+        let shards = vec![vec![0u8; 10]; 3];
+        assert!(matches!(
+            p.write_shards(&shards),
+            Err(Error::CapacityExhausted(_))
+        ));
+    }
+
+    #[test]
+    fn read_returns_none_for_failed_device() {
+        let p = pool(3);
+        let shards = vec![vec![7u8; 64]; 3];
+        let h = p.write_shards(&shards).unwrap();
+        let victim = h.shards[1].0;
+        p.device(victim).fail();
+        let back = p.read_shards(&h);
+        assert!(back[0].is_some());
+        assert!(back[1].is_none());
+        assert!(back[2].is_some());
+        assert_eq!(back[0].as_ref().unwrap(), &shards[0]);
+    }
+
+    #[test]
+    fn writes_balance_across_devices() {
+        let p = pool(4);
+        for _ in 0..40 {
+            p.write_extent(&[0u8; 1024]).unwrap();
+        }
+        assert!(
+            p.utilization_stddev() < 0.01,
+            "most-free-first placement must balance, stddev={}",
+            p.utilization_stddev()
+        );
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let p = pool(2);
+        let h = p.write_extent(&[0u8; 4096]).unwrap();
+        assert_eq!(p.used(), 4096);
+        p.delete(&h);
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn failed_write_rolls_back_placed_shards() {
+        // Device capacity 16 MiB; second shard exceeds free space on its device.
+        let clock = SimClock::new();
+        let p = StoragePool::new("tiny", MediaKind::Scm, 2, 1024, clock);
+        let shards = vec![vec![0u8; 512], vec![0u8; 2048]];
+        assert!(p.write_shards(&shards).is_err());
+        assert_eq!(p.used(), 0, "partial write must be rolled back");
+    }
+
+    #[test]
+    fn timed_shard_write_overlaps_devices() {
+        let p = pool(4);
+        let shards = vec![vec![0u8; 1024 * 1024]; 3];
+        let (h, finish) = p.write_shards_at(&shards, 0).unwrap();
+        // All three shards start at t=0 on distinct devices, so completion is
+        // one device's service time, not three.
+        let one = crate::device::MediaKind::NvmeSsd.service_time(1024 * 1024);
+        assert!(finish < 2 * one, "finish={finish} one={one}");
+        let (back, rfinish) = p.read_shards_at(&h, finish);
+        assert!(back.iter().all(|s| s.is_some()));
+        assert!(rfinish > finish);
+    }
+
+    #[test]
+    fn read_extent_roundtrip() {
+        let p = pool(2);
+        let h = p.write_extent(b"payload").unwrap();
+        assert_eq!(p.read_extent(&h).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn utilization_reports_fraction() {
+        let p = pool(1);
+        assert_eq!(p.utilization(), 0.0);
+        p.write_extent(&vec![0u8; (4 * MIB) as usize]).unwrap();
+        assert!((p.utilization() - 0.25).abs() < 1e-9);
+    }
+}

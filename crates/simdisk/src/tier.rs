@@ -1,0 +1,284 @@
+//! The tiering service from StreamLake's data-service layer.
+//!
+//! "The tiering service offers static and dynamic data migration and
+//! eviction between the SSD and HDD storage pools based on tiering
+//! policies, which saves a lot of storage costs." (§III)
+//!
+//! New extents land in the SSD pool; a policy run demotes extents whose
+//! last access is older than the configured threshold to the HDD pool.
+//! Reads from the HDD tier optionally promote extents back (dynamic
+//! tiering).
+
+use crate::pool::{ExtentHandle, StoragePool};
+use common::clock::Nanos;
+use common::{Error, Result, SimClock};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which pool an extent currently lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The hot (SSD) pool.
+    Hot,
+    /// The cold (HDD) pool.
+    Cold,
+}
+
+#[derive(Debug)]
+struct TieredExtent {
+    handle: ExtentHandle,
+    tier: Tier,
+    last_access: Nanos,
+    bytes: u64,
+}
+
+/// Outcome of one policy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Extents demoted to the cold pool.
+    pub demoted: usize,
+    /// Bytes moved to the cold pool.
+    pub bytes_demoted: u64,
+}
+
+/// SSD↔HDD tiering with an idle-age demotion policy.
+#[derive(Debug)]
+pub struct TieringService {
+    hot: Arc<StoragePool>,
+    cold: Arc<StoragePool>,
+    clock: SimClock,
+    /// Extents idle longer than this are demoted on a policy run.
+    demote_after: Nanos,
+    /// Whether cold reads promote the extent back to the hot tier.
+    promote_on_read: bool,
+    extents: Mutex<HashMap<u64, TieredExtent>>,
+}
+
+impl TieringService {
+    /// Create a tiering service over the given hot and cold pools.
+    pub fn new(
+        hot: Arc<StoragePool>,
+        cold: Arc<StoragePool>,
+        clock: SimClock,
+        demote_after: Nanos,
+        promote_on_read: bool,
+    ) -> Self {
+        TieringService {
+            hot,
+            cold,
+            clock,
+            demote_after,
+            promote_on_read,
+            extents: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Write sharded data under `key`; new data always lands hot.
+    pub fn write(&self, key: u64, shards: &[Vec<u8>]) -> Result<()> {
+        let handle = self.hot.write_shards(shards)?;
+        let bytes = shards.iter().map(|s| s.len() as u64).sum();
+        let mut map = self.extents.lock();
+        if let Some(old) = map.insert(
+            key,
+            TieredExtent { handle, tier: Tier::Hot, last_access: self.clock.now(), bytes },
+        ) {
+            // Overwrite: free the previous copy wherever it lived.
+            self.pool_for(old.tier).delete(&old.handle);
+        }
+        Ok(())
+    }
+
+    /// Read all shards of `key`, refreshing its access time.
+    pub fn read(&self, key: u64) -> Result<Vec<Option<Vec<u8>>>> {
+        let mut map = self.extents.lock();
+        let ext = map
+            .get_mut(&key)
+            .ok_or_else(|| Error::NotFound(format!("tiered extent {key}")))?;
+        ext.last_access = self.clock.now();
+        let shards = self.pool_for(ext.tier).read_shards(&ext.handle);
+        if ext.tier == Tier::Cold && self.promote_on_read {
+            if let Some(full) = Self::all_present(&shards) {
+                let new_handle = self.hot.write_shards(&full)?;
+                self.cold.delete(&ext.handle);
+                ext.handle = new_handle;
+                ext.tier = Tier::Hot;
+            }
+        }
+        Ok(shards)
+    }
+
+    /// Delete `key` from whichever tier holds it.
+    pub fn delete(&self, key: u64) {
+        if let Some(ext) = self.extents.lock().remove(&key) {
+            self.pool_for(ext.tier).delete(&ext.handle);
+        }
+    }
+
+    /// Current tier of `key`, if present.
+    pub fn tier_of(&self, key: u64) -> Option<Tier> {
+        self.extents.lock().get(&key).map(|e| e.tier)
+    }
+
+    /// Run the demotion policy: move extents idle past the threshold to the
+    /// cold pool.
+    pub fn run_policy(&self) -> MigrationReport {
+        let now = self.clock.now();
+        let mut report = MigrationReport::default();
+        let mut map = self.extents.lock();
+        for ext in map.values_mut() {
+            if ext.tier != Tier::Hot || now.saturating_sub(ext.last_access) < self.demote_after {
+                continue;
+            }
+            let shards = self.hot.read_shards(&ext.handle);
+            let Some(full) = Self::all_present(&shards) else {
+                continue; // degraded extent: leave for repair, not migration
+            };
+            match self.cold.write_shards(&full) {
+                Ok(new_handle) => {
+                    self.hot.delete(&ext.handle);
+                    ext.handle = new_handle;
+                    ext.tier = Tier::Cold;
+                    report.demoted += 1;
+                    report.bytes_demoted += ext.bytes;
+                }
+                Err(_) => continue, // cold pool full; try again next run
+            }
+        }
+        report
+    }
+
+    /// Blended storage cost of all extents (bytes × per-byte media cost),
+    /// the quantity tiering minimizes.
+    pub fn storage_cost(&self) -> f64 {
+        let map = self.extents.lock();
+        map.values()
+            .map(|e| e.bytes as f64 * self.pool_for(e.tier).kind().cost_per_byte())
+            .sum()
+    }
+
+    fn pool_for(&self, tier: Tier) -> &StoragePool {
+        match tier {
+            Tier::Hot => &self.hot,
+            Tier::Cold => &self.cold,
+        }
+    }
+
+    fn all_present(shards: &[Option<Vec<u8>>]) -> Option<Vec<Vec<u8>>> {
+        shards.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MediaKind;
+    use common::clock::secs;
+    use common::size::MIB;
+
+    fn service(promote: bool) -> (TieringService, SimClock) {
+        let clock = SimClock::new();
+        let hot = Arc::new(StoragePool::new(
+            "ssd",
+            MediaKind::NvmeSsd,
+            3,
+            64 * MIB,
+            clock.clone(),
+        ));
+        let cold = Arc::new(StoragePool::new(
+            "hdd",
+            MediaKind::SasHdd,
+            3,
+            256 * MIB,
+            clock.clone(),
+        ));
+        (
+            TieringService::new(hot, cold, clock.clone(), secs(60), promote),
+            clock,
+        )
+    }
+
+    #[test]
+    fn fresh_writes_are_hot() {
+        let (t, _) = service(false);
+        t.write(1, &[b"abc".to_vec()]).unwrap();
+        assert_eq!(t.tier_of(1), Some(Tier::Hot));
+    }
+
+    #[test]
+    fn idle_extents_demote_and_recent_ones_stay() {
+        let (t, clock) = service(false);
+        t.write(1, &[b"old".to_vec()]).unwrap();
+        clock.advance(secs(120));
+        t.write(2, &[b"new".to_vec()]).unwrap();
+        let report = t.run_policy();
+        assert_eq!(report.demoted, 1);
+        assert_eq!(t.tier_of(1), Some(Tier::Cold));
+        assert_eq!(t.tier_of(2), Some(Tier::Hot));
+    }
+
+    #[test]
+    fn demoted_data_still_readable() {
+        let (t, clock) = service(false);
+        t.write(1, &[b"payload".to_vec()]).unwrap();
+        clock.advance(secs(120));
+        t.run_policy();
+        let shards = t.read(1).unwrap();
+        assert_eq!(shards[0].as_deref(), Some(b"payload".as_ref()));
+        assert_eq!(t.tier_of(1), Some(Tier::Cold), "no promotion when disabled");
+    }
+
+    #[test]
+    fn cold_read_promotes_when_enabled() {
+        let (t, clock) = service(true);
+        t.write(1, &[b"hotagain".to_vec()]).unwrap();
+        clock.advance(secs(120));
+        t.run_policy();
+        assert_eq!(t.tier_of(1), Some(Tier::Cold));
+        t.read(1).unwrap();
+        assert_eq!(t.tier_of(1), Some(Tier::Hot));
+    }
+
+    #[test]
+    fn recent_access_defers_demotion() {
+        let (t, clock) = service(false);
+        t.write(1, &[b"busy".to_vec()]).unwrap();
+        clock.advance(secs(50));
+        t.read(1).unwrap(); // refresh access time
+        clock.advance(secs(50));
+        assert_eq!(t.run_policy().demoted, 0);
+    }
+
+    #[test]
+    fn tiering_reduces_storage_cost() {
+        let (t, clock) = service(false);
+        t.write(1, &[vec![0u8; 1024]]).unwrap();
+        let hot_cost = t.storage_cost();
+        clock.advance(secs(120));
+        t.run_policy();
+        assert!(
+            t.storage_cost() < hot_cost,
+            "cold media must be cheaper per byte"
+        );
+    }
+
+    #[test]
+    fn delete_removes_from_either_tier() {
+        let (t, clock) = service(false);
+        t.write(1, &[b"x".to_vec()]).unwrap();
+        clock.advance(secs(120));
+        t.run_policy();
+        t.delete(1);
+        assert!(t.read(1).is_err());
+        assert_eq!(t.tier_of(1), None);
+    }
+
+    #[test]
+    fn overwrite_frees_previous_copy() {
+        let (t, _) = service(false);
+        t.write(1, &[vec![0u8; 4096]]).unwrap();
+        t.write(1, &[vec![0u8; 16]]).unwrap();
+        let shards = t.read(1).unwrap();
+        assert_eq!(shards[0].as_ref().unwrap().len(), 16);
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-topic configuration.
+//!
+//! The dispatcher "sets configurations for the messaging service in the
+//! unit of the topic" (§V-A); Fig 8 shows the JSON document. This module
+//! mirrors that document exactly, including the `convert_2_table` and
+//! `archive` sub-objects, and parses the paper's own example verbatim.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the automatic stream→table conversion (Fig 8,
+/// `convert_2_table`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvertToTable {
+    /// Columns of the target table, as `name:type` strings (the paper's
+    /// `table_schema` object, flattened).
+    #[serde(default)]
+    pub table_schema: Vec<String>,
+    /// Table-object directory path for the converted records.
+    #[serde(default)]
+    pub table_path: String,
+    /// Convert after this many accumulated messages (paper: 10^7).
+    #[serde(default = "default_split_offset")]
+    pub split_offset: u64,
+    /// Convert after this many seconds (paper: 36000).
+    #[serde(default = "default_split_time")]
+    pub split_time: u64,
+    /// Whether converted messages are removed from the stream object.
+    #[serde(default)]
+    pub delete_msg: bool,
+    /// Whether conversion is active.
+    #[serde(default)]
+    pub enabled: bool,
+}
+
+fn default_split_offset() -> u64 {
+    10_000_000
+}
+fn default_split_time() -> u64 {
+    36_000
+}
+
+impl Default for ConvertToTable {
+    fn default() -> Self {
+        ConvertToTable {
+            table_schema: Vec::new(),
+            table_path: String::new(),
+            split_offset: default_split_offset(),
+            split_time: default_split_time(),
+            delete_msg: false,
+            enabled: false,
+        }
+    }
+}
+
+/// Configuration of historical-data archiving (Fig 8, `archive`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchiveConfig {
+    /// External archive target, or `None` for the built-in archive pool.
+    #[serde(default)]
+    pub external_archive_url: Option<String>,
+    /// Data volume in MB that triggers archiving (paper example: 262144).
+    #[serde(default = "default_archive_size")]
+    pub archive_size: u64,
+    /// Whether archived data is converted to columnar format.
+    #[serde(default)]
+    pub row_2_col: bool,
+    /// Whether archiving is active.
+    #[serde(default)]
+    pub enabled: bool,
+}
+
+fn default_archive_size() -> u64 {
+    262_144
+}
+
+impl Default for ArchiveConfig {
+    fn default() -> Self {
+        ArchiveConfig {
+            external_archive_url: None,
+            archive_size: default_archive_size(),
+            row_2_col: false,
+            enabled: false,
+        }
+    }
+}
+
+/// Full topic configuration (Fig 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicConfig {
+    /// Parallelism of the topic: number of streams.
+    pub stream_num: u32,
+    /// Maximum messages per second per stream (paper example: 10^6).
+    #[serde(default = "default_quota")]
+    pub quota: u64,
+    /// Whether the SCM cache is enabled for this topic.
+    #[serde(default)]
+    pub scm_cache: bool,
+    /// Stream→table conversion settings.
+    #[serde(default)]
+    pub convert_2_table: ConvertToTable,
+    /// Archiving settings.
+    #[serde(default)]
+    pub archive: ArchiveConfig,
+}
+
+fn default_quota() -> u64 {
+    1_000_000
+}
+
+impl Default for TopicConfig {
+    fn default() -> Self {
+        TopicConfig {
+            stream_num: 1,
+            quota: default_quota(),
+            scm_cache: false,
+            convert_2_table: ConvertToTable::default(),
+            archive: ArchiveConfig::default(),
+        }
+    }
+}
+
+impl TopicConfig {
+    /// A topic with `stream_num` streams and defaults elsewhere.
+    pub fn with_streams(stream_num: u32) -> Self {
+        TopicConfig { stream_num, ..Default::default() }
+    }
+
+    /// Parse a Fig 8-style JSON document.
+    pub fn from_json(json: &str) -> common::Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| common::Error::InvalidArgument(format!("bad topic config: {e}")))
+    }
+
+    /// Serialize to JSON (pretty, for operator inspection).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_fig8_example() {
+        // The example from Fig 8, with table_schema flattened to name:type
+        // pairs (the paper elides the object body with "...").
+        let json = r#"{
+            "stream_num": 3,
+            "quota": 1000000,
+            "scm_cache": true,
+            "convert_2_table": {
+                "table_schema": ["url:utf8", "start_time:int64", "province:utf8"],
+                "table_path": "/tables/tb_dpi_log_hours",
+                "split_offset": 10000000,
+                "split_time": 36000,
+                "delete_msg": false,
+                "enabled": true
+            },
+            "archive": {
+                "external_archive_url": null,
+                "archive_size": 262144,
+                "row_2_col": true,
+                "enabled": true
+            }
+        }"#;
+        let c = TopicConfig::from_json(json).unwrap();
+        assert_eq!(c.stream_num, 3);
+        assert_eq!(c.quota, 1_000_000);
+        assert!(c.scm_cache);
+        assert!(c.convert_2_table.enabled);
+        assert_eq!(c.convert_2_table.split_offset, 10_000_000);
+        assert_eq!(c.convert_2_table.split_time, 36_000);
+        assert!(!c.convert_2_table.delete_msg);
+        assert!(c.archive.enabled);
+        assert!(c.archive.row_2_col);
+        assert_eq!(c.archive.archive_size, 262_144);
+        assert!(c.archive.external_archive_url.is_none());
+    }
+
+    #[test]
+    fn defaults_match_paper_values() {
+        let c = TopicConfig::default();
+        assert_eq!(c.quota, 1_000_000);
+        assert_eq!(c.convert_2_table.split_offset, 10_000_000);
+        assert_eq!(c.convert_2_table.split_time, 36_000);
+        assert_eq!(c.archive.archive_size, 262_144);
+        assert!(!c.convert_2_table.enabled);
+        assert!(!c.archive.enabled);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut c = TopicConfig::with_streams(8);
+        c.scm_cache = true;
+        c.archive.enabled = true;
+        c.archive.external_archive_url = Some("s3://bucket/archive".into());
+        let back = TopicConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn minimal_document_uses_defaults() {
+        let c = TopicConfig::from_json(r#"{"stream_num": 2}"#).unwrap();
+        assert_eq!(c.stream_num, 2);
+        assert_eq!(c.quota, 1_000_000);
+    }
+
+    #[test]
+    fn malformed_json_is_invalid_argument() {
+        assert!(matches!(
+            TopicConfig::from_json("{not json"),
+            Err(common::Error::InvalidArgument(_))
+        ));
+    }
+}

@@ -1,0 +1,425 @@
+//! The stream dispatcher (§V-A).
+//!
+//! The dispatcher owns the messaging-service metadata: "the relationships
+//! among topics, streams, stream workers, and stream objects are stored as
+//! key-value pairs in a fault-tolerant key-value store". It creates topics,
+//! assigns streams to workers round-robin, routes produce/fetch requests,
+//! and — crucially for Fig 14(c) — rescales the worker set or the stream
+//! count *without data migration*: only KV mappings change, each charged a
+//! small metadata-update cost in virtual time.
+
+use crate::config::TopicConfig;
+use crate::object::{CreateOptions, StreamObject, StreamObjectStore};
+use crate::placement_key;
+use common::clock::{micros, Nanos};
+use common::{Error, ObjectId, Result, WorkerId};
+use kvstore::SharedKv;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Virtual cost of one metadata update (KV write + topology refresh push).
+pub const METADATA_OP_COST: Nanos = micros(500);
+
+/// One stream's routing entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRoute {
+    /// Stream index within its topic.
+    pub stream_idx: u32,
+    /// Stream object backing the stream.
+    pub object_id: ObjectId,
+    /// Worker currently serving the stream.
+    pub worker: WorkerId,
+}
+
+/// Report of a rescaling operation (Fig 14(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RescaleReport {
+    /// Metadata entries created or updated.
+    pub metadata_updates: u64,
+    /// Bytes of message data moved between nodes (always 0 by design).
+    pub bytes_migrated: u64,
+    /// Virtual time the rescale took.
+    pub elapsed: Nanos,
+}
+
+#[derive(Debug, Default)]
+struct Topology {
+    /// topic → per-stream routes.
+    topics: HashMap<String, Vec<StreamRoute>>,
+    /// topic → config.
+    configs: HashMap<String, TopicConfig>,
+    workers: Vec<WorkerId>,
+    next_worker_rr: usize,
+}
+
+/// The dispatcher service.
+#[derive(Debug)]
+pub struct StreamDispatcher {
+    objects: Arc<StreamObjectStore>,
+    kv: SharedKv,
+    topo: Mutex<Topology>,
+}
+
+impl StreamDispatcher {
+    /// Create a dispatcher over the given object store.
+    pub fn new(objects: Arc<StreamObjectStore>) -> Self {
+        StreamDispatcher { objects, kv: SharedKv::new(), topo: Mutex::new(Topology::default()) }
+    }
+
+    /// Register a stream worker; newly created streams may be assigned to it.
+    pub fn register_worker(&self, id: WorkerId) {
+        let mut topo = self.topo.lock();
+        if !topo.workers.contains(&id) {
+            topo.workers.push(id);
+            self.kv.put(format!("worker/{}", id.raw()), b"up".to_vec());
+        }
+    }
+
+    /// Deregister a worker, reassigning its streams to the survivors.
+    /// Returns the rescale report (metadata-only, no data moves).
+    pub fn deregister_worker(&self, id: WorkerId, _now: Nanos) -> Result<RescaleReport> {
+        let mut topo = self.topo.lock();
+        if topo.workers.len() <= 1 {
+            return Err(Error::InvalidArgument("cannot remove the last worker".into()));
+        }
+        topo.workers.retain(|w| *w != id);
+        self.kv.delete(format!("worker/{}", id.raw()));
+        let workers = topo.workers.clone();
+        let mut updates = 1u64;
+        let mut rr = 0usize;
+        for (topic, routes) in topo.topics.iter_mut() {
+            for route in routes.iter_mut() {
+                if route.worker == id {
+                    route.worker = workers[rr % workers.len()];
+                    rr += 1;
+                    updates += 1;
+                    self.kv.put(
+                        route_key(topic, route.stream_idx),
+                        encode_route(route),
+                    );
+                }
+            }
+        }
+        Ok(RescaleReport {
+            metadata_updates: updates,
+            bytes_migrated: 0,
+            elapsed: updates * METADATA_OP_COST,
+        })
+    }
+
+    /// Currently registered workers.
+    pub fn workers(&self) -> Vec<WorkerId> {
+        self.topo.lock().workers.clone()
+    }
+
+    /// Create a topic with `config.stream_num` streams, assigned round-robin
+    /// (the paper: "streams are added to the stream workers in a round-robin
+    /// manner"). Each stream is backed by a fresh stream object.
+    pub fn create_topic(&self, name: &str, config: TopicConfig, now: Nanos) -> Result<RescaleReport> {
+        let mut topo = self.topo.lock();
+        if topo.topics.contains_key(name) {
+            return Err(Error::AlreadyExists(format!("topic {name}")));
+        }
+        if topo.workers.is_empty() {
+            return Err(Error::InvalidArgument("no stream workers registered".into()));
+        }
+        if config.stream_num == 0 {
+            return Err(Error::InvalidArgument("stream_num must be positive".into()));
+        }
+        let mut routes = Vec::with_capacity(config.stream_num as usize);
+        let workers = topo.workers.clone();
+        for idx in 0..config.stream_num {
+            let obj = self.objects.create(CreateOptions {
+                scm_cache: config.scm_cache,
+                ..Default::default()
+            })?;
+            let worker = workers[topo.next_worker_rr % workers.len()];
+            topo.next_worker_rr += 1;
+            let route = StreamRoute { stream_idx: idx, object_id: obj.id(), worker };
+            self.kv.put(route_key(name, idx), encode_route(&route));
+            routes.push(route);
+        }
+        let updates = routes.len() as u64 + 1;
+        self.kv
+            .put(format!("topic/{name}/config"), config.to_json().into_bytes());
+        topo.topics.insert(name.to_string(), routes);
+        topo.configs.insert(name.to_string(), config);
+        let _ = now;
+        Ok(RescaleReport {
+            metadata_updates: updates,
+            bytes_migrated: 0,
+            elapsed: updates * METADATA_OP_COST,
+        })
+    }
+
+    /// Drop a topic and destroy its stream objects.
+    pub fn delete_topic(&self, name: &str) -> Result<()> {
+        let mut topo = self.topo.lock();
+        let routes = topo
+            .topics
+            .remove(name)
+            .ok_or_else(|| Error::NotFound(format!("topic {name}")))?;
+        topo.configs.remove(name);
+        for r in &routes {
+            let _ = self.objects.destroy(r.object_id);
+            self.kv.delete(route_key(name, r.stream_idx));
+        }
+        self.kv.delete(format!("topic/{name}/config"));
+        Ok(())
+    }
+
+    /// Grow (or shrink is unsupported) a topic to `new_stream_num` streams.
+    /// Existing streams and their data are untouched — Fig 14(c)'s
+    /// migration-free elasticity.
+    pub fn scale_topic(&self, name: &str, new_stream_num: u32, now: Nanos) -> Result<RescaleReport> {
+        let mut topo = self.topo.lock();
+        let current = topo
+            .topics
+            .get(name)
+            .ok_or_else(|| Error::NotFound(format!("topic {name}")))?
+            .len() as u32;
+        if new_stream_num < current {
+            return Err(Error::Unsupported(
+                "shrinking a topic would reorder keys; not supported".into(),
+            ));
+        }
+        let config = topo.configs.get(name).cloned().unwrap_or_default();
+        let workers = topo.workers.clone();
+        let mut updates = 0u64;
+        for idx in current..new_stream_num {
+            let obj = self.objects.create(CreateOptions {
+                scm_cache: config.scm_cache,
+                ..Default::default()
+            })?;
+            let worker = workers[topo.next_worker_rr % workers.len()];
+            topo.next_worker_rr += 1;
+            let route = StreamRoute { stream_idx: idx, object_id: obj.id(), worker };
+            self.kv.put(route_key(name, idx), encode_route(&route));
+            topo.topics.get_mut(name).unwrap().push(route);
+            updates += 1;
+        }
+        if let Some(c) = topo.configs.get_mut(name) {
+            c.stream_num = new_stream_num;
+            self.kv
+                .put(format!("topic/{name}/config"), c.to_json().into_bytes());
+            updates += 1;
+        }
+        let _ = now;
+        Ok(RescaleReport {
+            metadata_updates: updates,
+            bytes_migrated: 0,
+            elapsed: updates * METADATA_OP_COST,
+        })
+    }
+
+    /// The stream (and its object) that owns `key` within `topic`.
+    pub fn route(&self, topic: &str, key: &[u8]) -> Result<StreamRoute> {
+        let topo = self.topo.lock();
+        let routes = topo
+            .topics
+            .get(topic)
+            .ok_or_else(|| Error::NotFound(format!("topic {topic}")))?;
+        let idx = placement_key(key, routes.len());
+        Ok(routes[idx].clone())
+    }
+
+    /// All stream routes of `topic`, in stream order.
+    pub fn topic_routes(&self, topic: &str) -> Result<Vec<StreamRoute>> {
+        self.topo
+            .lock()
+            .topics
+            .get(topic)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("topic {topic}")))
+    }
+
+    /// The configuration of `topic`.
+    pub fn topic_config(&self, topic: &str) -> Result<TopicConfig> {
+        self.topo
+            .lock()
+            .configs
+            .get(topic)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("topic {topic}")))
+    }
+
+    /// Resolve a route to its stream object.
+    pub fn object_of(&self, route: &StreamRoute) -> Result<Arc<StreamObject>> {
+        self.objects.get(route.object_id)
+    }
+
+    /// Commit a consumer-group offset for `topic/stream`.
+    pub fn commit_offset(&self, group: &str, topic: &str, stream_idx: u32, offset: u64) {
+        self.kv.put(
+            format!("group/{group}/{topic}/{stream_idx}"),
+            offset.to_be_bytes().to_vec(),
+        );
+    }
+
+    /// Fetch the committed offset for `topic/stream` in `group`.
+    pub fn committed_offset(&self, group: &str, topic: &str, stream_idx: u32) -> Option<u64> {
+        self.kv
+            .get(format!("group/{group}/{topic}/{stream_idx}").as_bytes())
+            .map(|b| u64::from_be_bytes(b.as_slice().try_into().unwrap_or([0; 8])))
+    }
+
+    /// The metadata KV store (inspection / tests).
+    pub fn metadata(&self) -> &SharedKv {
+        &self.kv
+    }
+}
+
+fn route_key(topic: &str, idx: u32) -> String {
+    format!("topic/{topic}/stream/{idx:08}")
+}
+
+fn encode_route(r: &StreamRoute) -> Vec<u8> {
+    format!("{}:{}:{}", r.stream_idx, r.object_id.raw(), r.worker.raw()).into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::size::MIB;
+    use common::SimClock;
+    use ec::Redundancy;
+    use plog::{PlogConfig, PlogStore};
+    use simdisk::{MediaKind, StoragePool};
+
+    fn dispatcher(workers: usize) -> StreamDispatcher {
+        let clock = SimClock::new();
+        let pool = Arc::new(StoragePool::new(
+            "ssd",
+            MediaKind::NvmeSsd,
+            4,
+            256 * MIB,
+            clock.clone(),
+        ));
+        let plog = Arc::new(
+            PlogStore::new(
+                pool,
+                PlogConfig {
+                    shard_count: 32,
+                    redundancy: Redundancy::Replicate { copies: 2 },
+                    shard_capacity: 64 * MIB,
+                },
+            )
+            .unwrap(),
+        );
+        let store = Arc::new(StreamObjectStore::new(plog, 0, clock));
+        let d = StreamDispatcher::new(store);
+        for i in 0..workers {
+            d.register_worker(WorkerId(i as u64));
+        }
+        d
+    }
+
+    #[test]
+    fn create_topic_distributes_streams_round_robin() {
+        let d = dispatcher(3);
+        d.create_topic("t", TopicConfig::with_streams(9), 0).unwrap();
+        let routes = d.topic_routes("t").unwrap();
+        assert_eq!(routes.len(), 9);
+        let mut per_worker = HashMap::new();
+        for r in &routes {
+            *per_worker.entry(r.worker).or_insert(0u32) += 1;
+        }
+        assert!(per_worker.values().all(|&c| c == 3), "{per_worker:?}");
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let d = dispatcher(1);
+        d.create_topic("t", TopicConfig::with_streams(1), 0).unwrap();
+        assert!(matches!(
+            d.create_topic("t", TopicConfig::with_streams(1), 0),
+            Err(Error::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn routing_is_stable_and_key_based() {
+        let d = dispatcher(2);
+        d.create_topic("t", TopicConfig::with_streams(4), 0).unwrap();
+        let a = d.route("t", b"user-1").unwrap();
+        let b = d.route("t", b"user-1").unwrap();
+        assert_eq!(a, b, "same key must route identically");
+        // Different keys spread over streams.
+        let hit: std::collections::HashSet<u32> = (0..100)
+            .map(|i| d.route("t", format!("user-{i}").as_bytes()).unwrap().stream_idx)
+            .collect();
+        assert!(hit.len() >= 3);
+    }
+
+    #[test]
+    fn scale_topic_is_metadata_only_and_fast() {
+        // Fig 14(c): 1000 → 10000 partitions in under 10 virtual seconds,
+        // zero bytes migrated.
+        let d = dispatcher(4);
+        d.create_topic("big", TopicConfig::with_streams(1000), 0).unwrap();
+        let report = d.scale_topic("big", 10_000, 0).unwrap();
+        assert_eq!(report.bytes_migrated, 0);
+        assert_eq!(d.topic_routes("big").unwrap().len(), 10_000);
+        assert!(
+            report.elapsed < common::clock::secs(10),
+            "rescale took {} ns",
+            report.elapsed
+        );
+    }
+
+    #[test]
+    fn shrink_is_unsupported() {
+        let d = dispatcher(1);
+        d.create_topic("t", TopicConfig::with_streams(4), 0).unwrap();
+        assert!(matches!(
+            d.scale_topic("t", 2, 0),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn worker_removal_reassigns_without_migration() {
+        let d = dispatcher(3);
+        d.create_topic("t", TopicConfig::with_streams(6), 0).unwrap();
+        let victim = WorkerId(1);
+        let before: Vec<ObjectId> = d
+            .topic_routes("t")
+            .unwrap()
+            .iter()
+            .map(|r| r.object_id)
+            .collect();
+        let report = d.deregister_worker(victim, 0).unwrap();
+        assert_eq!(report.bytes_migrated, 0);
+        let after = d.topic_routes("t").unwrap();
+        assert!(after.iter().all(|r| r.worker != victim));
+        // Stream objects unchanged: data stayed put.
+        let after_ids: Vec<ObjectId> = after.iter().map(|r| r.object_id).collect();
+        assert_eq!(before, after_ids);
+    }
+
+    #[test]
+    fn cannot_remove_last_worker() {
+        let d = dispatcher(1);
+        assert!(d.deregister_worker(WorkerId(0), 0).is_err());
+    }
+
+    #[test]
+    fn consumer_group_offsets_roundtrip() {
+        let d = dispatcher(1);
+        assert_eq!(d.committed_offset("g", "t", 0), None);
+        d.commit_offset("g", "t", 0, 41);
+        d.commit_offset("g", "t", 0, 42);
+        assert_eq!(d.committed_offset("g", "t", 0), Some(42));
+    }
+
+    #[test]
+    fn delete_topic_destroys_objects() {
+        let d = dispatcher(1);
+        d.create_topic("t", TopicConfig::with_streams(3), 0).unwrap();
+        assert_eq!(d.objects.len(), 3);
+        d.delete_topic("t").unwrap();
+        assert_eq!(d.objects.len(), 0);
+        assert!(d.route("t", b"k").is_err());
+    }
+}

@@ -1,0 +1,621 @@
+//! The stream object (§IV-A).
+//!
+//! A stream object stores one partition of a message stream "organized as a
+//! collection of data slices. Each slice contains up to 256 records." The
+//! operations mirror Fig 3: create/destroy, append (returning the starting
+//! offset) and offset-addressed reads. Appends buffer records until a slice
+//! fills, then persist the slice to the object's PLog shard under the
+//! store's redundancy policy.
+//!
+//! Stream objects also carry the mechanics behind the paper's delivery
+//! guarantees (§V-A):
+//!
+//! * *strict order* — offsets are assigned under the object lock;
+//! * *idempotent writes* — `(producer_id, sequence)` pairs dedup retries;
+//! * *exactly-once* — transactional records stay invisible to
+//!   `committed_only` readers until their transaction commits.
+//!
+//! With `scm_cache` enabled, slice flushes are acknowledged from a
+//! storage-class-memory staging device and drained to the PLog in the
+//! background; acknowledgement falls back to PLog completion once the drain
+//! backlog exceeds the staging budget (this is what makes the SCM benefit
+//! disappear at saturation in Fig 14(a)/(b)).
+
+use crate::record::Record;
+use common::clock::{Nanos, millis};
+use common::{Error, ObjectId, Result};
+use parking_lot::Mutex;
+use plog::{PlogAddress, PlogStore};
+use simdisk::device::{Device, MediaKind};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum records per slice (paper: 256).
+pub const SLICE_CAPACITY: usize = 256;
+
+/// Options for [`StreamObjectStore::create`] (the paper's
+/// `CREATE_OPTIONS_S`).
+#[derive(Debug, Clone)]
+pub struct CreateOptions {
+    /// Records per slice before a flush (≤ [`SLICE_CAPACITY`]).
+    pub slice_capacity: usize,
+    /// Stage slice flushes in SCM and acknowledge early.
+    pub scm_cache: bool,
+    /// Pin the object to a specific PLog shard (defaults to hashing the
+    /// object id).
+    pub shard_hint: Option<u32>,
+}
+
+impl Default for CreateOptions {
+    fn default() -> Self {
+        CreateOptions { slice_capacity: SLICE_CAPACITY, scm_cache: false, shard_hint: None }
+    }
+}
+
+/// Read control (the paper's `READ_CTRL_S`).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadCtrl {
+    /// Maximum records returned.
+    pub max_records: usize,
+    /// Hide records of open or aborted transactions.
+    pub committed_only: bool,
+}
+
+impl Default for ReadCtrl {
+    fn default() -> Self {
+        ReadCtrl { max_records: usize::MAX, committed_only: true }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SliceMeta {
+    base_offset: u64,
+    count: u64,
+    addr: PlogAddress,
+}
+
+#[derive(Debug, Default)]
+struct ObjectState {
+    slices: Vec<SliceMeta>,
+    buffer: Vec<Record>,
+    buffer_base: u64,
+    next_offset: u64,
+    open_txns: HashSet<u64>,
+    aborted_txns: HashSet<u64>,
+    producer_seqs: HashMap<u64, u64>,
+    persisted_bytes: u64,
+    /// Virtual time at which the background SCM→PLog drain frees up.
+    drain_backlog_until: Nanos,
+    destroyed: bool,
+}
+
+/// One stream object.
+#[derive(Debug)]
+pub struct StreamObject {
+    id: ObjectId,
+    shard: u32,
+    slice_capacity: usize,
+    scm: Option<Arc<Device>>,
+    plog: Arc<PlogStore>,
+    state: Mutex<ObjectState>,
+}
+
+/// Outcome of an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendAck {
+    /// Offset of the first appended record, or `None` if every record was
+    /// an idempotent duplicate.
+    pub base_offset: Option<u64>,
+    /// Virtual time at which the append is acknowledged durable.
+    pub ack_time: Nanos,
+}
+
+impl StreamObject {
+    /// The object's id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The PLog shard holding this object's slices.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Next offset to be assigned (== record count including buffered).
+    pub fn end_offset(&self) -> u64 {
+        self.state.lock().next_offset
+    }
+
+    /// Logical bytes persisted to the PLog so far.
+    pub fn persisted_bytes(&self) -> u64 {
+        self.state.lock().persisted_bytes
+    }
+
+    /// Number of persisted slices.
+    pub fn slice_count(&self) -> usize {
+        self.state.lock().slices.len()
+    }
+
+    /// Append records at virtual time `now`.
+    ///
+    /// Duplicate `(producer_id, sequence)` pairs are dropped (idempotence);
+    /// a sequence gap is an error, as the broker cannot know what was lost.
+    pub fn append_at(&self, records: &[Record], now: Nanos) -> Result<AppendAck> {
+        let mut st = self.state.lock();
+        if st.destroyed {
+            return Err(Error::NotFound(format!("stream object {} destroyed", self.id)));
+        }
+        let mut base: Option<u64> = None;
+        let mut ack = now;
+        for r in records {
+            if let Some((pid, seq)) = r.producer_seq {
+                let last = st.producer_seqs.get(&pid).copied();
+                match last {
+                    Some(l) if seq <= l => continue, // duplicate retry: drop
+                    Some(l) if seq > l + 1 => {
+                        return Err(Error::InvalidArgument(format!(
+                            "producer {pid} sequence gap: last {l}, got {seq}"
+                        )))
+                    }
+                    _ => {}
+                }
+                st.producer_seqs.insert(pid, seq);
+            }
+            if let Some(t) = r.txn {
+                st.open_txns.insert(t);
+            }
+            let offset = st.next_offset;
+            base.get_or_insert(offset);
+            st.next_offset += 1;
+            st.buffer.push(r.clone());
+            if st.buffer.len() >= self.slice_capacity {
+                ack = ack.max(self.flush_locked(&mut st, now)?);
+            }
+        }
+        Ok(AppendAck { base_offset: base, ack_time: ack })
+    }
+
+    /// Force-persist the open slice buffer (e.g. on shutdown or conversion).
+    pub fn flush_at(&self, now: Nanos) -> Result<Nanos> {
+        let mut st = self.state.lock();
+        if st.destroyed {
+            return Err(Error::NotFound(format!("stream object {} destroyed", self.id)));
+        }
+        self.flush_locked(&mut st, now)
+    }
+
+    fn flush_locked(&self, st: &mut ObjectState, now: Nanos) -> Result<Nanos> {
+        if st.buffer.is_empty() {
+            return Ok(now);
+        }
+        let encoded = Record::encode_slice(&st.buffer);
+        let count = st.buffer.len() as u64;
+        let base_offset = st.buffer_base;
+        let ack = match &self.scm {
+            Some(scm) => {
+                // Stage in SCM: fast ack, background drain to the PLog.
+                let scm_ext = self.id.raw() * 1_000_003 + st.slices.len() as u64;
+                let t = scm.write_extent_at(scm_ext, &encoded, now)?;
+                let drain_start = t.finish.max(st.drain_backlog_until);
+                let (addr, plog_finish) =
+                    self.plog.append_to_shard_at(self.shard, &encoded, drain_start)?;
+                st.drain_backlog_until = plog_finish;
+                let _ = scm.delete_extent(scm_ext); // drained
+                st.slices.push(SliceMeta { base_offset, count, addr });
+                // Ack from SCM while the drain keeps up; once the backlog
+                // exceeds ~5 ms the PLog becomes the critical path — this is
+                // why persistent memory stops helping near saturation in
+                // Fig 14(a)/(b).
+                if plog_finish.saturating_sub(t.finish) > millis(5) {
+                    plog_finish
+                } else {
+                    t.finish
+                }
+            }
+            None => {
+                let (addr, finish) = self.plog.append_to_shard_at(self.shard, &encoded, now)?;
+                st.slices.push(SliceMeta { base_offset, count, addr });
+                finish
+            }
+        };
+        st.persisted_bytes += encoded.len() as u64;
+        st.buffer.clear();
+        st.buffer_base = st.next_offset;
+        Ok(ack)
+    }
+
+    /// Read up to `ctrl.max_records` records starting at `offset`.
+    ///
+    /// Returns `(offset, record)` pairs in offset order and the virtual
+    /// completion time of the underlying PLog reads.
+    pub fn read_at(
+        &self,
+        offset: u64,
+        ctrl: ReadCtrl,
+        now: Nanos,
+    ) -> Result<(Vec<(u64, Record)>, Nanos)> {
+        let (slices, buffer, buffer_base, open, aborted) = {
+            let st = self.state.lock();
+            if st.destroyed {
+                return Err(Error::NotFound(format!("stream object {} destroyed", self.id)));
+            }
+            (
+                st.slices.clone(),
+                st.buffer.clone(),
+                st.buffer_base,
+                st.open_txns.clone(),
+                st.aborted_txns.clone(),
+            )
+        };
+        // Visibility under `committed_only` follows last-stable-offset
+        // semantics: the scan STOPS at the first record of a still-open
+        // transaction (so a later commit is not skipped over by consumers
+        // that already advanced), and records of aborted transactions are
+        // filtered out.
+        enum Vis {
+            Deliver,
+            Skip,
+            Stop,
+        }
+        let classify = |r: &Record| -> Vis {
+            if !ctrl.committed_only {
+                return Vis::Deliver;
+            }
+            match r.txn {
+                Some(t) if open.contains(&t) => Vis::Stop,
+                Some(t) if aborted.contains(&t) => Vis::Skip,
+                _ => Vis::Deliver,
+            }
+        };
+        let mut out = Vec::new();
+        let mut finish = now;
+        for meta in &slices {
+            if out.len() >= ctrl.max_records {
+                return Ok((out, finish));
+            }
+            if meta.base_offset + meta.count <= offset {
+                continue;
+            }
+            let (bytes, t) = self.plog.read_at(&meta.addr, now)?;
+            finish = finish.max(t);
+            for (i, r) in Record::decode_slice(&bytes)?.into_iter().enumerate() {
+                let off = meta.base_offset + i as u64;
+                if off < offset || out.len() >= ctrl.max_records {
+                    continue;
+                }
+                match classify(&r) {
+                    Vis::Deliver => out.push((off, r)),
+                    Vis::Skip => {}
+                    Vis::Stop => return Ok((out, finish)),
+                }
+            }
+        }
+        for (i, r) in buffer.iter().enumerate() {
+            let off = buffer_base + i as u64;
+            if off < offset || out.len() >= ctrl.max_records {
+                continue;
+            }
+            match classify(r) {
+                Vis::Deliver => out.push((off, r.clone())),
+                Vis::Skip => {}
+                Vis::Stop => break,
+            }
+        }
+        Ok((out, finish))
+    }
+
+    /// Drop persisted slices that lie entirely before `offset`, freeing
+    /// their PLog space (used after archiving and by `delete_msg`
+    /// stream→table conversion). Offsets are never reused: reads below the
+    /// truncation point simply return nothing.
+    pub fn truncate_before(&self, offset: u64) -> u64 {
+        let mut st = self.state.lock();
+        let mut freed = 0u64;
+        st.slices.retain(|s| {
+            if s.base_offset + s.count <= offset {
+                self.plog.delete(&s.addr);
+                freed += s.count;
+                false
+            } else {
+                true
+            }
+        });
+        freed
+    }
+
+    /// Mark a transaction committed: its records become visible.
+    pub fn commit_txn(&self, txn: u64) {
+        self.state.lock().open_txns.remove(&txn);
+    }
+
+    /// Mark a transaction aborted: its records stay permanently invisible.
+    pub fn abort_txn(&self, txn: u64) {
+        let mut st = self.state.lock();
+        st.open_txns.remove(&txn);
+        st.aborted_txns.insert(txn);
+    }
+
+    /// Whether this participant can prepare `txn` (2PC phase one).
+    pub fn prepared(&self, txn: u64) -> bool {
+        let st = self.state.lock();
+        !st.destroyed && st.open_txns.contains(&txn)
+    }
+}
+
+/// Registry of stream objects over one PLog store (the store-layer service
+/// behind `CreateServerStreamObject` / `DestroyServerStreamObject`).
+#[derive(Debug)]
+pub struct StreamObjectStore {
+    plog: Arc<PlogStore>,
+    scm: Option<Arc<Device>>,
+    objects: Mutex<HashMap<ObjectId, Arc<StreamObject>>>,
+    next_id: AtomicU64,
+}
+
+impl StreamObjectStore {
+    /// Create a store over `plog`; `scm_capacity` provisions a shared SCM
+    /// staging device when nonzero (Set-2 hardware in §VII-C).
+    pub fn new(plog: Arc<PlogStore>, scm_capacity: u64, clock: common::SimClock) -> Self {
+        let scm = (scm_capacity > 0)
+            .then(|| Arc::new(Device::new(u64::MAX, MediaKind::Scm, scm_capacity, clock)));
+        StreamObjectStore { plog, scm, objects: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1) }
+    }
+
+    /// `CreateServerStreamObject`: allocate a new stream object.
+    pub fn create(&self, options: CreateOptions) -> Result<Arc<StreamObject>> {
+        if options.slice_capacity == 0 || options.slice_capacity > SLICE_CAPACITY {
+            return Err(Error::InvalidArgument(format!(
+                "slice_capacity must be in 1..={SLICE_CAPACITY}"
+            )));
+        }
+        let id = ObjectId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let shard = options
+            .shard_hint
+            .unwrap_or_else(|| self.plog.shard_of(&id.raw().to_be_bytes()));
+        let obj = Arc::new(StreamObject {
+            id,
+            shard,
+            slice_capacity: options.slice_capacity,
+            scm: options.scm_cache.then(|| self.scm.clone()).flatten(),
+            plog: self.plog.clone(),
+            state: Mutex::new(ObjectState::default()),
+        });
+        self.objects.lock().insert(id, obj.clone());
+        Ok(obj)
+    }
+
+    /// Look up an object by id.
+    pub fn get(&self, id: ObjectId) -> Result<Arc<StreamObject>> {
+        self.objects
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("stream object {id}")))
+    }
+
+    /// `DestroyServerStreamObject`: drop the object and free its slices.
+    pub fn destroy(&self, id: ObjectId) -> Result<()> {
+        let obj = self
+            .objects
+            .lock()
+            .remove(&id)
+            .ok_or_else(|| Error::NotFound(format!("stream object {id}")))?;
+        let mut st = obj.state.lock();
+        st.destroyed = true;
+        for s in &st.slices {
+            obj.plog.delete(&s.addr);
+        }
+        st.slices.clear();
+        st.buffer.clear();
+        Ok(())
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.lock().is_empty()
+    }
+
+    /// The backing PLog store.
+    pub fn plog(&self) -> &Arc<PlogStore> {
+        &self.plog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use common::size::MIB;
+    use common::SimClock;
+    use ec::Redundancy;
+    use plog::PlogConfig;
+    use simdisk::StoragePool;
+
+    fn store(scm: bool) -> StreamObjectStore {
+        let clock = SimClock::new();
+        let pool = Arc::new(StoragePool::new(
+            "ssd",
+            MediaKind::NvmeSsd,
+            4,
+            256 * MIB,
+            clock.clone(),
+        ));
+        let plog = Arc::new(
+            PlogStore::new(
+                pool,
+                PlogConfig {
+                    shard_count: 8,
+                    redundancy: Redundancy::Replicate { copies: 2 },
+                    shard_capacity: 64 * MIB,
+                },
+            )
+            .unwrap(),
+        );
+        StreamObjectStore::new(plog, if scm { 16 * MIB } else { 0 }, clock)
+    }
+
+    fn recs(n: usize, start: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(format!("k{i}").into_bytes(), vec![b'v'; 64], start + i as i64))
+            .collect()
+    }
+
+    #[test]
+    fn append_assigns_contiguous_offsets() {
+        let s = store(false);
+        let obj = s.create(CreateOptions::default()).unwrap();
+        let a1 = obj.append_at(&recs(10, 0), 0).unwrap();
+        let a2 = obj.append_at(&recs(5, 10), 0).unwrap();
+        assert_eq!(a1.base_offset, Some(0));
+        assert_eq!(a2.base_offset, Some(10));
+        assert_eq!(obj.end_offset(), 15);
+    }
+
+    #[test]
+    fn slices_flush_at_capacity_and_reads_span_slices_and_buffer() {
+        let s = store(false);
+        let obj = s
+            .create(CreateOptions { slice_capacity: 16, ..Default::default() })
+            .unwrap();
+        obj.append_at(&recs(40, 0), 0).unwrap();
+        assert_eq!(obj.slice_count(), 2, "two full slices persisted");
+        let (got, _) = obj.read_at(0, ReadCtrl::default(), 0).unwrap();
+        assert_eq!(got.len(), 40);
+        for (i, (off, r)) in got.iter().enumerate() {
+            assert_eq!(*off, i as u64);
+            assert_eq!(r.timestamp, i as i64);
+        }
+    }
+
+    #[test]
+    fn read_from_mid_offset_with_limit() {
+        let s = store(false);
+        let obj = s
+            .create(CreateOptions { slice_capacity: 8, ..Default::default() })
+            .unwrap();
+        obj.append_at(&recs(30, 0), 0).unwrap();
+        let ctrl = ReadCtrl { max_records: 5, committed_only: true };
+        let (got, _) = obj.read_at(12, ctrl, 0).unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].0, 12);
+        assert_eq!(got[4].0, 16);
+    }
+
+    #[test]
+    fn idempotent_duplicates_are_dropped() {
+        let s = store(false);
+        let obj = s.create(CreateOptions::default()).unwrap();
+        let mut r = Record::new(b"k".to_vec(), b"v".to_vec(), 1);
+        r.producer_seq = Some((7, 1));
+        obj.append_at(std::slice::from_ref(&r), 0).unwrap();
+        // network retry resends the same sequence
+        let ack = obj.append_at(std::slice::from_ref(&r), 0).unwrap();
+        assert_eq!(ack.base_offset, None, "duplicate must not be re-appended");
+        assert_eq!(obj.end_offset(), 1);
+        // a gap is an error
+        let mut r3 = r.clone();
+        r3.producer_seq = Some((7, 5));
+        assert!(obj.append_at(&[r3], 0).is_err());
+    }
+
+    #[test]
+    fn transactional_visibility() {
+        let s = store(false);
+        let obj = s.create(CreateOptions::default()).unwrap();
+        let mut r = Record::new(b"k".to_vec(), b"txn-value".to_vec(), 1);
+        r.txn = Some(42);
+        obj.append_at(&[r], 0).unwrap();
+        obj.append_at(&recs(1, 99), 0).unwrap(); // plain record after
+
+        let committed = ReadCtrl { max_records: usize::MAX, committed_only: true };
+        let all = ReadCtrl { max_records: usize::MAX, committed_only: false };
+        // LSO semantics: the committed read stops at the open transaction,
+        // hiding it AND everything after it.
+        assert_eq!(obj.read_at(0, committed, 0).unwrap().0.len(), 0, "open txn blocks");
+        assert_eq!(obj.read_at(0, all, 0).unwrap().0.len(), 2);
+
+        obj.commit_txn(42);
+        assert_eq!(obj.read_at(0, committed, 0).unwrap().0.len(), 2, "commit reveals");
+    }
+
+    #[test]
+    fn aborted_txn_records_stay_hidden() {
+        let s = store(false);
+        let obj = s.create(CreateOptions::default()).unwrap();
+        let mut r = Record::new(b"k".to_vec(), b"poison".to_vec(), 1);
+        r.txn = Some(9);
+        obj.append_at(&[r], 0).unwrap();
+        obj.abort_txn(9);
+        let (got, _) = obj.read_at(0, ReadCtrl::default(), 0).unwrap();
+        assert!(got.is_empty());
+        assert!(!obj.prepared(9));
+    }
+
+    #[test]
+    fn destroy_frees_plog_space_and_blocks_access() {
+        let s = store(false);
+        let obj = s
+            .create(CreateOptions { slice_capacity: 4, ..Default::default() })
+            .unwrap();
+        obj.append_at(&recs(16, 0), 0).unwrap();
+        assert!(s.plog().physical_bytes() > 0);
+        s.destroy(obj.id()).unwrap();
+        assert_eq!(s.plog().physical_bytes(), 0);
+        assert!(obj.append_at(&recs(1, 0), 0).is_err());
+        assert!(s.get(obj.id()).is_err());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scm_cache_lowers_ack_latency_at_low_rate() {
+        let no_scm = store(false);
+        let with_scm = store(true);
+        let o1 = no_scm
+            .create(CreateOptions { slice_capacity: 4, ..Default::default() })
+            .unwrap();
+        let o2 = with_scm
+            .create(CreateOptions { slice_capacity: 4, scm_cache: true, ..Default::default() })
+            .unwrap();
+        // Appends spaced far apart: drain backlog stays empty, SCM ack wins.
+        let mut lat1 = 0u64;
+        let mut lat2 = 0u64;
+        for i in 0..8u64 {
+            let now = i * common::clock::millis(100);
+            let a1 = o1.append_at(&recs(4, 0), now).unwrap();
+            let a2 = o2.append_at(&recs(4, 0), now).unwrap();
+            lat1 += a1.ack_time - now;
+            lat2 += a2.ack_time - now;
+        }
+        assert!(
+            lat2 < lat1,
+            "scm-staged acks ({lat2}) must beat direct plog acks ({lat1})"
+        );
+    }
+
+    #[test]
+    fn flush_persists_partial_slice() {
+        let s = store(false);
+        let obj = s.create(CreateOptions::default()).unwrap();
+        obj.append_at(&recs(3, 0), 0).unwrap();
+        assert_eq!(obj.slice_count(), 0);
+        obj.flush_at(0).unwrap();
+        assert_eq!(obj.slice_count(), 1);
+        assert!(obj.persisted_bytes() > 0);
+        let (got, _) = obj.read_at(0, ReadCtrl::default(), 0).unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn create_rejects_bad_slice_capacity() {
+        let s = store(false);
+        assert!(s.create(CreateOptions { slice_capacity: 0, ..Default::default() }).is_err());
+        assert!(s
+            .create(CreateOptions { slice_capacity: 1000, ..Default::default() })
+            .is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Exactly-once transactions (§V-A, "Delivery Guarantee" item 4).
+//!
+//! "The system provides exactly-once semantics through a transaction
+//! manager and the two-phase commit protocol. This tracks participant
+//! actions and ensures that all results in a transaction are visible or
+//! invisible at the same time."
+//!
+//! Participants are the stream objects a transaction produced into. Phase
+//! one (`prepare`) checks every participant still holds the transaction
+//! open; phase two flips visibility on all of them. Any prepare failure
+//! aborts the transaction on every participant.
+
+use crate::object::StreamObject;
+use common::{Error, Result, TxnId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct TxnState {
+    participants: Vec<Arc<StreamObject>>,
+}
+
+/// The transaction coordinator.
+#[derive(Debug, Default)]
+pub struct TxnManager {
+    next: AtomicU64,
+    active: Mutex<HashMap<u64, TxnState>>,
+}
+
+impl TxnManager {
+    /// A fresh coordinator.
+    pub fn new() -> Self {
+        TxnManager { next: AtomicU64::new(1), active: Mutex::new(HashMap::new()) }
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.active.lock().insert(id, TxnState::default());
+        TxnId(id)
+    }
+
+    /// Record that `txn` produced into `object` (idempotent per object).
+    pub fn register_participant(&self, txn: TxnId, object: Arc<StreamObject>) -> Result<()> {
+        let mut active = self.active.lock();
+        let st = active
+            .get_mut(&txn.raw())
+            .ok_or_else(|| Error::NotFound(format!("transaction {txn}")))?;
+        if !st.participants.iter().any(|p| p.id() == object.id()) {
+            st.participants.push(object);
+        }
+        Ok(())
+    }
+
+    /// Number of participants currently registered for `txn`.
+    pub fn participant_count(&self, txn: TxnId) -> usize {
+        self.active
+            .lock()
+            .get(&txn.raw())
+            .map_or(0, |s| s.participants.len())
+    }
+
+    /// Two-phase commit. On any prepare failure the transaction is aborted
+    /// everywhere and `TxnAborted` is returned.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let st = self
+            .active
+            .lock()
+            .remove(&txn.raw())
+            .ok_or_else(|| Error::NotFound(format!("transaction {txn}")))?;
+        // Phase 1: prepare — every participant must still hold the txn open.
+        let all_prepared = st.participants.iter().all(|p| p.prepared(txn.raw()));
+        if !all_prepared {
+            for p in &st.participants {
+                p.abort_txn(txn.raw());
+            }
+            return Err(Error::TxnAborted(format!(
+                "transaction {txn}: a participant failed to prepare"
+            )));
+        }
+        // Phase 2: commit everywhere. Participants answered prepare, so this
+        // phase cannot fail (crash recovery would replay the decision).
+        for p in &st.participants {
+            p.commit_txn(txn.raw());
+        }
+        Ok(())
+    }
+
+    /// Abort `txn` on every participant.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let st = self
+            .active
+            .lock()
+            .remove(&txn.raw())
+            .ok_or_else(|| Error::NotFound(format!("transaction {txn}")))?;
+        for p in &st.participants {
+            p.abort_txn(txn.raw());
+        }
+        Ok(())
+    }
+
+    /// Number of in-flight transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{CreateOptions, ReadCtrl, StreamObjectStore};
+    use crate::record::Record;
+    use common::size::MIB;
+    use common::SimClock;
+    use ec::Redundancy;
+    use plog::{PlogConfig, PlogStore};
+    use simdisk::{MediaKind, StoragePool};
+
+    fn object_store() -> StreamObjectStore {
+        let clock = SimClock::new();
+        let pool = Arc::new(StoragePool::new(
+            "ssd",
+            MediaKind::NvmeSsd,
+            4,
+            256 * MIB,
+            clock.clone(),
+        ));
+        let plog = Arc::new(
+            PlogStore::new(
+                pool,
+                PlogConfig {
+                    shard_count: 8,
+                    redundancy: Redundancy::Replicate { copies: 2 },
+                    shard_capacity: 64 * MIB,
+                },
+            )
+            .unwrap(),
+        );
+        StreamObjectStore::new(plog, 0, clock)
+    }
+
+    fn txn_record(txn: TxnId, v: &[u8]) -> Record {
+        let mut r = Record::new(b"k".to_vec(), v.to_vec(), 0);
+        r.txn = Some(txn.raw());
+        r
+    }
+
+    #[test]
+    fn commit_makes_all_streams_visible_atomically() {
+        let store = object_store();
+        let a = store.create(CreateOptions::default()).unwrap();
+        let b = store.create(CreateOptions::default()).unwrap();
+        let mgr = TxnManager::new();
+        let txn = mgr.begin();
+        a.append_at(&[txn_record(txn, b"to-a")], 0).unwrap();
+        b.append_at(&[txn_record(txn, b"to-b")], 0).unwrap();
+        mgr.register_participant(txn, a.clone()).unwrap();
+        mgr.register_participant(txn, b.clone()).unwrap();
+        assert_eq!(mgr.participant_count(txn), 2);
+
+        let ctrl = ReadCtrl::default();
+        assert!(a.read_at(0, ctrl, 0).unwrap().0.is_empty());
+        assert!(b.read_at(0, ctrl, 0).unwrap().0.is_empty());
+        mgr.commit(txn).unwrap();
+        assert_eq!(a.read_at(0, ctrl, 0).unwrap().0.len(), 1);
+        assert_eq!(b.read_at(0, ctrl, 0).unwrap().0.len(), 1);
+        assert_eq!(mgr.active_count(), 0);
+    }
+
+    #[test]
+    fn abort_hides_everywhere() {
+        let store = object_store();
+        let a = store.create(CreateOptions::default()).unwrap();
+        let b = store.create(CreateOptions::default()).unwrap();
+        let mgr = TxnManager::new();
+        let txn = mgr.begin();
+        a.append_at(&[txn_record(txn, b"x")], 0).unwrap();
+        b.append_at(&[txn_record(txn, b"y")], 0).unwrap();
+        mgr.register_participant(txn, a.clone()).unwrap();
+        mgr.register_participant(txn, b.clone()).unwrap();
+        mgr.abort(txn).unwrap();
+        let ctrl = ReadCtrl::default();
+        assert!(a.read_at(0, ctrl, 0).unwrap().0.is_empty());
+        assert!(b.read_at(0, ctrl, 0).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn failed_prepare_aborts_all_participants() {
+        let store = object_store();
+        let a = store.create(CreateOptions::default()).unwrap();
+        let b = store.create(CreateOptions::default()).unwrap();
+        let mgr = TxnManager::new();
+        let txn = mgr.begin();
+        a.append_at(&[txn_record(txn, b"x")], 0).unwrap();
+        b.append_at(&[txn_record(txn, b"y")], 0).unwrap();
+        mgr.register_participant(txn, a.clone()).unwrap();
+        mgr.register_participant(txn, b.clone()).unwrap();
+        // Participant b fails before commit (destroyed object cannot prepare).
+        store.destroy(b.id()).unwrap();
+        assert!(matches!(mgr.commit(txn), Err(Error::TxnAborted(_))));
+        // Survivor's records are aborted, never visible.
+        assert!(a.read_at(0, ReadCtrl::default(), 0).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn unknown_txn_operations_fail() {
+        let mgr = TxnManager::new();
+        assert!(mgr.commit(TxnId(999)).is_err());
+        assert!(mgr.abort(TxnId(999)).is_err());
+    }
+
+    #[test]
+    fn double_commit_is_not_found() {
+        let store = object_store();
+        let a = store.create(CreateOptions::default()).unwrap();
+        let mgr = TxnManager::new();
+        let txn = mgr.begin();
+        a.append_at(&[txn_record(txn, b"x")], 0).unwrap();
+        mgr.register_participant(txn, a).unwrap();
+        mgr.commit(txn).unwrap();
+        assert!(matches!(mgr.commit(txn), Err(Error::NotFound(_))));
+    }
+}

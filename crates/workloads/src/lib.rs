@@ -1,0 +1,26 @@
+//! Synthetic workload generators for the StreamLake experiments.
+//!
+//! The paper's evaluation uses (a) production DPI log packets (~1.2 KB
+//! each) from China Mobile, (b) the OpenMessaging benchmark with fixed 1 KB
+//! messages, (c) TPC-H `lineitem` data with randomly generated predicate
+//! workloads (following \[47\]). None of these datasets ship with the paper,
+//! so this crate generates deterministic synthetic equivalents:
+//!
+//! * [`packets`] — DPI log packets with realistic field skew;
+//! * [`tpch`] — the `lineitem` schema and value distributions;
+//! * [`queries`] — random pushdown-predicate workloads over any schema;
+//! * [`openmessaging`] — open-loop constant-rate message load with latency
+//!   percentile accounting;
+//! * [`zipf`] — the Zipf sampler behind the skewed choices.
+
+pub mod openmessaging;
+pub mod packets;
+pub mod queries;
+pub mod tpch;
+pub mod zipf;
+
+pub use openmessaging::{LatencyRecorder, LoadSpec};
+pub use packets::{Packet, PacketGen};
+pub use queries::QueryGen;
+pub use tpch::LineitemGen;
+pub use zipf::Zipf;

@@ -1,0 +1,77 @@
+//! A tour of LakeBrain (§VI): train the RL compaction agent and compare it
+//! with the static 30-second policy, then build a predicate-aware QD-tree
+//! partitioning with the SPN cardinality estimator.
+//!
+//! Run with `cargo run --release --example lakebrain_tour`.
+
+use lakebrain::cardinality::{CardinalityEstimator, ExactEstimator};
+use lakebrain::compaction::{evaluate_policy, train_compaction_agent, DqnPolicy, IntervalPolicy};
+use lakebrain::env::EnvConfig;
+use lakebrain::partitioning::{bucket_assigner, evaluate_layout, full_assigner, qdtree_assigner};
+use lakebrain::qdtree::{QdTree, QdTreeConfig};
+use lakebrain::spn::Spn;
+use workloads::queries::QueryGen;
+use workloads::tpch::LineitemGen;
+
+fn main() {
+    // --- automatic compaction ------------------------------------------
+    println!("== automatic compaction (RL vs 30s static) ==");
+    let cfg = EnvConfig { partitions: 6, ..Default::default() };
+    let agent = train_compaction_agent(cfg, 16, 120, 42);
+    let mut dqn = DqnPolicy::new(agent);
+    let mut interval = IntervalPolicy::every_30s();
+    for (name, policy) in [
+        ("lakebrain-dqn", &mut dqn as &mut dyn lakebrain::compaction::CompactionPolicy),
+        ("interval-30s", &mut interval),
+    ] {
+        let (cost, util, conflicts) = evaluate_policy(policy, cfg, 200, 7);
+        println!("  {name:<14} query-cost={cost:>7.1}  utilization={util:.3}  conflicts={conflicts}");
+    }
+
+    // --- predicate-aware partitioning -----------------------------------
+    println!("\n== predicate-aware partitioning (lineitem) ==");
+    let schema = LineitemGen::schema();
+    let mut gen = LineitemGen::new(1);
+    let rows = gen.generate_rows(6000);
+
+    // Train the SPN on a 3% sample, as in §VII-E.
+    let sample: Vec<_> = rows.iter().step_by(33).cloned().collect();
+    let spn = Spn::learn(schema.clone(), &sample).with_total_rows(rows.len() as f64);
+
+    let mut qg = QueryGen::new(2, schema.clone(), &rows);
+    let mut workload: Vec<format::Expr> =
+        (0..10).map(|_| qg.range_query("l_shipdate", 90)).collect();
+    workload.extend(qg.workload(20, 2));
+
+    // Show the estimator quality on one query.
+    let exact = ExactEstimator::new(&schema, &rows);
+    let q = &workload[0];
+    println!(
+        "  cardinality of workload[0]: exact={:.0} spn={:.0}",
+        exact.estimate_rows(q),
+        spn.estimate_rows(q)
+    );
+
+    let tree = QdTree::build(
+        schema.clone(),
+        &workload,
+        &spn,
+        QdTreeConfig { min_leaf_rows: 100.0, max_depth: 10 },
+    );
+    println!("  qd-tree built with {} leaf partitions", tree.leaf_count());
+
+    let day = bucket_assigner(&schema, "l_shipdate", 30).expect("bucket");
+    let qd = qdtree_assigner(&tree);
+    for (name, assigner) in [
+        ("full (no partition)", &full_assigner() as &Box<lakebrain::partitioning::Assigner>),
+        ("day of l_shipdate", &day),
+        ("ours (qd-tree)", &qd),
+    ] {
+        let report = evaluate_layout(&schema, &rows, assigner, &workload, 1024).expect("layout");
+        println!(
+            "  {name:<20} partitions={:<4} bytes skipped: {:>5.1}%",
+            report.partitions,
+            report.skip_fraction() * 100.0
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella package of the StreamLake reproduction.
+//!
+//! This package exists to host the repository-level `examples/` and
+//! `tests/` directories; the implementation lives in the workspace member
+//! crates — start from [`streamlake`] (the system facade) and follow the
+//! crate graph documented in `README.md` and `DESIGN.md`.
+//!
+//! ```
+//! use streamlake::{StreamLake, StreamLakeConfig};
+//!
+//! let sl = StreamLake::new(StreamLakeConfig::small());
+//! assert_eq!(sl.physical_bytes(), 0, "a fresh deployment stores nothing");
+//! ```
+
+pub use streamlake;

@@ -1,0 +1,198 @@
+//! Cross-crate property tests: whole-system invariants under randomized
+//! operation sequences.
+
+use format::{CmpOp, Expr, Predicate, Value};
+use lake::ScanOptions;
+use proptest::prelude::*;
+use streamlake::{StreamLake, StreamLakeConfig};
+use workloads::packets::PacketGen;
+
+/// Model-based test: a table under random inserts and province deletes
+/// must agree with a plain Vec filtered the same way.
+#[test]
+fn table_matches_model_under_random_mutations() {
+    let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+        cases: 12,
+        ..Default::default()
+    });
+    let ops_strategy = proptest::collection::vec(
+        prop_oneof![
+            (1usize..40).prop_map(|n| ("insert", n)),
+            (0usize..3).prop_map(|p| ("delete", p)),
+        ],
+        1..12,
+    );
+    runner
+        .run(&ops_strategy, |ops| {
+            let sl = StreamLake::new(StreamLakeConfig::small());
+            sl.tables()
+                .create_table("t", PacketGen::schema(), None, 100_000, 0)
+                .unwrap();
+            let mut model: Vec<Vec<Value>> = Vec::new();
+            let mut gen = PacketGen::new(7, 0, 500);
+            let provinces = ["guangdong", "beijing", "shanghai"];
+            let mut t = 0u64;
+            for (op, arg) in &ops {
+                t += common::clock::secs(1);
+                match *op {
+                    "insert" => {
+                        let rows: Vec<_> = gen.batch(*arg).iter().map(|p| p.to_row()).collect();
+                        sl.tables().insert("t", &rows, t).unwrap();
+                        model.extend(rows);
+                    }
+                    "delete" => {
+                        let p = provinces[*arg % provinces.len()];
+                        if !model.is_empty() {
+                            let pred =
+                                Expr::Pred(Predicate::cmp("province", CmpOp::Eq, p));
+                            sl.tables().delete("t", &pred, t).unwrap();
+                            model.retain(|row| row[2] != Value::from(p));
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            let got = sl
+                .tables()
+                .select("t", &ScanOptions::default(), t + common::clock::secs(1))
+                .unwrap()
+                .rows;
+            prop_assert_eq!(got.len(), model.len());
+            // multiset equality on a stable key
+            let key = |r: &Vec<Value>| format!("{:?}", r);
+            let mut a: Vec<String> = got.iter().map(key).collect();
+            let mut b: Vec<String> = model.iter().map(key).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+            Ok(())
+        })
+        .unwrap();
+}
+
+/// Per-key order and completeness hold for any batch size and stream count.
+#[test]
+fn stream_delivery_is_complete_and_ordered_for_any_batching() {
+    let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+        cases: 16,
+        ..Default::default()
+    });
+    let strategy = (1usize..6, 1usize..100, 1usize..200);
+    runner
+        .run(&strategy, |(streams, batch, messages)| {
+            let sl = StreamLake::new(StreamLakeConfig::small());
+            sl.stream()
+                .create_topic("t", stream::TopicConfig::with_streams(streams as u32))
+                .unwrap();
+            let mut producer = sl.producer();
+            producer.set_batch_size(batch);
+            for i in 0..messages {
+                producer
+                    .send("t", format!("key-{}", i % 7), (i as u32).to_le_bytes().to_vec(), 0)
+                    .unwrap();
+            }
+            producer.flush(0).unwrap();
+            let mut consumer = sl.consumer("g");
+            consumer.subscribe("t").unwrap();
+            let got = consumer.poll(usize::MAX, 0).unwrap();
+            prop_assert_eq!(got.len(), messages);
+            // per-key sequence numbers must arrive in send order
+            let mut last_per_key: std::collections::HashMap<Vec<u8>, u32> =
+                std::collections::HashMap::new();
+            for r in &got {
+                let seq = u32::from_le_bytes(r.record.value.as_slice().try_into().unwrap());
+                if let Some(&prev) = last_per_key.get(&r.record.key) {
+                    prop_assert!(
+                        seq > prev,
+                        "key {:?}: {} after {}",
+                        r.record.key,
+                        seq,
+                        prev
+                    );
+                }
+                last_per_key.insert(r.record.key.clone(), seq);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+/// Any single device failure never loses acknowledged data under the
+/// small config's 2-way replication.
+#[test]
+fn single_failure_never_loses_acked_messages() {
+    let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+        cases: 12,
+        ..Default::default()
+    });
+    let strategy = (0usize..4, 1usize..150);
+    runner
+        .run(&strategy, |(victim, messages)| {
+            let sl = StreamLake::new(StreamLakeConfig::small());
+            sl.stream()
+                .create_topic("t", stream::TopicConfig::with_streams(2))
+                .unwrap();
+            let mut producer = sl.producer();
+            producer.set_batch_size(16);
+            for i in 0..messages {
+                producer.send("t", format!("k{i}"), format!("v{i}"), 0).unwrap();
+            }
+            producer.flush(0).unwrap();
+            sl.ssd_pool().device(victim).fail();
+            let mut consumer = sl.consumer("g");
+            consumer.subscribe("t").unwrap();
+            let got = consumer.poll(usize::MAX, 0).unwrap();
+            prop_assert_eq!(got.len(), messages);
+            Ok(())
+        })
+        .unwrap();
+}
+
+/// Time travel to any recorded snapshot returns exactly the cumulative
+/// prefix of inserted rows.
+#[test]
+fn time_travel_returns_exact_prefixes() {
+    let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+        cases: 10,
+        ..Default::default()
+    });
+    let strategy = proptest::collection::vec(1usize..30, 1..8);
+    runner
+        .run(&strategy, |batches| {
+            let sl = StreamLake::new(StreamLakeConfig::small());
+            sl.tables()
+                .create_table("t", PacketGen::schema(), None, 100_000, 0)
+                .unwrap();
+            let mut gen = PacketGen::new(3, 0, 500);
+            let mut cumulative = 0usize;
+            let mut checkpoints = Vec::new();
+            let mut t = 0u64;
+            for n in &batches {
+                t += common::clock::secs(1);
+                let rows: Vec<_> = gen.batch(*n).iter().map(|p| p.to_row()).collect();
+                let info = sl.tables().insert("t", &rows, t).unwrap();
+                cumulative += n;
+                let (snap, _) = sl
+                    .tables()
+                    .meta()
+                    .get_snapshot("t", info.snapshot_id, lake::MetadataMode::Accelerated, 0)
+                    .unwrap();
+                checkpoints.push((snap.timestamp, cumulative));
+                t = snap.timestamp;
+            }
+            for (ts, expected) in &checkpoints {
+                let rows = sl
+                    .tables()
+                    .select(
+                        "t",
+                        &ScanOptions { as_of: Some(*ts), ..Default::default() },
+                        t + common::clock::secs(5),
+                    )
+                    .unwrap()
+                    .rows;
+                prop_assert_eq!(rows.len(), *expected);
+            }
+            Ok(())
+        })
+        .unwrap();
+}
