@@ -16,6 +16,7 @@ pub mod checksum;
 pub mod clock;
 pub mod error;
 pub mod id;
+pub mod json;
 pub mod metrics;
 pub mod size;
 pub mod varint;

@@ -125,6 +125,7 @@ impl StreamLake {
                     shard_capacity: config.ssd_capacity, // generous per-shard space
                 },
             )
+            // slint:allow(R4): config is validated by SystemConfig construction before this point
             .expect("valid plog config"),
         );
         let stream = StreamService::new(

@@ -16,7 +16,7 @@ use crate::column::Column;
 use crate::schema::DataType;
 use common::varint;
 use common::{Error, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The encoding applied to one column chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,7 +76,7 @@ pub fn encode_column(col: &Column) -> (Encoding, Vec<u8>) {
         }
         Column::Float(vals) => (Encoding::PlainFloat, encode_plain_float(vals)),
         Column::Str(vals) => {
-            let distinct: HashMap<&str, usize> =
+            let distinct: BTreeMap<&str, usize> =
                 vals.iter().map(|s| (s.as_str(), 0)).collect();
             if !vals.is_empty() && distinct.len() * 2 <= vals.len() {
                 (Encoding::DictStr, encode_dict_str(vals))
@@ -118,9 +118,8 @@ fn decode_plain_int(buf: &[u8]) -> Result<Vec<i64>> {
     for _ in 0..count {
         let bytes: [u8; 8] = buf
             .get(off..off + 8)
-            .ok_or_else(|| Error::Corruption("truncated plain int chunk".into()))?
-            .try_into()
-            .unwrap();
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| Error::Corruption("truncated plain int chunk".into()))?;
         out.push(i64::from_le_bytes(bytes));
         off += 8;
     }
@@ -166,9 +165,8 @@ fn decode_plain_float(buf: &[u8]) -> Result<Vec<f64>> {
     for _ in 0..count {
         let bytes: [u8; 8] = buf
             .get(off..off + 8)
-            .ok_or_else(|| Error::Corruption("truncated plain float chunk".into()))?
-            .try_into()
-            .unwrap();
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| Error::Corruption("truncated plain float chunk".into()))?;
         out.push(f64::from_le_bytes(bytes));
         off += 8;
     }
@@ -212,7 +210,7 @@ fn encode_dict_str(vals: &[String]) -> Vec<u8> {
         uniq
     };
     dict.sort_unstable();
-    let index: HashMap<&str, u64> =
+    let index: BTreeMap<&str, u64> =
         dict.iter().enumerate().map(|(i, s)| (*s, i as u64)).collect();
     let mut out = Vec::new();
     varint::encode_u64(vals.len() as u64, &mut out);

@@ -93,10 +93,11 @@ impl LakeFileWriter {
                     encoding: enc,
                     compressed,
                 });
-                stats.push(
-                    ColumnStats::from_column(col)
-                        .expect("row groups are non-empty by construction"),
-                );
+                // Row groups come from `chunks()` and are never empty, but a
+                // stats failure must not take the writer down.
+                stats.push(ColumnStats::from_column(col).ok_or_else(|| {
+                    Error::InvalidArgument("empty row group has no statistics".into())
+                })?);
             }
             groups.push(RowGroupMeta { n_rows: group_rows.len() as u64, chunks, stats });
         }
@@ -141,9 +142,8 @@ impl LakeFileReader {
             return Err(Error::Corruption("bad lake file magic".into()));
         }
         let tail = n - MAGIC.len();
-        let footer_crc = u32::from_le_bytes(data[tail - 4..tail].try_into().unwrap());
-        let footer_len =
-            u32::from_le_bytes(data[tail - 8..tail - 4].try_into().unwrap()) as usize;
+        let footer_crc = read_u32_le(&data, tail - 4)?;
+        let footer_len = read_u32_le(&data, tail - 8)? as usize;
         if tail < 8 + footer_len {
             return Err(Error::Corruption("footer length exceeds file".into()));
         }
@@ -285,6 +285,15 @@ impl LakeFileReader {
                 .and_then(|i| g.stats.get(i))
         })
     }
+}
+
+/// Read a little-endian `u32` at `pos`, as a corruption error on truncation.
+fn read_u32_le(data: &[u8], pos: usize) -> Result<u32> {
+    let bytes: [u8; 4] = data
+        .get(pos..pos + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| Error::Corruption("file truncated inside footer length".into()))?;
+    Ok(u32::from_le_bytes(bytes))
 }
 
 #[cfg(test)]

@@ -122,7 +122,8 @@ impl Predicate {
                     CmpOp::Ge => ord != Ordering::Less,
                     CmpOp::Eq => ord == Ordering::Equal,
                     CmpOp::Ne => ord != Ordering::Equal,
-                    CmpOp::In | CmpOp::NotIn => unreachable!(),
+                    // handled by the outer match arms; never matches here
+                    CmpOp::In | CmpOp::NotIn => false,
                 }
             }
         }

@@ -115,9 +115,8 @@ impl Value {
             1 => {
                 let bytes: [u8; 8] = buf
                     .get(off..off + 8)
-                    .ok_or_else(|| Error::Corruption("truncated float value".into()))?
-                    .try_into()
-                    .unwrap();
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or_else(|| Error::Corruption("truncated float value".into()))?;
                 off += 8;
                 Value::Float(f64::from_le_bytes(bytes))
             }

@@ -125,14 +125,14 @@ impl ConversionTask {
             ReadCtrl { max_records: usize::MAX, committed_only: true },
             flush_t,
         )?;
-        if records.is_empty() {
+        let Some(last_offset) = records.last().map(|(off, _)| *off) else {
             return Ok(None);
-        }
+        };
         let rows: Result<Vec<Row>> =
             records.iter().map(|(_, r)| (self.parser)(r)).collect();
         let rows = rows?;
         let commit = store.insert(&self.table, &rows, t)?;
-        let new_until = records.last().unwrap().0 + 1;
+        let new_until = last_offset + 1;
         let converted = new_until - self.converted_until;
         self.converted_until = new_until;
         let records_truncated = if self.config.delete_msg {

@@ -418,8 +418,7 @@ impl TableStore {
         }
         // Live file sets: everything a retained snapshot can still reach
         // stays; files only expired snapshots reference are reclaimed.
-        let mut keep: std::collections::HashMap<String, DataFileMeta> =
-            std::collections::HashMap::new();
+        let mut keep: BTreeMap<String, DataFileMeta> = BTreeMap::new();
         let mut retained_live: Vec<Vec<DataFileMeta>> = Vec::new();
         for snap in &retained {
             let (files, _) = self.meta.live_files_time_travel(name, snap, None, now)?;
@@ -428,8 +427,9 @@ impl TableStore {
             }
             retained_live.push(files);
         }
-        let mut drop_candidates: std::collections::HashMap<String, DataFileMeta> =
-            std::collections::HashMap::new();
+        // BTreeMap so physical reclamation happens in path order — the
+        // report and the PLog delete sequence are deterministic.
+        let mut drop_candidates: BTreeMap<String, DataFileMeta> = BTreeMap::new();
         for snap in &expired {
             let (files, _) = self.meta.live_files_time_travel(name, snap, None, now)?;
             for f in files {
@@ -448,8 +448,17 @@ impl TableStore {
             report.bytes_reclaimed += meta.bytes;
         }
         // Squash the oldest retained snapshot onto a synthetic base commit.
-        let oldest = retained.last().unwrap().clone();
-        let oldest_live = retained_live.last().unwrap().clone();
+        // `retained` is non-empty by construction (the current snapshot is
+        // always kept), but corrupt metadata must surface as an error, not
+        // a panic.
+        let oldest = retained
+            .last()
+            .ok_or_else(|| Error::Corruption("expiry retained no snapshot".into()))?
+            .clone();
+        let oldest_live = retained_live
+            .last()
+            .ok_or_else(|| Error::Corruption("expiry lost the retained live set".into()))?
+            .clone();
         let base_commit = Commit {
             id: oldest.id,
             timestamp: oldest.timestamp,
@@ -922,210 +931,211 @@ pub(crate) mod tests {
     const T0: i64 = 1_656_806_400; // 2022-07-03 00:00 UTC, the Fig 13 query day
 
     #[test]
-    fn create_insert_select_roundtrip() {
+    fn create_insert_select_roundtrip() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 1000, 0)
-            .unwrap();
+        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 1000, 0)?;
         let rows = log_rows(500, T0);
-        s.insert("logs", &rows, 0).unwrap();
-        let r = s.select("logs", &ScanOptions::default(), 0).unwrap();
+        s.insert("logs", &rows, 0)?;
+        let r = s.select("logs", &ScanOptions::default(), 0)?;
         assert_eq!(r.rows.len(), 500);
         assert_eq!(r.stats.files_scanned, r.stats.files_candidate);
+        Ok(())
     }
 
     #[test]
-    fn empty_table_selects_nothing() {
+    fn empty_table_selects_nothing() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
-        let r = s.select("t", &ScanOptions::default(), 0).unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
+        let r = s.select("t", &ScanOptions::default(), 0)?;
         assert!(r.rows.is_empty());
         assert!(s.insert("t", &[], 0).is_err());
+        Ok(())
     }
 
     #[test]
-    fn partition_pruning_limits_candidate_files() {
+    fn partition_pruning_limits_candidate_files() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 10_000, 0)
-            .unwrap();
+        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 10_000, 0)?;
         // 10 hours of data, one insert per hour
         for h in 0..10 {
-            s.insert("logs", &log_rows(100, T0 + h * 3600), 0).unwrap();
+            s.insert("logs", &log_rows(100, T0 + h * 3600), 0)?;
         }
         let pred = Expr::all(vec![
             Predicate::cmp("start_time", CmpOp::Ge, T0 + 3 * 3600),
             Predicate::cmp("start_time", CmpOp::Lt, T0 + 4 * 3600),
         ]);
-        let r = s.select("logs", &ScanOptions::filtered(pred), 0).unwrap();
+        let r = s.select("logs", &ScanOptions::filtered(pred), 0)?;
         assert_eq!(r.rows.len(), 100);
         assert_eq!(r.stats.files_candidate, 1, "partition pruning must narrow to one hour");
+        Ok(())
     }
 
     #[test]
-    fn pushdown_skips_files_by_stats() {
+    fn pushdown_skips_files_by_stats() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), None, 10_000, 0).unwrap();
+        s.create_table("logs", log_schema(), None, 10_000, 0)?;
         for h in 0..10 {
-            s.insert("logs", &log_rows(100, T0 + h * 3600), 0).unwrap();
+            s.insert("logs", &log_rows(100, T0 + h * 3600), 0)?;
         }
         let pred = Expr::all(vec![
             Predicate::cmp("start_time", CmpOp::Ge, T0 + 3 * 3600),
             Predicate::cmp("start_time", CmpOp::Lt, T0 + 3 * 3600 + 100),
         ]);
-        let with = s.select("logs", &ScanOptions::filtered(pred.clone()), 0).unwrap();
-        let without = s
-            .select(
-                "logs",
-                &ScanOptions { predicate: pred, pushdown: false, ..Default::default() },
-                0,
-            )
-            .unwrap();
+        let with = s.select("logs", &ScanOptions::filtered(pred.clone()), 0)?;
+        let without = s.select(
+            "logs",
+            &ScanOptions { predicate: pred, pushdown: false, ..Default::default() },
+            0,
+        )?;
         assert_eq!(with.rows, without.rows);
         assert!(with.stats.files_skipped >= 9);
         assert!(with.stats.bytes_scanned < without.stats.bytes_scanned);
+        Ok(())
     }
 
     #[test]
-    fn projection_returns_requested_columns() {
+    fn projection_returns_requested_columns() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), None, 1000, 0).unwrap();
-        s.insert("logs", &log_rows(10, T0), 0).unwrap();
-        let r = s
-            .select(
-                "logs",
-                &ScanOptions {
-                    projection: Some(vec!["province".into(), "start_time".into()]),
-                    ..Default::default()
-                },
-                0,
-            )
-            .unwrap();
+        s.create_table("logs", log_schema(), None, 1000, 0)?;
+        s.insert("logs", &log_rows(10, T0), 0)?;
+        let r = s.select(
+            "logs",
+            &ScanOptions {
+                projection: Some(vec!["province".into(), "start_time".into()]),
+                ..Default::default()
+            },
+            0,
+        )?;
         assert_eq!(r.rows[0].len(), 2);
         assert!(matches!(r.rows[0][0], Value::Str(_)));
         assert!(matches!(r.rows[0][1], Value::Int(_)));
+        Ok(())
     }
 
     #[test]
-    fn snapshot_isolation_readers_see_resolved_snapshot() {
+    fn snapshot_isolation_readers_see_resolved_snapshot() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
-        let info1 = s.insert("t", &log_rows(10, T0), 100).unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
+        let info1 = s.insert("t", &log_rows(10, T0), 100)?;
         // The snapshot's visibility timestamp is its commit completion time.
-        let (snap1, _) = s
-            .meta()
-            .get_snapshot("t", info1.snapshot_id, MetadataMode::Accelerated, 0)
-            .unwrap();
+        let (snap1, _) =
+            s.meta().get_snapshot("t", info1.snapshot_id, MetadataMode::Accelerated, 0)?;
         let snap1_time = snap1.timestamp;
-        s.insert("t", &log_rows(10, T0 + 1000), snap1_time + 1000).unwrap();
+        s.insert("t", &log_rows(10, T0 + 1000), snap1_time + 1000)?;
         // time travel to the first snapshot
-        let r = s
-            .select("t", &ScanOptions { as_of: Some(snap1_time), ..Default::default() }, 300)
-            .unwrap();
+        let r =
+            s.select("t", &ScanOptions { as_of: Some(snap1_time), ..Default::default() }, 300)?;
         assert_eq!(r.rows.len(), 10);
-        let r_now = s.select("t", &ScanOptions::default(), 300).unwrap();
+        let r_now = s.select("t", &ScanOptions::default(), 300)?;
         assert_eq!(r_now.rows.len(), 20);
+        Ok(())
     }
 
     #[test]
-    fn time_travel_before_first_snapshot_is_not_found() {
+    fn time_travel_before_first_snapshot_is_not_found() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
-        s.insert("t", &log_rows(1, T0), 500).unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
+        s.insert("t", &log_rows(1, T0), 500)?;
         assert!(matches!(
             s.select("t", &ScanOptions { as_of: Some(10), ..Default::default() }, 600),
             Err(Error::NotFound(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn delete_whole_partition_is_metadata_only() {
+    fn delete_whole_partition_is_metadata_only() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 10_000, 0)
-            .unwrap();
+        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 10_000, 0)?;
         for h in 0..3 {
-            s.insert("logs", &log_rows(50, T0 + h * 3600), 0).unwrap();
+            s.insert("logs", &log_rows(50, T0 + h * 3600), 0)?;
         }
         let pred = Expr::all(vec![
             Predicate::cmp("start_time", CmpOp::Ge, T0),
             Predicate::cmp("start_time", CmpOp::Lt, T0 + 3600),
         ]);
-        let info = s.delete("logs", &pred, 10).unwrap();
+        let info = s.delete("logs", &pred, 10)?;
         assert_eq!(info.files_removed, 1);
         assert_eq!(info.files_added, 0, "whole-file delete adds nothing");
-        let r = s.select("logs", &ScanOptions::default(), 20).unwrap();
+        let r = s.select("logs", &ScanOptions::default(), 20)?;
         assert_eq!(r.rows.len(), 100);
+        Ok(())
     }
 
     #[test]
-    fn delete_partial_file_rewrites() {
+    fn delete_partial_file_rewrites() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), None, 1000, 0).unwrap();
-        s.insert("logs", &log_rows(90, T0), 0).unwrap();
+        s.create_table("logs", log_schema(), None, 1000, 0)?;
+        s.insert("logs", &log_rows(90, T0), 0)?;
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "beijing"));
-        let info = s.delete("logs", &pred, 10).unwrap();
+        let info = s.delete("logs", &pred, 10)?;
         assert_eq!(info.files_removed, 1);
         assert_eq!(info.files_added, 1);
-        let r = s.select("logs", &ScanOptions::default(), 20).unwrap();
+        let r = s.select("logs", &ScanOptions::default(), 20)?;
         assert_eq!(r.rows.len(), 60);
         assert!(r.rows.iter().all(|row| row[2] != Value::from("beijing")));
+        Ok(())
     }
 
     #[test]
-    fn update_rewrites_matching_rows() {
+    fn update_rewrites_matching_rows() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), None, 1000, 0).unwrap();
-        s.insert("logs", &log_rows(30, T0), 0).unwrap();
+        s.create_table("logs", log_schema(), None, 1000, 0)?;
+        s.insert("logs", &log_rows(30, T0), 0)?;
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "shanghai"));
-        s.update("logs", &pred, &[("province".to_string(), Value::from("hainan"))], 10)
-            .unwrap();
-        let r = s.select("logs", &ScanOptions::default(), 20).unwrap();
+        s.update("logs", &pred, &[("province".to_string(), Value::from("hainan"))], 10)?;
+        let r = s.select("logs", &ScanOptions::default(), 20)?;
         assert_eq!(r.rows.len(), 30, "update must not change row count");
         assert!(!r.rows.iter().any(|row| row[2] == Value::from("shanghai")));
         assert_eq!(
             r.rows.iter().filter(|row| row[2] == Value::from("hainan")).count(),
             10
         );
+        Ok(())
     }
 
     #[test]
-    fn delete_nothing_is_noop_snapshot() {
+    fn delete_nothing_is_noop_snapshot() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
-        s.insert("t", &log_rows(5, T0), 0).unwrap();
-        let before = s.current_snapshot("t").unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
+        s.insert("t", &log_rows(5, T0), 0)?;
+        let before = s.current_snapshot("t")?;
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "nowhere"));
-        s.delete("t", &pred, 10).unwrap();
-        assert_eq!(s.current_snapshot("t").unwrap(), before + 1);
-        assert_eq!(s.select("t", &ScanOptions::default(), 20).unwrap().rows.len(), 5);
+        s.delete("t", &pred, 10)?;
+        assert_eq!(s.current_snapshot("t")?, before + 1);
+        assert_eq!(s.select("t", &ScanOptions::default(), 20)?.rows.len(), 5);
+        Ok(())
     }
 
     #[test]
-    fn soft_drop_restore_and_hard_drop() {
+    fn soft_drop_restore_and_hard_drop() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
-        s.insert("t", &log_rows(5, T0), 0).unwrap();
-        s.drop_table("t", false, 10).unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
+        s.insert("t", &log_rows(5, T0), 0)?;
+        s.drop_table("t", false, 10)?;
         assert!(s.select("t", &ScanOptions::default(), 20).is_err());
         // restore brings the data back
-        s.restore_table("t", 30).unwrap();
-        assert_eq!(s.select("t", &ScanOptions::default(), 40).unwrap().rows.len(), 5);
+        s.restore_table("t", 30)?;
+        assert_eq!(s.select("t", &ScanOptions::default(), 40)?.rows.len(), 5);
         // hard drop removes everything
-        s.drop_table("t", true, 50).unwrap();
+        s.drop_table("t", true, 50)?;
         assert!(s.catalog().get_any("t").is_err());
         // the name is reusable afterwards
-        s.create_table("t", log_schema(), None, 1000, 60).unwrap();
+        s.create_table("t", log_schema(), None, 1000, 60)?;
+        Ok(())
     }
 
     #[test]
-    fn commit_replace_conflict_on_stale_input() {
+    fn commit_replace_conflict_on_stale_input() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
-        s.insert("t", &log_rows(10, T0), 0).unwrap();
-        let base = s.current_snapshot("t").unwrap();
-        let files = s.live_files("t", 0).unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
+        s.insert("t", &log_rows(10, T0), 0)?;
+        let base = s.current_snapshot("t")?;
+        let files = s.live_files("t", 0)?;
         let victim = files[0].path.clone();
         // A concurrent DELETE removes the file compaction wanted to rewrite.
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "beijing"));
-        s.delete("t", &pred, 10).unwrap();
+        s.delete("t", &pred, 10)?;
         let err = s.commit_replace(
             "t",
             base,
@@ -1134,42 +1144,46 @@ pub(crate) mod tests {
             20,
         );
         assert!(matches!(err, Err(Error::Conflict(_))), "{err:?}");
+        Ok(())
     }
 
     #[test]
-    fn commit_replace_succeeds_when_inputs_still_live() {
+    fn commit_replace_succeeds_when_inputs_still_live() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
-        s.insert("t", &log_rows(10, T0), 0).unwrap();
-        let base = s.current_snapshot("t").unwrap();
-        let files = s.live_files("t", 0).unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
+        s.insert("t", &log_rows(10, T0), 0)?;
+        let base = s.current_snapshot("t")?;
+        let files = s.live_files("t", 0)?;
         // A concurrent append-only insert does not conflict with compaction.
-        s.insert("t", &log_rows(10, T0 + 100), 10).unwrap();
-        let (rows, _) = s.read_file_rows(&files[0].path, 20).unwrap();
-        let info = s
-            .commit_replace("t", base, vec![files[0].path.clone()], vec![(String::new(), rows)], 20)
-            .unwrap();
+        s.insert("t", &log_rows(10, T0 + 100), 10)?;
+        let (rows, _) = s.read_file_rows(&files[0].path, 20)?;
+        let info = s.commit_replace(
+            "t",
+            base,
+            vec![files[0].path.clone()],
+            vec![(String::new(), rows)],
+            20,
+        )?;
         assert_eq!(info.files_removed, 1);
-        let r = s.select("t", &ScanOptions::default(), 30).unwrap();
+        let r = s.select("t", &ScanOptions::default(), 30)?;
         assert_eq!(r.rows.len(), 20);
+        Ok(())
     }
 
     #[test]
-    fn filebased_metadata_mode_agrees_with_accelerated() {
+    fn filebased_metadata_mode_agrees_with_accelerated() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
         for i in 0..5 {
-            s.insert("t", &log_rows(20, T0 + i * 100), 0).unwrap();
+            s.insert("t", &log_rows(20, T0 + i * 100), 0)?;
         }
-        s.meta().flush("t", 0).unwrap();
-        let fast = s.select("t", &ScanOptions::default(), 0).unwrap();
-        let slow = s
-            .select(
-                "t",
-                &ScanOptions { mode: MetadataMode::FileBased, ..Default::default() },
-                0,
-            )
-            .unwrap();
+        s.meta().flush("t", 0)?;
+        let fast = s.select("t", &ScanOptions::default(), 0)?;
+        let slow = s.select(
+            "t",
+            &ScanOptions { mode: MetadataMode::FileBased, ..Default::default() },
+            0,
+        )?;
         let mut a = fast.rows.clone();
         let mut b = slow.rows.clone();
         let key = |r: &Row| format!("{:?}", r);
@@ -1182,30 +1196,28 @@ pub(crate) mod tests {
             slow.stats.metadata_time,
             fast.stats.metadata_time
         );
+        Ok(())
     }
 
     #[test]
-    fn snapshot_statistics_track_rows_and_files() {
+    fn snapshot_statistics_track_rows_and_files() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0).unwrap();
-        s.insert("t", &log_rows(10, T0), 0).unwrap();
-        s.insert("t", &log_rows(20, T0 + 50), 0).unwrap();
-        let profile = s.catalog().get("t").unwrap();
-        let (snap, _) = s
-            .meta()
-            .get_snapshot("t", profile.current_snapshot, MetadataMode::Accelerated, 0)
-            .unwrap();
+        s.create_table("t", log_schema(), None, 1000, 0)?;
+        s.insert("t", &log_rows(10, T0), 0)?;
+        s.insert("t", &log_rows(20, T0 + 50), 0)?;
+        let profile = s.catalog().get("t")?;
+        let (snap, _) =
+            s.meta().get_snapshot("t", profile.current_snapshot, MetadataMode::Accelerated, 0)?;
         assert_eq!(snap.total_rows, 30);
         assert_eq!(snap.total_files, 2);
         // delete one province and re-check
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "beijing"));
-        s.delete("t", &pred, 10).unwrap();
-        let profile = s.catalog().get("t").unwrap();
-        let (snap, _) = s
-            .meta()
-            .get_snapshot("t", profile.current_snapshot, MetadataMode::Accelerated, 0)
-            .unwrap();
-        let live_rows = s.select("t", &ScanOptions::default(), 20).unwrap().rows.len() as u64;
+        s.delete("t", &pred, 10)?;
+        let profile = s.catalog().get("t")?;
+        let (snap, _) =
+            s.meta().get_snapshot("t", profile.current_snapshot, MetadataMode::Accelerated, 0)?;
+        let live_rows = s.select("t", &ScanOptions::default(), 20)?.rows.len() as u64;
         assert_eq!(snap.total_rows, live_rows);
+        Ok(())
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::cardinality::CardinalityEstimator;
 use format::{CmpOp, DataType, Expr, Predicate, Row, Schema, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 const MIN_ROWS_FOR_SPLIT: usize = 256;
 const HISTOGRAM_BINS: usize = 32;
@@ -32,7 +32,7 @@ enum Leaf {
     /// Equi-width histogram over numeric values.
     Numeric { column: usize, edges: Vec<f64>, counts: Vec<f64>, total: f64 },
     /// Value → frequency for categorical/bool columns.
-    Categorical { column: usize, freqs: HashMap<String, f64>, total: f64 },
+    Categorical { column: usize, freqs: BTreeMap<String, f64>, total: f64 },
 }
 
 /// The trained estimator.
@@ -87,7 +87,7 @@ impl CardinalityEstimator for Spn {
 }
 
 /// Predicates of a conjunctive expression, grouped by column index.
-type PredsByColumn<'e> = HashMap<usize, Vec<&'e Predicate>>;
+type PredsByColumn<'e> = BTreeMap<usize, Vec<&'e Predicate>>;
 
 /// Group a conjunctive expression's predicates by column index. Returns
 /// `None` for non-conjunctive shapes.
@@ -95,7 +95,7 @@ fn conjunctive_by_column<'e>(
     expr: &'e Expr,
     schema: &Schema,
 ) -> Option<PredsByColumn<'e>> {
-    let mut map: HashMap<usize, Vec<&Predicate>> = HashMap::new();
+    let mut map: BTreeMap<usize, Vec<&Predicate>> = BTreeMap::new();
     collect(expr, schema, &mut map)?;
     Some(map)
 }
@@ -103,7 +103,7 @@ fn conjunctive_by_column<'e>(
 fn collect<'e>(
     expr: &'e Expr,
     schema: &Schema,
-    map: &mut HashMap<usize, Vec<&'e Predicate>>,
+    map: &mut BTreeMap<usize, Vec<&'e Predicate>>,
 ) -> Option<()> {
     match expr {
         Expr::True => Some(()),
@@ -120,7 +120,7 @@ fn collect<'e>(
     }
 }
 
-fn eval(node: &Node, preds: &HashMap<usize, Vec<&Predicate>>) -> f64 {
+fn eval(node: &Node, preds: &BTreeMap<usize, Vec<&Predicate>>) -> f64 {
     match node {
         Node::Sum { children } => children.iter().map(|(w, c)| w * eval(c, preds)).sum(),
         Node::Product { children } => children.iter().map(|c| eval(c, preds)).product(),
@@ -128,7 +128,7 @@ fn eval(node: &Node, preds: &HashMap<usize, Vec<&Predicate>>) -> f64 {
     }
 }
 
-fn leaf_prob(leaf: &Leaf, preds: &HashMap<usize, Vec<&Predicate>>) -> f64 {
+fn leaf_prob(leaf: &Leaf, preds: &BTreeMap<usize, Vec<&Predicate>>) -> f64 {
     let column = match leaf {
         Leaf::Numeric { column, .. } | Leaf::Categorical { column, .. } => *column,
     };
@@ -287,7 +287,7 @@ fn make_leaf(schema: &Schema, rows: &[Row], idx: &[usize], col: usize) -> Leaf {
             Leaf::Numeric { column: col, edges, counts, total: vals.len() as f64 }
         }
         DataType::Utf8 | DataType::Bool => {
-            let mut freqs: HashMap<String, f64> = HashMap::new();
+            let mut freqs: BTreeMap<String, f64> = BTreeMap::new();
             for &i in idx {
                 *freqs.entry(value_key(&rows[i][col])).or_insert(0.0) += 1.0;
             }
@@ -326,7 +326,7 @@ fn independent_groups(
             }
         }
     }
-    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
     for (i, &col) in cols.iter().enumerate() {
         let r = find(&mut parent, i);
         groups.entry(r).or_default().push(col);

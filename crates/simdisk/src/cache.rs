@@ -5,31 +5,36 @@
 //! rates but does not raise peak throughput; the cache here records hits and
 //! misses so the benchmark harness can reproduce that behaviour by charging
 //! SCM service time on hits and device time on misses.
+//!
+//! Both indexes are `BTreeMap`s: iteration (and therefore eviction victim
+//! choice under any future tie-breaking) is deterministic, and the cache
+//! cannot panic — if the recency index and the entry map ever disagree, the
+//! cache repairs its accounting instead of unwrapping (this replaced a
+//! latent `expect("cache accounting broken")` in the eviction loop).
 
 use std::borrow::Borrow;
-use std::collections::{BTreeMap, HashMap};
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// An LRU cache bounded by total value bytes rather than entry count.
 #[derive(Debug)]
-pub struct LruCache<K: Eq + Hash + Clone> {
+pub struct LruCache<K: Ord + Clone> {
     capacity_bytes: u64,
     used_bytes: u64,
     seq: u64,
-    entries: HashMap<K, (Vec<u8>, u64)>,
+    entries: BTreeMap<K, (Vec<u8>, u64)>,
     order: BTreeMap<u64, K>,
     hits: u64,
     misses: u64,
 }
 
-impl<K: Eq + Hash + Clone> LruCache<K> {
+impl<K: Ord + Clone> LruCache<K> {
     /// Create a cache holding at most `capacity_bytes` of values.
     pub fn new(capacity_bytes: u64) -> Self {
         LruCache {
             capacity_bytes,
             used_bytes: 0,
             seq: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             order: BTreeMap::new(),
             hits: 0,
             misses: 0,
@@ -40,20 +45,26 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
     pub fn get<Q>(&mut self, key: &Q) -> Option<Vec<u8>>
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.seq += 1;
         let seq = self.seq;
-        if let Some((value, old_seq)) = self.entries.get_mut(key) {
-            let k = self.order.remove(old_seq).expect("order entry must exist");
-            self.order.insert(seq, k);
-            *old_seq = seq;
-            self.hits += 1;
-            Some(value.clone())
-        } else {
+        let Some((stored_key, (value, old_seq))) = self.entries.get_key_value(key) else {
             self.misses += 1;
-            None
+            return None;
+        };
+        let stored_key = stored_key.clone();
+        let value = value.clone();
+        let old_seq = *old_seq;
+        // Refresh recency. If the order index somehow lost this entry the
+        // insert below rebuilds it, keeping the entry evictable.
+        self.order.remove(&old_seq);
+        self.order.insert(seq, stored_key);
+        if let Some((_, s)) = self.entries.get_mut(key) {
+            *s = seq;
         }
+        self.hits += 1;
+        Some(value)
     }
 
     /// Insert or replace `key`, evicting least-recently-used entries until
@@ -64,14 +75,22 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
             return;
         }
         if let Some((old_val, old_seq)) = self.entries.remove(&key) {
-            self.used_bytes -= old_val.len() as u64;
+            self.used_bytes = self.used_bytes.saturating_sub(old_val.len() as u64);
             self.order.remove(&old_seq);
         }
         while self.used_bytes + len > self.capacity_bytes {
-            let (&oldest_seq, _) = self.order.iter().next().expect("cache accounting broken");
-            let victim = self.order.remove(&oldest_seq).unwrap();
-            let (val, _) = self.entries.remove(&victim).unwrap();
-            self.used_bytes -= val.len() as u64;
+            let Some((_, victim)) = self.order.pop_first() else {
+                // The order index ran dry while bytes still look occupied:
+                // accounting drifted. Recompute from ground truth instead
+                // of panicking ("cache accounting broken", once upon a
+                // time) or spinning forever.
+                self.used_bytes =
+                    self.entries.values().map(|(v, _)| v.len() as u64).sum();
+                break;
+            };
+            if let Some((val, _)) = self.entries.remove(&victim) {
+                self.used_bytes = self.used_bytes.saturating_sub(val.len() as u64);
+            }
         }
         self.seq += 1;
         self.order.insert(self.seq, key.clone());
@@ -83,10 +102,10 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
     pub fn remove<Q>(&mut self, key: &Q)
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         if let Some((val, seq)) = self.entries.remove(key) {
-            self.used_bytes -= val.len() as u64;
+            self.used_bytes = self.used_bytes.saturating_sub(val.len() as u64);
             self.order.remove(&seq);
         }
     }
@@ -182,6 +201,44 @@ mod tests {
         assert!((c.hit_rate() - 0.5).abs() < 1e-12);
     }
 
+    /// Regression for the former `expect("cache accounting broken")`:
+    /// inserting a value that forces eviction of *every* resident entry
+    /// drives the eviction loop to the exact boundary where the order
+    /// index empties, which is where the old code could only panic.
+    #[test]
+    fn evicting_everything_for_a_full_size_value_does_not_panic() {
+        let mut c = LruCache::new(12);
+        c.put("a", vec![0; 4]);
+        c.put("b", vec![0; 4]);
+        c.put("c", vec![0; 4]);
+        assert_eq!(c.used_bytes(), 12);
+        // Needs all 12 bytes: evicts a, b and c, draining `order` to empty.
+        c.put("d", vec![0; 12]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 12);
+        assert!(c.get("d").is_some());
+        // And the cache keeps working afterwards.
+        c.put("e", vec![0; 6]);
+        assert!(c.get("d").is_none(), "d was evicted for e");
+        assert!(c.get("e").is_some());
+    }
+
+    /// Zero-length values and repeated replacement stress the accounting
+    /// paths that maintain the entries/order correspondence.
+    #[test]
+    fn zero_length_values_and_replacement_keep_indexes_in_sync() {
+        let mut c = LruCache::new(4);
+        c.put("a", vec![]);
+        c.put("a", vec![0; 4]);
+        c.put("a", vec![]);
+        c.get("a");
+        c.put("b", vec![0; 4]);
+        assert_eq!(c.used_bytes(), 4);
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
     proptest! {
         #[test]
         fn used_bytes_never_exceeds_capacity(
@@ -197,6 +254,8 @@ mod tests {
                     c.entries.get(&k).map(|(v, _)| v.len() as u64)
                 }).sum();
                 prop_assert_eq!(total, expected);
+                // and the recency index tracks the entry map exactly
+                prop_assert_eq!(c.order.len(), c.entries.len());
             }
         }
     }

@@ -13,7 +13,7 @@ use crate::pool::{ExtentHandle, StoragePool};
 use common::clock::Nanos;
 use common::{Error, Result, SimClock};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Which pool an extent currently lives in.
@@ -52,7 +52,9 @@ pub struct TieringService {
     demote_after: Nanos,
     /// Whether cold reads promote the extent back to the hot tier.
     promote_on_read: bool,
-    extents: Mutex<HashMap<u64, TieredExtent>>,
+    /// Keyed by extent id; a `BTreeMap` so policy runs visit extents in a
+    /// deterministic order (demotion order must not depend on hash state).
+    extents: Mutex<BTreeMap<u64, TieredExtent>>,
 }
 
 impl TieringService {
@@ -70,7 +72,7 @@ impl TieringService {
             clock,
             demote_after,
             promote_on_read,
-            extents: Mutex::new(HashMap::new()),
+            extents: Mutex::new(BTreeMap::new()),
         }
     }
 

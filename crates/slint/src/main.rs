@@ -1,0 +1,144 @@
+//! `slint` CLI: scan the workspace, judge against the baseline.
+//!
+//! ```text
+//! cargo run -p slint                      # gate: exit 0 iff no new violations
+//! cargo run -p slint -- --list            # print every current finding
+//! cargo run -p slint -- --baseline-update # rewrite the baseline to reality
+//! cargo run -p slint -- --root DIR --baseline FILE
+//! ```
+//!
+//! Exit codes: 0 = clean (at or below baseline), 1 = new violations,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    baseline: PathBuf,
+    update: bool,
+    list: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: slint [--root DIR] [--baseline FILE] [--baseline-update] [--list]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    // Default root: the workspace directory two levels above this crate's
+    // manifest (cargo sets CARGO_MANIFEST_DIR when running via cargo),
+    // falling back to the current directory.
+    let manifest_root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .and_then(|p| p.parent().and_then(|p| p.parent()).map(PathBuf::from));
+    let mut opts = Options {
+        root: manifest_root.unwrap_or_else(|| PathBuf::from(".")),
+        baseline: PathBuf::new(),
+        update: false,
+        list: false,
+    };
+    let mut baseline_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline-update" => opts.update = true,
+            "--list" => opts.list = true,
+            "--root" => match args.next() {
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => return Err(usage()),
+            },
+            "--baseline" => match args.next() {
+                Some(file) => baseline_arg = Some(PathBuf::from(file)),
+                None => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    opts.baseline = baseline_arg.unwrap_or_else(|| opts.root.join("slint.baseline"));
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    let findings = match slint::scan_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("slint: failed to scan {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("{} finding(s) total", findings.len());
+    }
+
+    if opts.update {
+        let baseline = slint::tally(&findings);
+        let text = slint::format_baseline(&baseline);
+        if let Err(e) = std::fs::write(&opts.baseline, text) {
+            eprintln!("slint: failed to write {}: {e}", opts.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "slint: baseline updated ({} finding(s) across {} (rule, file) pairs)",
+            findings.len(),
+            baseline.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&opts.baseline) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!("slint: failed to read {}: {e}", opts.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match slint::parse_baseline(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("slint: bad baseline {}: {e}", opts.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = slint::judge(&findings, &baseline);
+    if !report.ok() {
+        eprintln!("slint: new violations above baseline:");
+        for (rule, file, actual, allowed) in &report.regressions {
+            eprintln!("  [{rule}] {file}: {actual} finding(s), baseline allows {allowed}");
+            for f in findings.iter().filter(|f| f.rule.code() == rule && &f.file == file) {
+                eprintln!("    {}:{}: {}", f.file, f.line, f.message);
+            }
+        }
+        eprintln!(
+            "slint: fix the new findings, add a `// slint:allow(<rule>): <reason>` waiver,\n\
+             slint: or (for accepted debt) run `cargo run -p slint -- --baseline-update`."
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if !report.improvements.is_empty() {
+        println!("slint: baseline is stale (debt was paid down) — ratchet it:");
+        for (rule, file, actual, allowed) in &report.improvements {
+            println!("  [{rule}] {file}: now {actual}, baseline allows {allowed}");
+        }
+        println!("slint: run `cargo run -p slint -- --baseline-update` to ratchet.");
+    }
+    println!(
+        "slint: ok — {} finding(s), all within baseline",
+        report.total_findings
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,267 @@
+//! Source cleaning for the lint rules.
+//!
+//! Token rules must not fire on words inside comments or string literals,
+//! and waiver/SAFETY detection must look *only* at comments. This module
+//! splits each source line into its code text (string-literal contents
+//! blanked, comments removed) and its comment text, and marks lines that
+//! sit inside `#[cfg(test)]` items via brace-depth tracking.
+//!
+//! The splitter is a character-level state machine covering line comments,
+//! nested block comments, string/byte-string literals, raw strings with
+//! arbitrary `#` counts, and char literals (distinguished from lifetimes
+//! by lookahead). It is deliberately not a full Rust lexer; it only needs
+//! to be right about where comments and literals begin and end.
+
+/// One cleaned source line.
+#[derive(Debug, Default)]
+pub struct CleanedLine {
+    /// Code with comments removed and literal contents blanked. The
+    /// literal's delimiting quotes are kept, so `.expect("msg")` cleans
+    /// to `.expect("")` and token matching still sees `.expect(`.
+    pub code: String,
+    /// Concatenated text of every comment on the line.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` item.
+    pub in_test_code: bool,
+}
+
+/// A whole file, cleaned line by line.
+#[derive(Debug, Default)]
+pub struct CleanedSource {
+    /// Lines in file order (index 0 is line 1).
+    pub lines: Vec<CleanedLine>,
+}
+
+/// Split `source` into per-line code and comment text.
+pub fn clean(source: &str) -> CleanedSource {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = vec![CleanedLine::default()];
+    let mut i = 0;
+
+    macro_rules! cur {
+        () => {
+            lines.last_mut().expect("lines is never empty")
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(CleanedLine::default());
+            i += 1;
+            continue;
+        }
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment: consume to end of line into comment text.
+                i += 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    cur!().comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, possibly nested and multi-line.
+                i += 2;
+                let mut depth = 1usize;
+                while i < chars.len() && depth > 0 {
+                    match chars[i] {
+                        '\n' => lines.push(CleanedLine::default()),
+                        '/' if chars.get(i + 1) == Some(&'*') => {
+                            depth += 1;
+                            i += 1;
+                        }
+                        '*' if chars.get(i + 1) == Some(&'/') => {
+                            depth -= 1;
+                            i += 1;
+                        }
+                        ch => cur!().comment.push(ch),
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                cur!().code.push('"');
+                i += 1;
+                i = skip_string_body(&chars, i, &mut lines, 0);
+            }
+            'r' | 'b' if starts_raw_string(&chars, i) => {
+                // r"..", r#".."#, br".." etc.: emit the opener, blank body.
+                let mut j = i;
+                while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+                    cur!().code.push(chars[j]);
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    cur!().code.push('#');
+                    hashes += 1;
+                    j += 1;
+                }
+                cur!().code.push('"');
+                j += 1;
+                i = skip_raw_string_body(&chars, j, &mut lines, hashes);
+            }
+            'b' if chars.get(i + 1) == Some(&'"') => {
+                cur!().code.push('b');
+                cur!().code.push('"');
+                i += 2;
+                i = skip_string_body(&chars, i, &mut lines, 0);
+            }
+            '\'' => {
+                // Char literal vs lifetime: 'x' / '\n' are literals; 'a in
+                // `Foo<'a>` is a lifetime (no closing quote right after).
+                let is_char_literal = match chars.get(i + 1) {
+                    Some('\\') => true,
+                    Some(_) => chars.get(i + 2) == Some(&'\''),
+                    None => false,
+                };
+                if is_char_literal {
+                    cur!().code.push('\'');
+                    i += 1;
+                    if chars.get(i) == Some(&'\\') {
+                        i += 1; // skip the backslash
+                        i += 1; // and the escaped character
+                        // multi-char escapes (\x41, \u{..}) run to the quote
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                    if chars.get(i) == Some(&'\'') {
+                        cur!().code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur!().code.push('\'');
+                    i += 1;
+                }
+            }
+            ch => {
+                cur!().code.push(ch);
+                i += 1;
+            }
+        }
+    }
+
+    mark_test_lines(&mut lines);
+    CleanedSource { lines }
+}
+
+/// Consume a normal (escaped) string body; returns index after the
+/// closing quote. Emits only the closing quote into code.
+fn skip_string_body(
+    chars: &[char],
+    mut i: usize,
+    lines: &mut Vec<CleanedLine>,
+    _hashes: usize,
+) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                lines.push(CleanedLine::default());
+                i += 1;
+            }
+            '"' => {
+                if let Some(line) = lines.last_mut() {
+                    line.code.push('"');
+                }
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consume a raw string body terminated by `"` plus `hashes` `#`s.
+fn skip_raw_string_body(
+    chars: &[char],
+    mut i: usize,
+    lines: &mut Vec<CleanedLine>,
+    hashes: usize,
+) -> usize {
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            lines.push(CleanedLine::default());
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let closed = (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
+            if closed {
+                if let Some(line) = lines.last_mut() {
+                    line.code.push('"');
+                    for _ in 0..hashes {
+                        line.code.push('#');
+                    }
+                }
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Whether position `i` starts a raw-string opener (`r"`, `r#`, `br"`,
+/// `br#`) and not just an identifier containing `r`/`b`.
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    // Must not be preceded by an identifier character (e.g. `var"` never
+    // happens, but `for r in ..` has r followed by space).
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Mark lines inside `#[cfg(test)]` items by tracking brace depth: the
+/// attribute arms a pending flag, the next `{` opens the test region,
+/// and the matching `}` closes it.
+fn mark_test_lines(lines: &mut [CleanedLine]) {
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut test_depth: Option<i64> = None;
+    for line in lines.iter_mut() {
+        let attr_here = line.code.contains("cfg(test)");
+        if attr_here {
+            pending = true;
+        }
+        let mark = test_depth.is_some() || pending;
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    if pending && test_depth.is_none() {
+                        test_depth = Some(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_depth == Some(depth) {
+                        test_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        line.in_test_code = mark || test_depth.is_some();
+    }
+}

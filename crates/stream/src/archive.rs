@@ -45,13 +45,12 @@ pub struct ArchiveService {
     entries: Mutex<Vec<ArchiveEntry>>,
 }
 
-fn archive_schema() -> Schema {
+fn archive_schema() -> Result<Schema> {
     Schema::new(vec![
         Field::new("key", DataType::Utf8),
         Field::new("value", DataType::Utf8),
         Field::new("timestamp", DataType::Int64),
     ])
-    .expect("static schema is valid")
 }
 
 impl ArchiveService {
@@ -84,14 +83,16 @@ impl ArchiveService {
             ReadCtrl { max_records: usize::MAX, committed_only: true },
             now,
         )?;
-        if records.is_empty() {
+        let (Some(base_offset), Some(last_offset)) = (
+            records.first().map(|(off, _)| *off),
+            records.last().map(|(off, _)| *off),
+        ) else {
             return Ok(None);
-        }
-        let base_offset = records[0].0;
-        let end_offset = records.last().unwrap().0 + 1;
+        };
+        let end_offset = last_offset + 1;
         let payload: Vec<Record> = records.into_iter().map(|(_, r)| r).collect();
         let encoded = if config.row_2_col {
-            let schema = archive_schema();
+            let schema = archive_schema()?;
             let rows: Result<Vec<Vec<Value>>> = payload
                 .iter()
                 .map(|r| {

@@ -10,7 +10,7 @@ use crate::record::Record;
 use crate::service::StreamService;
 use common::clock::Nanos;
 use common::Result;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One record delivered by [`Consumer::poll`].
@@ -32,12 +32,12 @@ pub struct Consumer {
     svc: Arc<StreamService>,
     group: String,
     topics: Vec<String>,
-    positions: HashMap<(String, u32), u64>,
+    positions: BTreeMap<(String, u32), u64>,
 }
 
 impl Consumer {
     pub(crate) fn new(svc: Arc<StreamService>, group: &str) -> Self {
-        Consumer { svc, group: group.to_string(), topics: Vec::new(), positions: HashMap::new() }
+        Consumer { svc, group: group.to_string(), topics: Vec::new(), positions: BTreeMap::new() }
     }
 
     /// The consumer's group name.
@@ -138,7 +138,7 @@ mod tests {
         let got = c.poll(100, 0).unwrap();
         assert_eq!(got.len(), 30);
         // per-stream offsets strictly increase
-        let mut last: HashMap<u32, u64> = HashMap::new();
+        let mut last: BTreeMap<u32, u64> = BTreeMap::new();
         for r in &got {
             if let Some(&prev) = last.get(&r.stream_idx) {
                 assert!(r.offset > prev);

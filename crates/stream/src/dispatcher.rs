@@ -15,7 +15,7 @@ use common::clock::{micros, Nanos};
 use common::{Error, ObjectId, Result, WorkerId};
 use kvstore::SharedKv;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Virtual cost of one metadata update (KV write + topology refresh push).
@@ -46,9 +46,9 @@ pub struct RescaleReport {
 #[derive(Debug, Default)]
 struct Topology {
     /// topic → per-stream routes.
-    topics: HashMap<String, Vec<StreamRoute>>,
+    topics: BTreeMap<String, Vec<StreamRoute>>,
     /// topic → config.
-    configs: HashMap<String, TopicConfig>,
+    configs: BTreeMap<String, TopicConfig>,
     workers: Vec<WorkerId>,
     next_worker_rr: usize,
 }
@@ -196,7 +196,10 @@ impl StreamDispatcher {
             topo.next_worker_rr += 1;
             let route = StreamRoute { stream_idx: idx, object_id: obj.id(), worker };
             self.kv.put(route_key(name, idx), encode_route(&route));
-            topo.topics.get_mut(name).unwrap().push(route);
+            topo.topics
+                .get_mut(name)
+                .ok_or_else(|| Error::NotFound(format!("topic {name}")))?
+                .push(route);
             updates += 1;
         }
         if let Some(c) = topo.configs.get_mut(name) {
@@ -321,7 +324,7 @@ mod tests {
         d.create_topic("t", TopicConfig::with_streams(9), 0).unwrap();
         let routes = d.topic_routes("t").unwrap();
         assert_eq!(routes.len(), 9);
-        let mut per_worker = HashMap::new();
+        let mut per_worker = BTreeMap::new();
         for r in &routes {
             *per_worker.entry(r.worker).or_insert(0u32) += 1;
         }

@@ -27,7 +27,7 @@ use common::{Error, ObjectId, Result};
 use parking_lot::Mutex;
 use plog::{PlogAddress, PlogStore};
 use simdisk::device::{Device, MediaKind};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -81,9 +81,9 @@ struct ObjectState {
     buffer: Vec<Record>,
     buffer_base: u64,
     next_offset: u64,
-    open_txns: HashSet<u64>,
-    aborted_txns: HashSet<u64>,
-    producer_seqs: HashMap<u64, u64>,
+    open_txns: BTreeSet<u64>,
+    aborted_txns: BTreeSet<u64>,
+    producer_seqs: BTreeMap<u64, u64>,
     persisted_bytes: u64,
     /// Virtual time at which the background SCM→PLog drain frees up.
     drain_backlog_until: Nanos,
@@ -349,7 +349,7 @@ impl StreamObject {
 pub struct StreamObjectStore {
     plog: Arc<PlogStore>,
     scm: Option<Arc<Device>>,
-    objects: Mutex<HashMap<ObjectId, Arc<StreamObject>>>,
+    objects: Mutex<BTreeMap<ObjectId, Arc<StreamObject>>>,
     next_id: AtomicU64,
 }
 
@@ -359,7 +359,7 @@ impl StreamObjectStore {
     pub fn new(plog: Arc<PlogStore>, scm_capacity: u64, clock: common::SimClock) -> Self {
         let scm = (scm_capacity > 0)
             .then(|| Arc::new(Device::new(u64::MAX, MediaKind::Scm, scm_capacity, clock)));
-        StreamObjectStore { plog, scm, objects: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1) }
+        StreamObjectStore { plog, scm, objects: Mutex::new(BTreeMap::new()), next_id: AtomicU64::new(1) }
     }
 
     /// `CreateServerStreamObject`: allocate a new stream object.

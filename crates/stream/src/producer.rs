@@ -11,8 +11,8 @@ use crate::object::AppendAck;
 use crate::record::Record;
 use crate::service::StreamService;
 use common::clock::Nanos;
-use common::{Result, TxnId};
-use std::collections::HashMap;
+use common::{Error, Result, TxnId};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Default records per batch before an automatic flush.
@@ -24,13 +24,13 @@ pub struct Producer {
     svc: Arc<StreamService>,
     pid: u64,
     batch_size: usize,
-    batches: HashMap<(String, u32), Vec<Record>>,
-    seqs: HashMap<(String, u32), u64>,
+    batches: BTreeMap<(String, u32), Vec<Record>>,
+    seqs: BTreeMap<(String, u32), u64>,
 }
 
 impl Producer {
     pub(crate) fn new(svc: Arc<StreamService>, pid: u64) -> Self {
-        Producer { svc, pid, batch_size: DEFAULT_BATCH_SIZE, batches: HashMap::new(), seqs: HashMap::new() }
+        Producer { svc, pid, batch_size: DEFAULT_BATCH_SIZE, batches: BTreeMap::new(), seqs: BTreeMap::new() }
     }
 
     /// This producer's idempotence id.
@@ -103,13 +103,18 @@ impl Producer {
             .map(|(k, _)| k.clone())
             .collect();
         for slot in slots {
-            let records = std::mem::take(self.batches.get_mut(&slot).unwrap());
+            let Some(batch) = self.batches.get_mut(&slot) else {
+                continue;
+            };
+            let records = std::mem::take(batch);
             // Re-resolve the route: the stream may have moved workers.
             let routes = self.svc.dispatcher().topic_routes(&slot.0)?;
             let route = routes
                 .into_iter()
                 .find(|r| r.stream_idx == slot.1)
-                .expect("stream disappeared");
+                .ok_or_else(|| {
+                    Error::NotFound(format!("stream {} of topic {} disappeared", slot.1, slot.0))
+                })?;
             acks.push(self.svc.produce_to(&slot.0, &route, &records, now)?);
         }
         Ok(acks)

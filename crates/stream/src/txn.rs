@@ -13,7 +13,7 @@
 use crate::object::StreamObject;
 use common::{Error, Result, TxnId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -26,13 +26,13 @@ struct TxnState {
 #[derive(Debug, Default)]
 pub struct TxnManager {
     next: AtomicU64,
-    active: Mutex<HashMap<u64, TxnState>>,
+    active: Mutex<BTreeMap<u64, TxnState>>,
 }
 
 impl TxnManager {
     /// A fresh coordinator.
     pub fn new() -> Self {
-        TxnManager { next: AtomicU64::new(1), active: Mutex::new(HashMap::new()) }
+        TxnManager { next: AtomicU64::new(1), active: Mutex::new(BTreeMap::new()) }
     }
 
     /// Begin a transaction.

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: build everything, run tier-1 tests, enforce the slint
+# determinism/error-hygiene baseline. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run -p slint

@@ -1,0 +1,605 @@
+//! std-only stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so this crate satisfies the
+//! workspace's `proptest` dev-dependency with the API subset the tests
+//! use: the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, `any::<T>()`, integer
+//! ranges as strategies, `collection::vec`, tuples, `prop_map`,
+//! `prop_filter_map`, and an explicit [`test_runner::TestRunner`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Deterministic**: every run samples from a fixed seed, so a failing
+//!   case reproduces on every machine and every rerun. The failure message
+//!   includes the case number.
+//! * **No shrinking**: the failing value is printed as sampled.
+//! * The `"[a-z]{0,12}"` string-pattern strategy supports exactly the
+//!   `[lo-hi]{min,max}` shape the workspace uses (plus a literal
+//!   fallback), not full regex.
+
+pub mod strategy {
+    use rand::Rng;
+
+    /// The deterministic generator strategies sample from.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike real proptest there is no value tree: `sample` returns a
+    /// plain value and failures do not shrink.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+
+        /// Sample one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform sampled values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values `f` maps to `Some`, resampling otherwise.
+        fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<O>,
+        {
+            FilterMap { inner: self, f, whence }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            // Resample on rejection; a strategy rejecting this often is a
+            // bug in the strategy, not bad luck.
+            for _ in 0..1000 {
+                if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map({:?}) rejected 1000 consecutive samples", self.whence)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Choose uniformly among `options` on every sample.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    /// Strategy yielding values of a primitive type (see [`any`]).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Types with a default whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The default strategy for `T` (`any::<u8>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, non-NaN doubles across many magnitudes (matching real
+            // proptest's default of excluding NaN so equality asserts hold).
+            let mantissa = rng.gen::<f64>() * 2.0 - 1.0;
+            let exp = rng.gen_range(-300i32..300);
+            mantissa * 10f64.powi(exp)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng).clamp(f32::MIN as f64, f32::MAX as f64) as f32
+        }
+    }
+
+    macro_rules! impl_strategy_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// String pattern strategy: supports the `[lo-hi]{min,max}` shape
+    /// (e.g. `"[a-z]{0,12}"`); any other pattern samples itself literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            if let Some((lo, hi, min_len, max_len)) = parse_char_class(self) {
+                let len = rng.gen_range(min_len..=max_len);
+                (0..len)
+                    .map(|_| rng.gen_range(lo as u32..=hi as u32) as u8 as char)
+                    .collect()
+            } else {
+                (*self).to_string()
+            }
+        }
+    }
+
+    /// Parse `[a-z]{lo,hi}` → `(a, z, lo, hi)`.
+    fn parse_char_class(pat: &str) -> Option<(char, char, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut chars = class.chars();
+        let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+        if dash != '-' || chars.next().is_some() {
+            return None;
+        }
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (min_s, max_s) = counts.split_once(',')?;
+        Some((lo, hi, min_s.trim().parse().ok()?, max_s.trim().parse().ok()?))
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_strategy_tuple! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length bounds for [`vec`], converted from `usize` or ranges.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `None` ~25% of the time, `Some(inner)` otherwise
+    /// (matching real proptest's default `Probability(0.5..1.0)` spirit).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::{Strategy, TestRng};
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Runner configuration. `cases` is the number of samples per test.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` samples.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; 64 keeps the deterministic
+            // suite fast while still exercising the domain.
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed assertion inside one test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// A failed run: the case number and its assertion message.
+    #[derive(Debug, Clone)]
+    pub struct TestError(pub String);
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic test-case runner: a fixed seed, `cases` samples.
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner for `config`, seeded deterministically.
+        pub fn new(config: Config) -> Self {
+            TestRunner { config, rng: TestRng::seed_from_u64(0x5eed_cafe_f00d_d00d) }
+        }
+
+        /// Sample `cases` values from `strategy` and feed each to `test`.
+        /// Stops at the first failure, reporting the case index.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.sample(&mut self.rng);
+                test(value).map_err(|e| {
+                    TestError(format!("proptest case {case}/{}: {}", self.config.cases, e.0))
+                })?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias so `prop::collection::vec` style paths keep working.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn roundtrip(v in any::<u64>()) { prop_assert_eq!(decode(encode(v)), v); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let strategy = ($($strategy,)+);
+            let outcome = runner.run(&strategy, |($($arg,)+)| {
+                { $body }
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(e) = outcome {
+                panic!("{}", e.0);
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 1usize..50, v in any::<u8>()) {
+            prop_assert!(n >= 1 && n < 50);
+            let _ = v;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn vec_lengths_respect_size_range(
+            data in collection::vec(any::<u8>(), 3..10),
+            exact in collection::vec(any::<i64>(), 4usize),
+        ) {
+            prop_assert!(data.len() >= 3 && data.len() < 10);
+            prop_assert_eq!(exact.len(), 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_compose(
+            tagged in prop_oneof![
+                (1usize..5).prop_map(|n| ("small", n)),
+                (100usize..105).prop_map(|n| ("big", n)),
+            ]
+        ) {
+            let (tag, n) = tagged;
+            match tag {
+                "small" => prop_assert!(n < 5),
+                "big" => prop_assert!(n >= 100),
+                _ => prop_assert!(false, "unexpected tag {tag}"),
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn string_pattern_samples_class(s in "[a-z]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn f64_any_is_finite(x in any::<f64>()) {
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_and_reports_case() {
+        use crate::strategy::Strategy as _;
+        let strat = (0u64..1000).prop_map(|v| v);
+        let mut failures = Vec::new();
+        for _ in 0..2 {
+            let mut runner = crate::test_runner::TestRunner::new(
+                crate::test_runner::Config::with_cases(50),
+            );
+            let err = runner
+                .run(&strat, |v| {
+                    if v > 500 {
+                        Err(crate::test_runner::TestCaseError::fail(format!("v={v}")))
+                    } else {
+                        Ok(())
+                    }
+                })
+                .unwrap_err();
+            failures.push(err.0);
+        }
+        assert_eq!(failures[0], failures[1], "same seed must fail identically");
+        assert!(failures[0].contains("proptest case"));
+    }
+
+    #[test]
+    fn filter_map_resamples() {
+        use crate::strategy::{any, Strategy};
+        use rand::SeedableRng;
+        let even = any::<u64>().prop_filter_map("odd", |v| (v % 2 == 0).then_some(v));
+        let mut rng = crate::strategy::TestRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(even.sample(&mut rng) % 2, 0);
+        }
+    }
+}

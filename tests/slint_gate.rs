@@ -1,0 +1,33 @@
+//! Tier-1 gate: the workspace must stay within the checked-in slint
+//! baseline (`slint.baseline` at the repo root).
+//!
+//! The baseline is ratchet-only: fixing findings and regenerating it with
+//! `cargo run -p slint -- --baseline-update` is always allowed; introducing
+//! a new finding (or a new offending file) fails this test. Rules and the
+//! waiver syntax are documented in `crates/slint/README.md`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_within_slint_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = slint::scan_workspace(root).expect("workspace scan");
+    let baseline_path = root.join("slint.baseline");
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let baseline = slint::parse_baseline(&baseline_text).expect("valid baseline file");
+    let report = slint::judge(&findings, &baseline);
+    if !report.ok() {
+        let mut msg = String::from("slint gate failed — new findings over baseline:\n");
+        for (rule, file, have, allowed) in &report.regressions {
+            msg.push_str(&format!("  [{rule}] {file}: {have} finding(s), baseline allows {allowed}\n"));
+        }
+        for f in &findings {
+            msg.push_str(&format!("    {f}\n"));
+        }
+        msg.push_str(
+            "fix the findings, add a `// slint:allow(<rule>): reason` waiver, or (for \
+             pre-existing debt only) regenerate with `cargo run -p slint -- --baseline-update`.\n",
+        );
+        panic!("{msg}");
+    }
+}
