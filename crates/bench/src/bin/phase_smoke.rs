@@ -1,0 +1,19 @@
+//! Latency-attribution smoke gate: a tiny Fig 14-style run that must
+//! light up every span phase (`queue`, `device`, `wan`, `meta`).
+//!
+//! `scripts/check.sh` runs this after the tier-1 tests; it prints the
+//! per-phase breakdown and exits nonzero when any phase records zero
+//! samples, so a refactor that silently drops attribution fails CI.
+//!
+//! `cargo run --release -p bench --bin phase_smoke`
+
+fn main() {
+    let view = bench::fig14::phase_breakdown(400);
+    bench::fig14::print_phase_breakdown(&view);
+    let missing = bench::fig14::missing_phases(&view);
+    if !missing.is_empty() {
+        eprintln!("phase_smoke: FAILED — phases with zero samples: {missing:?}");
+        std::process::exit(1);
+    }
+    println!("phase_smoke: ok — all {} phases attributed", bench::fig14::REQUIRED_PHASES.len());
+}

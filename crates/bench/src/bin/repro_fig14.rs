@@ -6,4 +6,5 @@ fn main() {
     let el = bench::fig14::elasticity(1_000, 10_000, 5_000);
     let space = bench::fig14::space_consumption(4_000);
     bench::fig14::print(&set1, &set2, &el, &space);
+    bench::fig14::print_phase_breakdown(&bench::fig14::phase_breakdown(4_000));
 }

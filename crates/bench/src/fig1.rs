@@ -12,6 +12,7 @@
 //! speedups come from measured pushdown-vs-baseline query executions.
 
 use crate::table1;
+use common::ctx::IoCtx;
 use streamlake::{Query, QueryEngine, StreamLake, StreamLakeConfig};
 use workloads::packets::PacketGen;
 
@@ -61,7 +62,7 @@ pub fn run(packets: usize) -> DeploymentSummary {
             PacketGen::schema(),
             Some(lake::catalog::PartitionSpec::hourly("start_time")),
             20_000,
-            0,
+            &IoCtx::new(0),
         )
         .unwrap();
     let mut url = String::new();
@@ -72,9 +73,9 @@ pub fn run(packets: usize) -> DeploymentSummary {
             url = batch[0].url.clone();
         }
         let rows: Vec<_> = batch.iter().map(|p| p.to_row()).collect();
-        sl.tables().insert("dpi", &rows, 0).unwrap();
+        sl.tables().insert("dpi", &rows, &IoCtx::new(0)).unwrap();
     }
-    sl.sync(0).unwrap();
+    sl.sync(&sl.root_ctx(common::ctx::QosClass::Foreground)).unwrap();
     // The speedup isolates pushdown + pruning over the RDMA fabric vs
     // row-shipping over TCP; both engines use the accelerated metadata
     // path (the metadata gap is Fig 15's experiment, not this one).
@@ -91,9 +92,9 @@ pub fn run(packets: usize) -> DeploymentSummary {
     for hours in [1i64, 2, 4, 8] {
         for url in [&url, &rare_url] {
             let q = Query::dau("dpi", url, table1::T0, table1::T0 + hours * 3600);
-            let fast = fast_engine.execute(sl.tables(), &q, quiet).unwrap();
+            let fast = fast_engine.execute(sl.tables(), &q, &IoCtx::new(quiet)).unwrap();
             quiet += common::clock::secs(500);
-            let slow = slow_engine.execute(sl.tables(), &q, quiet).unwrap();
+            let slow = slow_engine.execute(sl.tables(), &q, &IoCtx::new(quiet)).unwrap();
             quiet += common::clock::secs(500);
             assert_eq!(fast.groups, slow.groups);
             speedups.push(slow.elapsed as f64 / fast.elapsed.max(1) as f64);

@@ -5,7 +5,9 @@
 //!     1000 → 10000 partitions; (d) space multiplier per redundancy
 //!     strategy at fault tolerance 1–3.
 
-use common::clock::Nanos;
+use common::clock::{micros, Nanos};
+use common::ctx::{IoCtx, QosClass};
+use common::metrics::HistogramSummary;
 use common::size::{GIB, MIB};
 use ec::{Redundancy, Stripe};
 use format::{LakeFileWriter, Value};
@@ -54,7 +56,7 @@ pub fn stream_load(offered_rate: u64, messages: u64, scm: bool) -> StreamPoint {
         let at = spec.arrival(i);
         batch_arrivals.push(at);
         if let Some(ack) = producer
-            .send("bench", format!("k{}", i % 1024), payload.clone(), at)
+            .send("bench", format!("k{}", i % 1024), payload.clone(), &IoCtx::new(at))
             .unwrap()
         {
             // per-message latency: from each message's arrival to the ack
@@ -65,7 +67,7 @@ pub fn stream_load(offered_rate: u64, messages: u64, scm: bool) -> StreamPoint {
             last_ack = last_ack.max(ack.ack_time);
         }
     }
-    for ack in producer.flush(spec.duration()).unwrap() {
+    for ack in producer.flush(&IoCtx::new(spec.duration())).unwrap() {
         for &arr in &batch_arrivals {
             latency.record(ack.ack_time.saturating_sub(arr));
         }
@@ -119,10 +121,10 @@ pub fn elasticity(from: u32, to: u32, preload_msgs: usize) -> ElasticityReport {
         .unwrap();
     let mut p = sl.producer();
     for i in 0..preload_msgs {
-        p.send("big", format!("k{i}"), vec![0u8; 512], 0).unwrap();
+        p.send("big", format!("k{i}"), vec![0u8; 512], &IoCtx::new(0)).unwrap();
     }
-    p.flush(0).unwrap();
-    let report = sl.stream().scale_topic("big", to, 0).unwrap();
+    p.flush(&IoCtx::new(0)).unwrap();
+    let report = sl.stream().scale_topic("big", to, &IoCtx::new(0)).unwrap();
 
     // Kafka for contrast: same preload, scale partitions
     let clock = common::SimClock::new();
@@ -246,9 +248,76 @@ pub fn print(set1: &[StreamPoint], set2: &[StreamPoint], el: &ElasticityReport, 
     }
 }
 
+/// Span phases every request in the produce path must touch; the smoke
+/// gate fails when any of them records zero samples.
+pub const REQUIRED_PHASES: [&str; 4] = ["queue", "device", "wan", "meta"];
+
+/// A tiny Fig 14-style run with full latency attribution: a constant-rate
+/// produce load (queue/device/wan spans) followed by a Fig 14(c)-style
+/// metadata-only rescale (meta spans), all under contexts minted from the
+/// deployment's span sink. Returns the per-phase histogram view.
+pub fn phase_breakdown(messages: u64) -> Vec<(String, HistogramSummary)> {
+    let sl = StreamLake::new(StreamLakeConfig::small());
+    sl.stream()
+        .create_topic("bench", stream::TopicConfig::with_streams(4))
+        .unwrap();
+    let root = sl.root_ctx(QosClass::Foreground);
+    let mut producer = sl.producer();
+    producer.set_batch_size(8);
+    let payload = vec![0x5Au8; 512];
+    for i in 0..messages {
+        let at = i * micros(100);
+        producer
+            .send("bench", format!("k{}", i % 64), payload.clone(), &root.at(at))
+            .unwrap();
+    }
+    let t_end = messages * micros(100);
+    producer.flush(&root.at(t_end)).unwrap();
+    sl.stream().scale_topic("bench", 8, &root.at(t_end)).unwrap();
+    sl.span_sink().phase_view()
+}
+
+/// Names from [`REQUIRED_PHASES`] absent from `view` (zero samples).
+pub fn missing_phases(view: &[(String, HistogramSummary)]) -> Vec<&'static str> {
+    REQUIRED_PHASES
+        .iter()
+        .filter(|p| !view.iter().any(|(name, s)| name == *p && s.count > 0))
+        .copied()
+        .collect()
+}
+
+/// Print the per-phase latency breakdown table.
+pub fn print_phase_breakdown(view: &[(String, HistogramSummary)]) {
+    println!("\nFig 14 per-phase latency attribution (virtual us per span)");
+    println!(
+        "{:>8} | {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "samples", "mean", "p50", "p99", "max"
+    );
+    for (name, s) in view {
+        println!(
+            "{:>8} | {:>8} {:>9.1}u {:>9.1}u {:>9.1}u {:>9.1}u",
+            name,
+            s.count,
+            s.mean / 1e3,
+            s.p50 as f64 / 1e3,
+            s.p99 as f64 / 1e3,
+            s.max as f64 / 1e3
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_breakdown_attributes_every_phase_deterministically() {
+        let view = phase_breakdown(200);
+        assert!(missing_phases(&view).is_empty(), "view: {view:?}");
+        // bit-for-bit reproducible: a second identical run matches
+        let again = phase_breakdown(200);
+        assert_eq!(view, again);
+    }
 
     #[test]
     fn scm_lowers_latency_at_low_rate_not_throughput_at_high() {

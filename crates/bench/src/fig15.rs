@@ -8,6 +8,7 @@
 //!     with acceleration it pulls only the touched partitions.
 
 use common::clock::Nanos;
+use common::ctx::IoCtx;
 use common::size::GIB;
 use lake::metacache::PER_FILE_META_BYTES;
 use lake::{MetadataMode, MetadataCache, ScanOptions};
@@ -42,18 +43,18 @@ pub fn build_testbed(partitions: usize, files_per_partition: usize) -> MetaTestb
             PacketGen::schema(),
             Some(lake::catalog::PartitionSpec::hourly("start_time")),
             100_000,
-            0,
+            &IoCtx::new(0),
         )
         .unwrap();
     for h in 0..partitions {
         let mut gen = PacketGen::new(h as u64, T0 + h as i64 * 3600, 1000);
         for _ in 0..files_per_partition {
             let rows: Vec<_> = gen.batch(8).iter().map(|p| p.to_row()).collect();
-            sl.tables().insert("dpi_hours", &rows, 0).unwrap();
+            sl.tables().insert("dpi_hours", &rows, &IoCtx::new(0)).unwrap();
         }
     }
-    sl.sync(0).unwrap(); // persist metadata so the file-based path works
-    let files = sl.tables().live_files("dpi_hours", 0).unwrap().len();
+    sl.sync(&sl.root_ctx(common::ctx::QosClass::Foreground)).unwrap(); // persist metadata so the file-based path works
+    let files = sl.tables().live_files("dpi_hours", &IoCtx::new(0)).unwrap().len();
     MetaTestbed { sl, partitions, files }
 }
 
@@ -90,7 +91,7 @@ pub fn metadata_op_times(testbed: &MetaTestbed, queries: usize) -> MetaOpPoint {
             let r = testbed
                 .sl
                 .tables()
-                .select("dpi_hours", &opts, quiet + i as u64 * common::clock::secs(50))
+                .select("dpi_hours", &opts, &IoCtx::new(quiet + i as u64 * common::clock::secs(50)))
                 .unwrap();
             total[i] += r.stats.metadata_time;
         }

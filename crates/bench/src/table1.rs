@@ -92,7 +92,7 @@ pub fn run_size(packets: usize, seed: u64) -> Table1Row {
     cfg.hdd_capacity = cfg.ssd_capacity * 4;
     let pipeline = StreamLakePipeline::new(StreamLake::new(cfg));
     let s = pipeline
-        .run(&batch, &url, T0, T0 + 86_400, 0)
+        .run(&batch, &url, T0, T0 + 86_400, &common::ctx::IoCtx::new(0))
         .expect("streamlake pipeline");
     assert_eq!(b.query_rows, s.query_rows, "pipelines must agree on the answer");
 

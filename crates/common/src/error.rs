@@ -36,6 +36,11 @@ pub enum Error {
     Io(String),
     /// A transaction was aborted by the coordinator or a participant.
     TxnAborted(String),
+    /// The operation could not complete within its [`IoCtx`] deadline
+    /// (virtual-time budget), including retry budgets that ran out.
+    ///
+    /// [`IoCtx`]: crate::ctx::IoCtx
+    DeadlineExceeded(String),
 }
 
 impl Error {
@@ -53,6 +58,7 @@ impl Error {
             Error::Unsupported(_) => "unsupported",
             Error::Io(_) => "io",
             Error::TxnAborted(_) => "txn_aborted",
+            Error::DeadlineExceeded(_) => "deadline_exceeded",
         }
     }
 
@@ -82,6 +88,7 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => ("unsupported", m),
             Error::Io(m) => ("i/o error", m),
             Error::TxnAborted(m) => ("transaction aborted", m),
+            Error::DeadlineExceeded(m) => ("deadline exceeded", m),
         };
         write!(f, "{kind}: {msg}")
     }
@@ -109,11 +116,15 @@ mod tests {
         assert!(!Error::Corruption(String::new()).is_retryable());
         assert!(!Error::NotFound(String::new()).is_retryable());
         assert!(!Error::CapacityExhausted(String::new()).is_retryable());
+        // A blown deadline means the budget is gone: retrying the same op
+        // with the same context cannot succeed.
+        assert!(!Error::DeadlineExceeded(String::new()).is_retryable());
     }
 
     #[test]
     fn kind_is_stable() {
         assert_eq!(Error::Io("x".into()).kind(), "io");
         assert_eq!(Error::Unrecoverable("x".into()).kind(), "unrecoverable");
+        assert_eq!(Error::DeadlineExceeded("x".into()).kind(), "deadline_exceeded");
     }
 }

@@ -10,9 +10,12 @@
 //!   substrate charges latency against;
 //! * [`crc32`](checksum::crc32) and varint codecs used by the WAL and the
 //!   columnar file format;
-//! * a tiny [`metrics`] registry used by the benchmark harness.
+//! * a tiny [`metrics`] registry used by the benchmark harness;
+//! * [`IoCtx`] — the per-request context (deadline, QoS class, trace span)
+//!   threaded through every layer of the storage stack.
 
 pub mod checksum;
+pub mod ctx;
 pub mod clock;
 pub mod error;
 pub mod id;
@@ -22,5 +25,6 @@ pub mod size;
 pub mod varint;
 
 pub use clock::SimClock;
+pub use ctx::{IoCtx, Phase, QosClass, SpanRecord, SpanSink};
 pub use error::{Error, Result};
 pub use id::{ObjectId, PlogId, ShardId, SnapshotId, StreamId, TableId, TxnId, WorkerId};

@@ -83,6 +83,29 @@ impl Metrics {
         })
     }
 
+    /// Summaries of every histogram whose name starts with `prefix`, keyed
+    /// by the name with the prefix stripped, sorted by that key. This is
+    /// the per-phase view: `histograms_with_prefix("phase.")` yields one
+    /// `(phase, summary)` row per span phase that recorded samples.
+    pub fn histograms_with_prefix(&self, prefix: &str) -> Vec<(String, HistogramSummary)> {
+        let names: Vec<String> = {
+            let inner = self.inner.lock();
+            inner
+                .histograms
+                .keys()
+                .filter(|k| k.starts_with(prefix))
+                .cloned()
+                .collect()
+        };
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let summary = self.histogram(&name)?;
+                Some((name[prefix.len()..].to_string(), summary))
+            })
+            .collect()
+    }
+
     /// Snapshot of all counters, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
         self.inner
@@ -142,6 +165,20 @@ mod tests {
         assert_eq!(m.counter("c"), 0);
         assert!(m.histogram("h").is_none());
         assert!(m.counters().is_empty());
+    }
+
+    #[test]
+    fn prefix_view_strips_and_sorts() {
+        let m = Metrics::new();
+        m.observe("phase.queue", 5);
+        m.observe("phase.device", 7);
+        m.observe("phase.device", 9);
+        m.observe("other", 1);
+        let view = m.histograms_with_prefix("phase.");
+        assert_eq!(view.len(), 2);
+        assert_eq!(view[0].0, "device");
+        assert_eq!(view[0].1.count, 2);
+        assert_eq!(view[1].0, "queue");
     }
 
     #[test]

@@ -14,18 +14,20 @@
 //! * the LakeBrain optimizer ([`lakebrain`]).
 //!
 //! ```
+//! use common::ctx::QosClass;
 //! use streamlake::{StreamLake, StreamLakeConfig};
 //!
 //! let sl = StreamLake::new(StreamLakeConfig::default());
 //! sl.stream()
 //!     .create_topic("topic_streamlake_test", stream::TopicConfig::with_streams(3))
 //!     .unwrap();
+//! let ctx = sl.root_ctx(QosClass::Foreground);
 //! let mut producer = sl.producer();
 //! producer.set_batch_size(1);
-//! producer.send("topic_streamlake_test", "key", "Hello world", 0).unwrap();
+//! producer.send("topic_streamlake_test", "key", "Hello world", &ctx).unwrap();
 //! let mut consumer = sl.consumer("quickstart");
 //! consumer.subscribe("topic_streamlake_test").unwrap();
-//! let records = consumer.poll(10, 0).unwrap();
+//! let records = consumer.poll(10, &ctx).unwrap();
 //! assert_eq!(records.len(), 1);
 //! ```
 

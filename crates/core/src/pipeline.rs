@@ -22,6 +22,7 @@
 use crate::query::{Query, QueryEngine};
 use crate::system::StreamLake;
 use common::clock::Nanos;
+use common::ctx::IoCtx;
 use common::Result;
 use format::{DataType, Expr, Field, Schema, Value};
 use lake::catalog::PartitionSpec;
@@ -85,7 +86,7 @@ impl StreamLakePipeline {
         query_url: &str,
         query_lo: i64,
         query_hi: i64,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<PipelineReport> {
         let sl = &self.sl;
         // --- collection: produce into the stream ------------------------
@@ -101,16 +102,16 @@ impl StreamLakePipeline {
         sl.stream().create_topic("dpi", cfg.clone())?;
         let mut producer = sl.producer();
         producer.set_batch_size(84);
-        let mut last_ack = now;
+        let mut last_ack = ctx.now;
         for p in packets {
-            if let Some(ack) = producer.send("dpi", p.key(), p.to_wire(), now)? {
+            if let Some(ack) = producer.send("dpi", p.key(), p.to_wire(), ctx)? {
                 last_ack = last_ack.max(ack.ack_time);
             }
         }
-        for ack in producer.flush(now)? {
+        for ack in producer.flush(ctx)? {
             last_ack = last_ack.max(ack.ack_time);
         }
-        let stream_secs = ((last_ack - now) as f64 / 1e9).max(1e-9);
+        let stream_secs = ((last_ack - ctx.now) as f64 / 1e9).max(1e-9);
         let stream_msgs_per_sec = packets.len() as f64 / stream_secs;
 
         // --- conversion: the one authoritative table copy ----------------
@@ -123,7 +124,7 @@ impl StreamLakePipeline {
             pipeline_schema(),
             Some(PartitionSpec::hourly("start_time")),
             20_000,
-            batch_start,
+            &ctx.at(batch_start),
         )?;
         let mut t = batch_start;
         for route in sl.stream().dispatcher().topic_routes("dpi")? {
@@ -139,7 +140,7 @@ impl StreamLakePipeline {
                     Ok(row)
                 }),
             );
-            if let Some(report) = task.run(sl.tables(), t, true)? {
+            if let Some(report) = task.run(sl.tables(), &ctx.at(t), true)? {
                 t = t.max(report.commit.finished_at);
             }
         }
@@ -159,7 +160,7 @@ impl StreamLakePipeline {
                 }
                 Some(out)
             },
-            t,
+            &ctx.at(t),
         )?;
         t = t.max(info.finished_at) + job_compute;
 
@@ -178,17 +179,17 @@ impl StreamLakePipeline {
                 out[label_idx] = Value::from(label);
                 Some(out)
             },
-            t,
+            &ctx.at(t),
         )?;
         t = t.max(info.finished_at) + job_compute;
 
         // --- query: DAU with pushdown -------------------------------------
         let engine = QueryEngine::new();
         let q = Query::dau("dpi", query_url, query_lo, query_hi);
-        let out = engine.execute(sl.tables(), &q, t)?;
+        let out = engine.execute(sl.tables(), &q, &ctx.at(t))?;
         // the pushed-down filter still evaluates every surviving row
         let t_end = t + out.elapsed + job_compute;
-        sl.sync(t_end)?;
+        sl.sync(&ctx.at(t_end))?;
 
         Ok(PipelineReport {
             batch_time: t_end - batch_start,
@@ -216,7 +217,7 @@ mod tests {
         let packets = g.batch(1500);
         let url = packets[0].url.clone();
         let logical: u64 = packets.iter().map(|p| p.to_wire().len() as u64).sum();
-        let report = pipeline.run(&packets, &url, T0, T0 + 86_400, 0).unwrap();
+        let report = pipeline.run(&packets, &url, T0, T0 + 86_400, &IoCtx::new(0)).unwrap();
         assert!(report.query_rows > 0);
         assert!(report.stream_msgs_per_sec > 0.0);
         assert!(report.batch_time > 0);
@@ -236,7 +237,7 @@ mod tests {
         let mut g = PacketGen::new(7, T0, 1000);
         let packets = g.batch(800);
         let url = packets[0].url.clone();
-        let report = pipeline.run(&packets, &url, T0, T0 + 86_400, 0).unwrap();
+        let report = pipeline.run(&packets, &url, T0, T0 + 86_400, &IoCtx::new(0)).unwrap();
         let truth: std::collections::BTreeSet<&str> = packets
             .iter()
             .filter(|p| p.url == url)

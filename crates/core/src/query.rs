@@ -8,6 +8,7 @@
 //! path), every candidate row ships to compute first.
 
 use common::clock::Nanos;
+use common::ctx::{IoCtx, Phase};
 use common::{Error, Result};
 use format::{Expr, Value};
 use lake::table::ScanStats;
@@ -96,8 +97,8 @@ impl QueryEngine {
         }
     }
 
-    /// Execute `query` at virtual time `now`.
-    pub fn execute(&self, store: &TableStore, query: &Query, now: Nanos) -> Result<QueryOutput> {
+    /// Execute `query` at the context's virtual time.
+    pub fn execute(&self, store: &TableStore, query: &Query, ctx: &IoCtx) -> Result<QueryOutput> {
         // Columns the aggregate needs.
         let mut projection: Vec<String> = Vec::new();
         if let Some(g) = &query.group_by {
@@ -126,7 +127,7 @@ impl QueryEngine {
             // conventional engines prune partitions too (Hive-style layouts)
             partition_pruning: true,
         };
-        let result = store.select(&query.table, &opts, now)?;
+        let result = store.select(&query.table, &opts, ctx)?;
         // Aggregate (at storage when pushed down, at compute otherwise).
         let profile = store.catalog().get(&query.table)?;
         let group_idx = match (&query.group_by, self.pushdown && !projection.is_empty()) {
@@ -199,6 +200,11 @@ impl QueryEngine {
                 .sum()
         };
         let transfer = self.transport.transfer_time(transfer_bytes);
+        ctx.record(
+            Phase::Wan,
+            ctx.now + result.stats.metadata_time + result.stats.data_time,
+            transfer,
+        );
         let elapsed =
             result.stats.metadata_time + result.stats.data_time + transfer;
         Ok(QueryOutput { groups, scan: result.stats, elapsed })
@@ -228,7 +234,7 @@ mod tests {
                 PacketGen::schema(),
                 Some(PartitionSpec::hourly("start_time")),
                 5000,
-                0,
+                &IoCtx::new(0),
             )
             .unwrap();
         // spread the data over six hourly partitions
@@ -237,7 +243,7 @@ mod tests {
             let mut g = PacketGen::new(1 + h, T0 + h as i64 * 3600, 500);
             let batch = g.batch(n / 6);
             let rows: Vec<_> = batch.iter().map(|p| p.to_row()).collect();
-            sl.tables().insert("dpi", &rows, 0).unwrap();
+            sl.tables().insert("dpi", &rows, &IoCtx::new(0)).unwrap();
             packets.extend(batch);
         }
         (sl, packets)
@@ -248,7 +254,7 @@ mod tests {
         let (sl, packets) = loaded_system(2000);
         let url = &packets[0].url.clone();
         let q = Query::dau("dpi", url, T0, T0 + 86_400);
-        let out = QueryEngine::new().execute(sl.tables(), &q, 0).unwrap();
+        let out = QueryEngine::new().execute(sl.tables(), &q, &IoCtx::new(0)).unwrap();
         // ground truth
         let mut truth: BTreeMap<String, f64> = BTreeMap::new();
         for p in &packets {
@@ -263,15 +269,15 @@ mod tests {
     fn pushdown_and_baseline_agree_but_pushdown_is_faster() {
         let (sl, packets) = loaded_system(3000);
         let url = packets[0].url.clone();
-        sl.sync(0).unwrap(); // baseline needs persisted metadata files
+        sl.sync(&sl.root_ctx(common::ctx::QosClass::Foreground)).unwrap(); // baseline needs persisted metadata files
         let q = Query::dau("dpi", &url, T0, T0 + 2);
         // evaluate both at quiet, distinct virtual instants so device queues
         // from loading have drained
         let fast = QueryEngine::new()
-            .execute(sl.tables(), &q, common::clock::secs(100))
+            .execute(sl.tables(), &q, &IoCtx::new(common::clock::secs(100)))
             .unwrap();
         let slow = QueryEngine::baseline()
-            .execute(sl.tables(), &q, common::clock::secs(200))
+            .execute(sl.tables(), &q, &IoCtx::new(common::clock::secs(200)))
             .unwrap();
         assert_eq!(fast.groups, slow.groups, "pushdown must not change answers");
         assert!(
@@ -295,19 +301,19 @@ mod tests {
             group_by: None,
             aggregate: Aggregate::Sum("bytes_down".into()),
         };
-        let sum = engine.execute(sl.tables(), &base, 0).unwrap();
+        let sum = engine.execute(sl.tables(), &base, &IoCtx::new(0)).unwrap();
         let min = engine
             .execute(
                 sl.tables(),
                 &Query { aggregate: Aggregate::Min("bytes_down".into()), ..base.clone() },
-                0,
+                &IoCtx::new(0),
             )
             .unwrap();
         let max = engine
             .execute(
                 sl.tables(),
                 &Query { aggregate: Aggregate::Max("bytes_down".into()), ..base.clone() },
-                0,
+                &IoCtx::new(0),
             )
             .unwrap();
         let s = sum.groups[""];
@@ -327,7 +333,7 @@ mod tests {
             group_by: None,
             aggregate: Aggregate::CountStar,
         };
-        let out = QueryEngine::new().execute(sl.tables(), &q, 0).unwrap();
+        let out = QueryEngine::new().execute(sl.tables(), &q, &IoCtx::new(0)).unwrap();
         assert_eq!(out.groups.len(), 1);
         assert_eq!(out.groups[""], packets.len() as f64);
     }

@@ -1,5 +1,7 @@
 //! The [`StreamLake`] system handle.
 
+use common::ctx::{IoCtx, QosClass, SpanSink};
+use common::metrics::Metrics;
 use common::size::{GIB, MIB};
 use common::{Result, SimClock};
 use ec::Redundancy;
@@ -89,6 +91,8 @@ impl StreamLakeConfig {
 #[derive(Debug)]
 pub struct StreamLake {
     clock: SimClock,
+    metrics: Metrics,
+    sink: Arc<SpanSink>,
     ssd: Arc<StoragePool>,
     hdd: Arc<StoragePool>,
     plog: Arc<PlogStore>,
@@ -102,6 +106,8 @@ impl StreamLake {
     /// Bring up a deployment.
     pub fn new(config: StreamLakeConfig) -> Self {
         let clock = SimClock::new();
+        let metrics = Metrics::new();
+        let sink = Arc::new(SpanSink::new(metrics.clone()));
         let ssd = Arc::new(StoragePool::new(
             "ssd-pool",
             MediaKind::NvmeSsd,
@@ -147,12 +153,30 @@ impl StreamLake {
             common::clock::secs(config.tier_demote_after_secs),
             true,
         );
-        StreamLake { clock, ssd, hdd, plog, stream, tables, archive, tiering }
+        StreamLake { clock, metrics, sink, ssd, hdd, plog, stream, tables, archive, tiering }
     }
 
     /// The shared virtual clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// The deployment-wide metrics registry (span phases feed into it).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The span sink every root context reports to.
+    pub fn span_sink(&self) -> &Arc<SpanSink> {
+        &self.sink
+    }
+
+    /// Mint a root request context at the current virtual time, wired to
+    /// this deployment's span sink.
+    pub fn root_ctx(&self, qos: QosClass) -> IoCtx {
+        IoCtx::new(self.clock.now())
+            .with_qos(qos)
+            .with_sink(self.sink.clone())
     }
 
     /// The message streaming service.
@@ -207,9 +231,9 @@ impl StreamLake {
 
     /// Flush any buffered state (stream object buffers, metadata cache) so
     /// that storage accounting is complete.
-    pub fn sync(&self, now: common::clock::Nanos) -> Result<()> {
+    pub fn sync(&self, ctx: &IoCtx) -> Result<()> {
         for table in self.tables.catalog().list() {
-            self.tables.meta().flush(&table, now)?;
+            self.tables.meta().flush(&table, ctx)?;
         }
         Ok(())
     }
@@ -231,7 +255,7 @@ mod tests {
         let mut p = sl.producer();
         p.set_batch_size(1);
         for i in 0..10 {
-            p.send("t", format!("k{i}"), format!("v{i}"), 0).unwrap();
+            p.send("t", format!("k{i}"), format!("v{i}"), &IoCtx::new(0)).unwrap();
         }
         // table side
         let schema = Schema::new(vec![
@@ -239,20 +263,20 @@ mod tests {
             Field::new("n", DataType::Int64),
         ])
         .unwrap();
-        sl.tables().create_table("demo", schema, None, 1000, 0).unwrap();
+        sl.tables().create_table("demo", schema, None, 1000, &IoCtx::new(0)).unwrap();
         sl.tables()
-            .insert("demo", &[vec![Value::from("a"), Value::Int(1)]], 0)
+            .insert("demo", &[vec![Value::from("a"), Value::Int(1)]], &IoCtx::new(0))
             .unwrap();
         // both live in the same physical pools
         assert!(sl.physical_bytes() > 0);
         let r = sl
             .tables()
-            .select("demo", &lake::ScanOptions::default(), 0)
+            .select("demo", &lake::ScanOptions::default(), &IoCtx::new(0))
             .unwrap();
         assert_eq!(r.rows.len(), 1);
         let mut c = sl.consumer("g");
         c.subscribe("t").unwrap();
-        assert_eq!(c.poll(100, 0).unwrap().len(), 10);
+        assert_eq!(c.poll(100, &IoCtx::new(0)).unwrap().len(), 10);
     }
 
     #[test]
@@ -267,9 +291,9 @@ mod tests {
         let sl = StreamLake::new(StreamLakeConfig::small());
         let schema =
             Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
-        sl.tables().create_table("t", schema, None, 100, 0).unwrap();
-        sl.tables().insert("t", &[vec![Value::Int(1)]], 0).unwrap();
-        sl.sync(0).unwrap();
+        sl.tables().create_table("t", schema, None, 100, &IoCtx::new(0)).unwrap();
+        sl.tables().insert("t", &[vec![Value::Int(1)]], &IoCtx::new(0)).unwrap();
+        sl.sync(&sl.root_ctx(QosClass::Foreground)).unwrap();
         // file-based metadata reads work after a sync
         let r = sl
             .tables()
@@ -279,7 +303,7 @@ mod tests {
                     mode: lake::MetadataMode::FileBased,
                     ..Default::default()
                 },
-                0,
+                &IoCtx::new(0),
             )
             .unwrap();
         assert_eq!(r.rows.len(), 1);

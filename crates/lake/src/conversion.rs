@@ -12,6 +12,7 @@
 
 use crate::table::{CommitInfo, ScanOptions, TableStore};
 use common::clock::{secs, Nanos};
+use common::ctx::IoCtx;
 use common::Result;
 use format::Row;
 use std::sync::Arc;
@@ -97,7 +98,7 @@ impl ConversionTask {
     pub fn run(
         &mut self,
         store: &TableStore,
-        now: Nanos,
+        ctx: &IoCtx,
         force: bool,
     ) -> Result<Option<ConversionReport>> {
         if !self.config.enabled && !force {
@@ -108,22 +109,23 @@ impl ConversionTask {
             Trigger::Forced
         } else if pending >= self.config.split_offset {
             Trigger::Offset
-        } else if now.saturating_sub(self.last_run) >= secs(self.config.split_time) && pending > 0
+        } else if ctx.now.saturating_sub(self.last_run) >= secs(self.config.split_time)
+            && pending > 0
         {
             Trigger::Time
         } else {
             return Ok(None);
         };
-        self.last_run = now;
+        self.last_run = ctx.now;
         if pending == 0 {
             return Ok(None);
         }
         // Make buffered records readable, then pull everything pending.
-        let flush_t = self.object.flush_at(now)?;
+        let flush_t = self.object.flush_at(ctx)?;
         let (records, t) = self.object.read_at(
             self.converted_until,
             ReadCtrl { max_records: usize::MAX, committed_only: true },
-            flush_t,
+            &ctx.at(flush_t),
         )?;
         let Some(last_offset) = records.last().map(|(off, _)| *off) else {
             return Ok(None);
@@ -131,7 +133,7 @@ impl ConversionTask {
         let rows: Result<Vec<Row>> =
             records.iter().map(|(_, r)| (self.parser)(r)).collect();
         let rows = rows?;
-        let commit = store.insert(&self.table, &rows, t)?;
+        let commit = store.insert(&self.table, &rows, &ctx.at(t))?;
         let new_until = last_offset + 1;
         let converted = new_until - self.converted_until;
         self.converted_until = new_until;
@@ -157,15 +159,15 @@ pub fn table_to_stream(
     opts: &ScanOptions,
     object: &Arc<StreamObject>,
     serialize: &RowSerializer,
-    now: Nanos,
+    ctx: &IoCtx,
 ) -> Result<u64> {
-    let result = store.select(table, opts, now)?;
+    let result = store.select(table, opts, ctx)?;
     let records: Vec<Record> = result.rows.iter().map(serialize).collect();
     if records.is_empty() {
         return Ok(0);
     }
-    object.append_at(&records, now)?;
-    object.flush_at(now)?;
+    object.append_at(&records, ctx)?;
+    object.flush_at(ctx)?;
     Ok(records.len() as u64)
 }
 
@@ -228,7 +230,7 @@ mod tests {
                 )
             })
             .collect();
-        obj.append_at(&records, 0).unwrap();
+        obj.append_at(&records, &IoCtx::new(0)).unwrap();
     }
 
     fn cfg(split_offset: u64, split_time: u64, delete_msg: bool) -> ConvertToTable {
@@ -245,16 +247,16 @@ mod tests {
     #[test]
     fn offset_trigger_converts_pending_records() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 10_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 10_000, &IoCtx::new(0)).unwrap();
         let objs = object_store();
         let obj = objs.create(CreateOptions::default()).unwrap();
         fill(&obj, 150, 1000);
         let mut task = ConversionTask::new(obj.clone(), "t", cfg(100, 999_999, false), parser());
-        let report = task.run(&store, 0, false).unwrap().unwrap();
+        let report = task.run(&store, &IoCtx::new(0), false).unwrap().unwrap();
         assert_eq!(report.trigger, Trigger::Offset);
         assert_eq!(report.records_converted, 150);
         assert_eq!(task.converted_until(), 150);
-        let rows = store.select("t", &ScanOptions::default(), 0).unwrap().rows;
+        let rows = store.select("t", &ScanOptions::default(), &IoCtx::new(0)).unwrap().rows;
         assert_eq!(rows.len(), 150);
         // stream data retained (delete_msg = false)
         assert_eq!(obj.end_offset(), 150);
@@ -264,25 +266,25 @@ mod tests {
     #[test]
     fn below_both_triggers_is_noop() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 10_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 10_000, &IoCtx::new(0)).unwrap();
         let objs = object_store();
         let obj = objs.create(CreateOptions::default()).unwrap();
         fill(&obj, 10, 0);
         let mut task = ConversionTask::new(obj, "t", cfg(100, 36_000, false), parser());
         // run at t just after creation: neither trigger fires
-        assert!(task.run(&store, secs(1), false).unwrap().is_none());
+        assert!(task.run(&store, &IoCtx::new(secs(1)), false).unwrap().is_none());
     }
 
     #[test]
     fn time_trigger_fires_after_split_time() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 10_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 10_000, &IoCtx::new(0)).unwrap();
         let objs = object_store();
         let obj = objs.create(CreateOptions::default()).unwrap();
         fill(&obj, 10, 0);
         let mut task = ConversionTask::new(obj, "t", cfg(1_000_000, 60, false), parser());
-        assert!(task.run(&store, secs(30), false).unwrap().is_none());
-        let report = task.run(&store, secs(61), false).unwrap().unwrap();
+        assert!(task.run(&store, &IoCtx::new(secs(30)), false).unwrap().is_none());
+        let report = task.run(&store, &IoCtx::new(secs(61)), false).unwrap().unwrap();
         assert_eq!(report.trigger, Trigger::Time);
         assert_eq!(report.records_converted, 10);
     }
@@ -290,12 +292,12 @@ mod tests {
     #[test]
     fn delete_msg_truncates_converted_stream_data() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 10_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 10_000, &IoCtx::new(0)).unwrap();
         let objs = object_store();
         let obj = objs.create(CreateOptions { slice_capacity: 16, ..Default::default() }).unwrap();
         fill(&obj, 64, 0);
         let mut task = ConversionTask::new(obj.clone(), "t", cfg(10, 36_000, true), parser());
-        let report = task.run(&store, 0, false).unwrap().unwrap();
+        let report = task.run(&store, &IoCtx::new(0), false).unwrap().unwrap();
         assert_eq!(report.records_converted, 64);
         assert_eq!(report.records_truncated, 64);
         assert_eq!(obj.slice_count(), 0, "converted slices freed");
@@ -304,17 +306,17 @@ mod tests {
     #[test]
     fn incremental_runs_convert_only_new_records() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 10_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 10_000, &IoCtx::new(0)).unwrap();
         let objs = object_store();
         let obj = objs.create(CreateOptions::default()).unwrap();
         fill(&obj, 50, 0);
         let mut task = ConversionTask::new(obj.clone(), "t", cfg(10, 36_000, false), parser());
-        task.run(&store, 0, false).unwrap().unwrap();
+        task.run(&store, &IoCtx::new(0), false).unwrap().unwrap();
         fill(&obj, 30, 100);
-        let report = task.run(&store, 0, false).unwrap().unwrap();
+        let report = task.run(&store, &IoCtx::new(0), false).unwrap().unwrap();
         assert_eq!(report.records_converted, 30);
         assert_eq!(
-            store.select("t", &ScanOptions::default(), 0).unwrap().rows.len(),
+            store.select("t", &ScanOptions::default(), &IoCtx::new(0)).unwrap().rows.len(),
             80
         );
     }
@@ -322,12 +324,12 @@ mod tests {
     #[test]
     fn playback_table_to_stream_roundtrip() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 10_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 10_000, &IoCtx::new(0)).unwrap();
         let objs = object_store();
         let src = objs.create(CreateOptions::default()).unwrap();
         fill(&src, 20, 0);
         let mut task = ConversionTask::new(src, "t", cfg(1, 36_000, false), parser());
-        task.run(&store, 0, false).unwrap().unwrap();
+        task.run(&store, &IoCtx::new(0), false).unwrap().unwrap();
 
         // play the table back into a fresh stream object
         let dst = objs.create(CreateOptions::default()).unwrap();
@@ -348,12 +350,12 @@ mod tests {
                     row[1].as_int().unwrap(),
                 )
             },
-            0,
+            &IoCtx::new(0),
         )
         .unwrap();
         assert_eq!(n, 20);
         let (records, _) = dst
-            .read_at(0, ReadCtrl { max_records: usize::MAX, committed_only: true }, 0)
+            .read_at(0, ReadCtrl { max_records: usize::MAX, committed_only: true }, &IoCtx::new(0))
             .unwrap();
         assert_eq!(records.len(), 20);
     }
@@ -361,15 +363,15 @@ mod tests {
     #[test]
     fn disabled_task_never_runs_unless_forced() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 10_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 10_000, &IoCtx::new(0)).unwrap();
         let objs = object_store();
         let obj = objs.create(CreateOptions::default()).unwrap();
         fill(&obj, 10, 0);
         let mut c = cfg(1, 1, false);
         c.enabled = false;
         let mut task = ConversionTask::new(obj, "t", c, parser());
-        assert!(task.run(&store, secs(100), false).unwrap().is_none());
-        let forced = task.run(&store, secs(100), true).unwrap().unwrap();
+        assert!(task.run(&store, &IoCtx::new(secs(100)), false).unwrap().is_none());
+        let forced = task.run(&store, &IoCtx::new(secs(100)), true).unwrap().unwrap();
         assert_eq!(forced.trigger, Trigger::Forced);
         assert_eq!(forced.records_converted, 10);
     }

@@ -10,6 +10,7 @@
 use crate::meta::DataFileMeta;
 use crate::table::{CommitInfo, TableStore};
 use common::clock::Nanos;
+use common::ctx::{IoCtx, QosClass};
 use common::size::div_ceil;
 use common::{Error, Result};
 use std::collections::BTreeMap;
@@ -88,10 +89,10 @@ impl Compactor {
         &self,
         store: &TableStore,
         table: &str,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<BTreeMap<String, Vec<DataFileMeta>>> {
         let mut map: BTreeMap<String, Vec<DataFileMeta>> = BTreeMap::new();
-        for f in store.live_files(table, now)? {
+        for f in store.live_files(table, ctx)? {
             map.entry(f.partition.clone()).or_default().push(f);
         }
         Ok(map)
@@ -104,9 +105,9 @@ impl Compactor {
         store: &TableStore,
         table: &str,
         partition: &str,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<f64> {
-        let parts = self.partitions(store, table, now)?;
+        let parts = self.partitions(store, table, ctx)?;
         Ok(parts
             .get(partition)
             .map(|files| {
@@ -125,10 +126,13 @@ impl Compactor {
         store: &TableStore,
         table: &str,
         partition: &str,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<CompactionOutcome> {
+        // Compaction is maintenance work: it must yield device queues to
+        // foreground traffic regardless of what the caller's context says.
+        let ctx = ctx.at(ctx.now).with_qos(QosClass::Maintenance);
         let base = store.current_snapshot(table)?;
-        let parts = self.partitions(store, table, now)?;
+        let parts = self.partitions(store, table, &ctx)?;
         let files = parts
             .get(partition)
             .ok_or_else(|| Error::NotFound(format!("partition {partition} of {table}")))?;
@@ -145,11 +149,11 @@ impl Compactor {
         }
         let mut removed = Vec::new();
         let mut added = Vec::new();
-        let mut t = now;
+        let mut t = ctx.now;
         for bin in &bins {
             let mut merged_rows = Vec::new();
             for f in bin {
-                let (rows, tr) = store.read_file_rows(&f.path, t)?;
+                let (rows, tr) = store.read_file_rows(&f.path, &ctx.at(t))?;
                 t = tr;
                 merged_rows.extend(rows);
                 removed.push(f.path.clone());
@@ -158,8 +162,8 @@ impl Compactor {
         }
         let files_compacted = removed.len() as u64;
         let files_produced = added.len() as u64;
-        let commit = store.commit_replace(table, base, removed, added, t)?;
-        let parts_after = self.partitions(store, table, commit.finished_at)?;
+        let commit = store.commit_replace(table, base, removed, added, &ctx.at(t))?;
+        let parts_after = self.partitions(store, table, &ctx.at(commit.finished_at))?;
         let sizes_after: Vec<u64> = parts_after
             .get(partition)
             .map(|fs| fs.iter().map(|f| f.bytes).collect())
@@ -179,11 +183,11 @@ impl Compactor {
         &self,
         store: &TableStore,
         table: &str,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<Vec<CompactionOutcome>> {
         let mut out = Vec::new();
-        for partition in self.partitions(store, table, now)?.keys() {
-            match self.compact_partition(store, table, partition, now) {
+        for partition in self.partitions(store, table, ctx)?.keys() {
+            match self.compact_partition(store, table, partition, ctx) {
                 Ok(o) => out.push(o),
                 Err(Error::Conflict(_)) => continue,
                 Err(e) => return Err(e),
@@ -216,9 +220,9 @@ pub fn expire_snapshots(
     store: &TableStore,
     table: &str,
     retain_after: Nanos,
-    now: Nanos,
+    ctx: &IoCtx,
 ) -> Result<ExpiryReport> {
-    store.expire_snapshots(table, retain_after, now)
+    store.expire_snapshots(table, retain_after, ctx)
 }
 
 #[cfg(test)]
@@ -226,6 +230,7 @@ mod tests {
     use super::*;
     use crate::table::tests::{log_rows, log_schema, test_store};
     use crate::table::ScanOptions;
+    use common::ctx::IoCtx;
     use format::ColumnStats;
 
     fn meta(path: &str, bytes: u64) -> DataFileMeta {
@@ -279,32 +284,32 @@ mod tests {
     fn compaction_reduces_file_count_and_preserves_rows() {
         let store = test_store();
         store
-            .create_table("t", log_schema(), None, 100_000, 0)
+            .create_table("t", log_schema(), None, 100_000, &IoCtx::new(0))
             .unwrap();
         // Many small inserts → many small files in the "" partition.
         for i in 0..20 {
-            store.insert("t", &log_rows(10, 1_656_806_400 + i * 10), 0).unwrap();
+            store.insert("t", &log_rows(10, 1_656_806_400 + i * 10), &IoCtx::new(0)).unwrap();
         }
-        assert_eq!(store.live_files("t", 0).unwrap().len(), 20);
-        let before_rows = store.select("t", &ScanOptions::default(), 0).unwrap().rows.len();
+        assert_eq!(store.live_files("t", &IoCtx::new(0)).unwrap().len(), 20);
+        let before_rows = store.select("t", &ScanOptions::default(), &IoCtx::new(0)).unwrap().rows.len();
 
         let compactor = Compactor::new(64 * 1024 * 1024);
-        let outcome = compactor.compact_partition(&store, "t", "", 10).unwrap();
+        let outcome = compactor.compact_partition(&store, "t", "", &IoCtx::new(10)).unwrap();
         assert_eq!(outcome.files_compacted, 20);
         assert_eq!(outcome.files_produced, 1);
         assert!(outcome.utilization_after > outcome.utilization_before);
-        assert_eq!(store.live_files("t", 20).unwrap().len(), 1);
-        let after_rows = store.select("t", &ScanOptions::default(), 20).unwrap().rows.len();
+        assert_eq!(store.live_files("t", &IoCtx::new(20)).unwrap().len(), 1);
+        let after_rows = store.select("t", &ScanOptions::default(), &IoCtx::new(20)).unwrap().rows.len();
         assert_eq!(after_rows, before_rows, "compaction must not lose rows");
     }
 
     #[test]
     fn compaction_noop_when_nothing_to_merge() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 100_000, 0).unwrap();
-        store.insert("t", &log_rows(10, 0), 0).unwrap();
+        store.create_table("t", log_schema(), None, 100_000, &IoCtx::new(0)).unwrap();
+        store.insert("t", &log_rows(10, 0), &IoCtx::new(0)).unwrap();
         let compactor = Compactor::new(64 * 1024 * 1024);
-        let outcome = compactor.compact_partition(&store, "t", "", 0).unwrap();
+        let outcome = compactor.compact_partition(&store, "t", "", &IoCtx::new(0)).unwrap();
         assert_eq!(outcome.files_compacted, 0);
         assert!(outcome.commit.is_none());
     }
@@ -318,42 +323,42 @@ mod tests {
                 log_schema(),
                 Some(crate::catalog::PartitionSpec::hourly("start_time")),
                 100_000,
-                0,
+                &IoCtx::new(0),
             )
             .unwrap();
         for h in 0..3i64 {
             for _ in 0..5 {
                 store
-                    .insert("t", &log_rows(10, 1_656_806_400 + h * 3600), 0)
+                    .insert("t", &log_rows(10, 1_656_806_400 + h * 3600), &IoCtx::new(0))
                     .unwrap();
             }
         }
-        assert_eq!(store.live_files("t", 0).unwrap().len(), 15);
+        assert_eq!(store.live_files("t", &IoCtx::new(0)).unwrap().len(), 15);
         let compactor = Compactor::new(64 * 1024 * 1024);
-        let outcomes = compactor.compact_all(&store, "t", 0).unwrap();
+        let outcomes = compactor.compact_all(&store, "t", &IoCtx::new(0)).unwrap();
         assert_eq!(outcomes.len(), 3);
-        assert_eq!(store.live_files("t", 0).unwrap().len(), 3);
+        assert_eq!(store.live_files("t", &IoCtx::new(0)).unwrap().len(), 3);
     }
 
     #[test]
     fn expiry_reclaims_files_only_old_snapshots_reference() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 100_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 100_000, &IoCtx::new(0)).unwrap();
         // v1: initial data; v2: delete a province (drops/rewrites files)
-        let v1 = store.insert("t", &log_rows(90, 0), 1000).unwrap();
+        let v1 = store.insert("t", &log_rows(90, 0), &IoCtx::new(1000)).unwrap();
         let (snap1, _) = store
             .meta()
-            .get_snapshot("t", v1.snapshot_id, crate::MetadataMode::Accelerated, 0)
+            .get_snapshot("t", v1.snapshot_id, crate::MetadataMode::Accelerated, &IoCtx::new(0))
             .unwrap();
         let pred = format::Expr::Pred(format::Predicate::cmp(
             "province",
             format::CmpOp::Eq,
             "beijing",
         ));
-        let v2 = store.delete("t", &pred, snap1.timestamp + 1000).unwrap();
+        let v2 = store.delete("t", &pred, &IoCtx::new(snap1.timestamp + 1000)).unwrap();
         let (snap2, _) = store
             .meta()
-            .get_snapshot("t", v2.snapshot_id, crate::MetadataMode::Accelerated, 0)
+            .get_snapshot("t", v2.snapshot_id, crate::MetadataMode::Accelerated, &IoCtx::new(0))
             .unwrap();
         // both versions reachable before expiry
         let t_now = snap2.timestamp + common::clock::secs(10);
@@ -362,7 +367,7 @@ mod tests {
                 .select(
                     "t",
                     &ScanOptions { as_of: Some(snap1.timestamp), ..Default::default() },
-                    t_now,
+                    &IoCtx::new(t_now),
                 )
                 .unwrap()
                 .rows
@@ -370,13 +375,13 @@ mod tests {
             90
         );
         // expire everything older than the delete commit
-        let report = expire_snapshots(&store, "t", snap2.timestamp, t_now).unwrap();
+        let report = expire_snapshots(&store, "t", snap2.timestamp, &IoCtx::new(t_now)).unwrap();
         assert_eq!(report.snapshots_expired, 1);
         assert!(report.files_deleted >= 1, "the rewritten v1 file must go");
         assert!(report.bytes_reclaimed > 0);
         // current data intact …
         assert_eq!(
-            store.select("t", &ScanOptions::default(), t_now).unwrap().rows.len(),
+            store.select("t", &ScanOptions::default(), &IoCtx::new(t_now)).unwrap().rows.len(),
             60
         );
         // … but time travel into the expired range is gone
@@ -384,7 +389,7 @@ mod tests {
             .select(
                 "t",
                 &ScanOptions { as_of: Some(snap1.timestamp), ..Default::default() },
-                t_now,
+                &IoCtx::new(t_now),
             )
             .is_err());
     }
@@ -392,14 +397,14 @@ mod tests {
     #[test]
     fn expiry_is_noop_within_retention() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 100_000, 0).unwrap();
-        let v1 = store.insert("t", &log_rows(10, 0), 1000).unwrap();
+        store.create_table("t", log_schema(), None, 100_000, &IoCtx::new(0)).unwrap();
+        let v1 = store.insert("t", &log_rows(10, 0), &IoCtx::new(1000)).unwrap();
         let (snap1, _) = store
             .meta()
-            .get_snapshot("t", v1.snapshot_id, crate::MetadataMode::Accelerated, 0)
+            .get_snapshot("t", v1.snapshot_id, crate::MetadataMode::Accelerated, &IoCtx::new(0))
             .unwrap();
-        store.insert("t", &log_rows(10, 100), snap1.timestamp + 1000).unwrap();
-        let report = expire_snapshots(&store, "t", 0, common::clock::secs(10)).unwrap();
+        store.insert("t", &log_rows(10, 100), &IoCtx::new(snap1.timestamp + 1000)).unwrap();
+        let report = expire_snapshots(&store, "t", 0, &IoCtx::new(common::clock::secs(10))).unwrap();
         assert_eq!(report, ExpiryReport::default());
         // full history still reachable
         assert_eq!(
@@ -407,7 +412,7 @@ mod tests {
                 .select(
                     "t",
                     &ScanOptions { as_of: Some(snap1.timestamp), ..Default::default() },
-                    common::clock::secs(10),
+                    &IoCtx::new(common::clock::secs(10)),
                 )
                 .unwrap()
                 .rows
@@ -421,23 +426,23 @@ mod tests {
         // the squashed base commit must be re-persistable for the
         // file-based metadata path
         let store = test_store();
-        store.create_table("t", log_schema(), None, 100_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 100_000, &IoCtx::new(0)).unwrap();
         let mut stamps = Vec::new();
         let mut t = 1000u64;
         for i in 0..5 {
-            let info = store.insert("t", &log_rows(10, i * 100), t).unwrap();
+            let info = store.insert("t", &log_rows(10, i * 100), &IoCtx::new(t)).unwrap();
             let (snap, _) = store
                 .meta()
-                .get_snapshot("t", info.snapshot_id, crate::MetadataMode::Accelerated, 0)
+                .get_snapshot("t", info.snapshot_id, crate::MetadataMode::Accelerated, &IoCtx::new(0))
                 .unwrap();
             stamps.push(snap.timestamp);
             t = snap.timestamp + 1000;
         }
         let t_now = stamps[4] + common::clock::secs(10);
         // retain the last two snapshots
-        let report = expire_snapshots(&store, "t", stamps[3], t_now).unwrap();
+        let report = expire_snapshots(&store, "t", stamps[3], &IoCtx::new(t_now)).unwrap();
         assert_eq!(report.snapshots_expired, 3);
-        store.meta().flush("t", t_now).unwrap();
+        store.meta().flush("t", &IoCtx::new(t_now)).unwrap();
         let r = store
             .select(
                 "t",
@@ -445,7 +450,7 @@ mod tests {
                     mode: crate::MetadataMode::FileBased,
                     ..Default::default()
                 },
-                t_now + common::clock::secs(10),
+                &IoCtx::new(t_now + common::clock::secs(10)),
             )
             .unwrap();
         assert_eq!(r.rows.len(), 50, "no data may be lost by expiry");
@@ -454,19 +459,19 @@ mod tests {
     #[test]
     fn query_reads_fewer_files_after_compaction() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 100_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 100_000, &IoCtx::new(0)).unwrap();
         for i in 0..30 {
-            store.insert("t", &log_rows(5, i * 5), 0).unwrap();
+            store.insert("t", &log_rows(5, i * 5), &IoCtx::new(0)).unwrap();
         }
         // Issue each phase far enough apart (virtual time) that device
         // queues from the previous phase have drained; otherwise data_time
         // would include queueing behind earlier operations.
         use common::clock::secs;
-        let before = store.select("t", &ScanOptions::default(), secs(100)).unwrap();
+        let before = store.select("t", &ScanOptions::default(), &IoCtx::new(secs(100))).unwrap();
         Compactor::new(64 * 1024 * 1024)
-            .compact_partition(&store, "t", "", secs(200))
+            .compact_partition(&store, "t", "", &IoCtx::new(secs(200)))
             .unwrap();
-        let after = store.select("t", &ScanOptions::default(), secs(300)).unwrap();
+        let after = store.select("t", &ScanOptions::default(), &IoCtx::new(secs(300))).unwrap();
         assert_eq!(before.rows.len(), after.rows.len());
         assert!(after.stats.files_scanned < before.stats.files_scanned);
         assert!(after.stats.data_time < before.stats.data_time,

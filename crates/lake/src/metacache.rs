@@ -21,6 +21,7 @@
 
 use crate::meta::{Commit, DataFileMeta, Snapshot};
 use common::clock::{micros, Nanos};
+use common::ctx::{IoCtx, Phase};
 use common::{Error, Result};
 use kvstore::SharedKv;
 use parking_lot::Mutex;
@@ -70,7 +71,7 @@ impl MetadataCache {
     /// Record a commit: cached as KV pairs, live-file index updated, and
     /// flushed by the MetaFresher when the buffer is full. Returns the
     /// virtual completion time of the (cache-resident) update.
-    pub fn put_commit(&self, table: &str, commit: &Commit, now: Nanos) -> Result<Nanos> {
+    pub fn put_commit(&self, table: &str, commit: &Commit, ctx: &IoCtx) -> Result<Nanos> {
         self.kv
             .put(commit_key(table, commit.id), commit.encode());
         // maintain the materialized per-partition live-file index
@@ -93,37 +94,36 @@ impl MetadataCache {
         let mut pending = self.pending.lock();
         let counter = pending.entry(table.to_string()).or_insert(0);
         *counter += 1;
-        let mut finish = now + KV_LOOKUP_COST;
+        ctx.record(Phase::Meta, ctx.now, KV_LOOKUP_COST);
+        let mut finish = ctx.now + KV_LOOKUP_COST;
         if *counter >= self.flush_threshold {
             *counter = 0;
             drop(pending);
-            finish = self.flush(table, now)?;
+            finish = self.flush(table, ctx)?;
         }
         Ok(finish)
     }
 
     /// Record a snapshot in the cache.
-    pub fn put_snapshot(&self, table: &str, snapshot: &Snapshot, now: Nanos) -> Result<Nanos> {
+    pub fn put_snapshot(&self, table: &str, snapshot: &Snapshot, ctx: &IoCtx) -> Result<Nanos> {
         self.kv
             .put(snapshot_key(table, snapshot.id), snapshot.encode());
-        Ok(now + KV_LOOKUP_COST)
+        ctx.record(Phase::Meta, ctx.now, KV_LOOKUP_COST);
+        Ok(ctx.now + KV_LOOKUP_COST)
     }
 
     /// MetaFresher: persist all cached commit/snapshot entries of `table`
     /// as files in the storage pool (asynchronous in the paper; charged to
     /// the background timeline here, so the returned time is when the flush
     /// completes, not when foreground work may continue).
-    pub fn flush(&self, table: &str, now: Nanos) -> Result<Nanos> {
-        let mut finish = now;
+    pub fn flush(&self, table: &str, ctx: &IoCtx) -> Result<Nanos> {
+        let mut finish = ctx.now;
         for (k, v) in self.kv.scan_prefix(commit_prefix(table).as_bytes()) {
             if self.kv.get(&addr_key_for(&k)).is_some() {
                 continue; // already persisted
             }
-            let (addr, t) = self.plog.append_to_shard_at(
-                self.plog.shard_of(&k),
-                &v,
-                now,
-            )?;
+            let (addr, t) =
+                self.plog.append_to_shard_at(self.plog.shard_of(&k), &v, ctx)?;
             finish = finish.max(t);
             self.kv.put(addr_key_for(&k), encode_addr(&addr));
         }
@@ -131,11 +131,8 @@ impl MetadataCache {
             if self.kv.get(&addr_key_for(&k)).is_some() {
                 continue;
             }
-            let (addr, t) = self.plog.append_to_shard_at(
-                self.plog.shard_of(&k),
-                &v,
-                now,
-            )?;
+            let (addr, t) =
+                self.plog.append_to_shard_at(self.plog.shard_of(&k), &v, ctx)?;
             finish = finish.max(t);
             self.kv.put(addr_key_for(&k), encode_addr(&addr));
         }
@@ -150,7 +147,7 @@ impl MetadataCache {
         table: &str,
         id: u64,
         mode: MetadataMode,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Snapshot, Nanos)> {
         let key = snapshot_key(table, id);
         match mode {
@@ -159,10 +156,11 @@ impl MetadataCache {
                     .kv
                     .get(key.as_bytes())
                     .ok_or_else(|| Error::NotFound(format!("snapshot {id} of {table}")))?;
-                Ok((Snapshot::decode(&bytes)?, now + KV_LOOKUP_COST))
+                ctx.record(Phase::Meta, ctx.now, KV_LOOKUP_COST);
+                Ok((Snapshot::decode(&bytes)?, ctx.now + KV_LOOKUP_COST))
             }
             MetadataMode::FileBased => {
-                let (bytes, t) = self.read_persisted(&key, now)?;
+                let (bytes, t) = self.read_persisted(&key, ctx)?;
                 Ok((Snapshot::decode(&bytes)?, t))
             }
         }
@@ -174,7 +172,7 @@ impl MetadataCache {
         table: &str,
         id: u64,
         mode: MetadataMode,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Commit, Nanos)> {
         let key = commit_key(table, id);
         match mode {
@@ -183,10 +181,11 @@ impl MetadataCache {
                     .kv
                     .get(key.as_bytes())
                     .ok_or_else(|| Error::NotFound(format!("commit {id} of {table}")))?;
-                Ok((Commit::decode(&bytes)?, now + KV_LOOKUP_COST))
+                ctx.record(Phase::Meta, ctx.now, KV_LOOKUP_COST);
+                Ok((Commit::decode(&bytes)?, ctx.now + KV_LOOKUP_COST))
             }
             MetadataMode::FileBased => {
-                let (bytes, t) = self.read_persisted(&key, now)?;
+                let (bytes, t) = self.read_persisted(&key, ctx)?;
                 Ok((Commit::decode(&bytes)?, t))
             }
         }
@@ -204,12 +203,12 @@ impl MetadataCache {
         snapshot: &Snapshot,
         partitions: Option<&[String]>,
         mode: MetadataMode,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Vec<DataFileMeta>, Nanos)> {
         match mode {
             MetadataMode::Accelerated => {
                 let mut out = Vec::new();
-                let mut finish = now;
+                let mut finish = ctx.now;
                 match partitions {
                     Some(parts) => {
                         for p in parts {
@@ -230,13 +229,15 @@ impl MetadataCache {
                     }
                 }
                 out.sort_by(|a, b| a.path.cmp(&b.path));
+                ctx.record(Phase::Meta, ctx.now, finish - ctx.now);
                 Ok((out, finish))
             }
             MetadataMode::FileBased => {
                 let mut live: HashMap<String, DataFileMeta> = HashMap::new();
-                let mut t = now;
+                let mut t = ctx.now;
                 for &cid in &snapshot.commit_ids {
-                    let (commit, tc) = self.get_commit(table, cid, MetadataMode::FileBased, t)?;
+                    let (commit, tc) =
+                        self.get_commit(table, cid, MetadataMode::FileBased, &ctx.at(t))?;
                     t = tc;
                     for f in commit.added {
                         live.insert(f.path.clone(), f);
@@ -265,12 +266,13 @@ impl MetadataCache {
         table: &str,
         snapshot: &Snapshot,
         partitions: Option<&[String]>,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Vec<DataFileMeta>, Nanos)> {
         let mut live: HashMap<String, DataFileMeta> = HashMap::new();
-        let mut t = now;
+        let mut t = ctx.now;
         for &cid in &snapshot.commit_ids {
-            let (commit, tc) = self.get_commit(table, cid, MetadataMode::Accelerated, t)?;
+            let (commit, tc) =
+                self.get_commit(table, cid, MetadataMode::Accelerated, &ctx.at(t))?;
             t = tc;
             for f in commit.added {
                 live.insert(f.path.clone(), f);
@@ -339,13 +341,13 @@ impl MetadataCache {
         self.kv.len()
     }
 
-    fn read_persisted(&self, key: &str, now: Nanos) -> Result<(Vec<u8>, Nanos)> {
+    fn read_persisted(&self, key: &str, ctx: &IoCtx) -> Result<(Vec<u8>, Nanos)> {
         let addr_bytes = self
             .kv
             .get(&addr_key_for(key.as_bytes()))
             .ok_or_else(|| Error::NotFound(format!("metadata file for {key} not persisted")))?;
         let addr = decode_addr(&addr_bytes)?;
-        self.plog.read_at(&addr, now)
+        self.plog.read_at(&addr, ctx)
     }
 }
 
@@ -393,6 +395,7 @@ mod tests {
     use super::*;
     use common::size::MIB;
     use common::SimClock;
+    use common::ctx::IoCtx;
     use ec::Redundancy;
     use format::{Column, ColumnStats};
     use plog::PlogConfig;
@@ -438,8 +441,8 @@ mod tests {
     #[test]
     fn cached_commit_readable_in_accelerated_mode() {
         let c = cache(100);
-        c.put_commit("t", &commit(1, "h=0", "f1"), 0).unwrap();
-        let (back, t) = c.get_commit("t", 1, MetadataMode::Accelerated, 0).unwrap();
+        c.put_commit("t", &commit(1, "h=0", "f1"), &IoCtx::new(0)).unwrap();
+        let (back, t) = c.get_commit("t", 1, MetadataMode::Accelerated, &IoCtx::new(0)).unwrap();
         assert_eq!(back.id, 1);
         assert_eq!(t, KV_LOOKUP_COST);
     }
@@ -447,10 +450,10 @@ mod tests {
     #[test]
     fn file_based_read_requires_flush() {
         let c = cache(100);
-        c.put_commit("t", &commit(1, "h=0", "f1"), 0).unwrap();
-        assert!(c.get_commit("t", 1, MetadataMode::FileBased, 0).is_err());
-        c.flush("t", 0).unwrap();
-        let (back, t) = c.get_commit("t", 1, MetadataMode::FileBased, 0).unwrap();
+        c.put_commit("t", &commit(1, "h=0", "f1"), &IoCtx::new(0)).unwrap();
+        assert!(c.get_commit("t", 1, MetadataMode::FileBased, &IoCtx::new(0)).is_err());
+        c.flush("t", &IoCtx::new(0)).unwrap();
+        let (back, t) = c.get_commit("t", 1, MetadataMode::FileBased, &IoCtx::new(0)).unwrap();
         assert_eq!(back.id, 1);
         assert!(t > KV_LOOKUP_COST, "file read must cost device time");
     }
@@ -458,11 +461,11 @@ mod tests {
     #[test]
     fn metafresher_auto_flushes_at_threshold() {
         let c = cache(3);
-        c.put_commit("t", &commit(1, "h=0", "f1"), 0).unwrap();
-        c.put_commit("t", &commit(2, "h=0", "f2"), 0).unwrap();
-        assert!(c.get_commit("t", 1, MetadataMode::FileBased, 0).is_err());
-        c.put_commit("t", &commit(3, "h=0", "f3"), 0).unwrap(); // hits threshold
-        assert!(c.get_commit("t", 1, MetadataMode::FileBased, 0).is_ok());
+        c.put_commit("t", &commit(1, "h=0", "f1"), &IoCtx::new(0)).unwrap();
+        c.put_commit("t", &commit(2, "h=0", "f2"), &IoCtx::new(0)).unwrap();
+        assert!(c.get_commit("t", 1, MetadataMode::FileBased, &IoCtx::new(0)).is_err());
+        c.put_commit("t", &commit(3, "h=0", "f3"), &IoCtx::new(0)).unwrap(); // hits threshold
+        assert!(c.get_commit("t", 1, MetadataMode::FileBased, &IoCtx::new(0)).is_ok());
     }
 
     #[test]
@@ -470,15 +473,15 @@ mod tests {
         let c = cache(100);
         let mut snapshot_commits = Vec::new();
         for i in 1..=5u64 {
-            c.put_commit("t", &commit(i, &format!("h={}", i % 2), &format!("f{i}")), 0)
+            c.put_commit("t", &commit(i, &format!("h={}", i % 2), &format!("f{i}")), &IoCtx::new(0))
                 .unwrap();
             snapshot_commits.push(i);
         }
         // remove f2 in commit 6
         let rm = Commit { id: 6, timestamp: 6, added: vec![], removed: vec!["f2".into()] };
-        c.put_commit("t", &rm, 0).unwrap();
+        c.put_commit("t", &rm, &IoCtx::new(0)).unwrap();
         snapshot_commits.push(6);
-        c.flush("t", 0).unwrap();
+        c.flush("t", &IoCtx::new(0)).unwrap();
         let snap = Snapshot {
             id: 1,
             parent: None,
@@ -488,10 +491,10 @@ mod tests {
             total_files: 4,
         };
         let (fast, t_fast) = c
-            .live_files("t", &snap, None, MetadataMode::Accelerated, 0)
+            .live_files("t", &snap, None, MetadataMode::Accelerated, &IoCtx::new(0))
             .unwrap();
         let (slow, t_slow) = c
-            .live_files("t", &snap, None, MetadataMode::FileBased, 0)
+            .live_files("t", &snap, None, MetadataMode::FileBased, &IoCtx::new(0))
             .unwrap();
         assert_eq!(fast, slow);
         assert_eq!(fast.len(), 4);
@@ -503,7 +506,7 @@ mod tests {
     fn partition_restriction_prunes_and_costs_per_partition() {
         let c = cache(100);
         for i in 1..=10u64 {
-            c.put_commit("t", &commit(i, &format!("h={i}"), &format!("f{i}")), 0)
+            c.put_commit("t", &commit(i, &format!("h={i}"), &format!("f{i}")), &IoCtx::new(0))
                 .unwrap();
         }
         let snap = Snapshot {
@@ -515,7 +518,7 @@ mod tests {
             total_files: 10,
         };
         let (one, t_one) = c
-            .live_files("t", &snap, Some(&["h=3".to_string()]), MetadataMode::Accelerated, 0)
+            .live_files("t", &snap, Some(&["h=3".to_string()]), MetadataMode::Accelerated, &IoCtx::new(0))
             .unwrap();
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].path, "f3");
@@ -525,7 +528,7 @@ mod tests {
                 &snap,
                 Some(&(1..=10).map(|i| format!("h={i}")).collect::<Vec<_>>()),
                 MetadataMode::Accelerated,
-                0,
+                &IoCtx::new(0),
             )
             .unwrap();
         assert_eq!(all.len(), 10);
@@ -543,11 +546,11 @@ mod tests {
             total_rows: 5,
             total_files: 2,
         };
-        c.put_snapshot("t", &snap, 0).unwrap();
-        let (got, _) = c.get_snapshot("t", 3, MetadataMode::Accelerated, 0).unwrap();
+        c.put_snapshot("t", &snap, &IoCtx::new(0)).unwrap();
+        let (got, _) = c.get_snapshot("t", 3, MetadataMode::Accelerated, &IoCtx::new(0)).unwrap();
         assert_eq!(got, snap);
-        c.flush("t", 0).unwrap();
-        let (got, _) = c.get_snapshot("t", 3, MetadataMode::FileBased, 0).unwrap();
+        c.flush("t", &IoCtx::new(0)).unwrap();
+        let (got, _) = c.get_snapshot("t", 3, MetadataMode::FileBased, &IoCtx::new(0)).unwrap();
         assert_eq!(got, snap);
     }
 
@@ -562,10 +565,10 @@ mod tests {
     #[test]
     fn flush_is_idempotent() {
         let c = cache(100);
-        c.put_commit("t", &commit(1, "h", "f"), 0).unwrap();
-        c.flush("t", 0).unwrap();
+        c.put_commit("t", &commit(1, "h", "f"), &IoCtx::new(0)).unwrap();
+        c.flush("t", &IoCtx::new(0)).unwrap();
         let entries = c.cache_entries();
-        c.flush("t", 0).unwrap(); // second flush persists nothing new
+        c.flush("t", &IoCtx::new(0)).unwrap(); // second flush persists nothing new
         assert_eq!(c.cache_entries(), entries);
     }
 }

@@ -12,6 +12,7 @@ use crate::catalog::{Catalog, PartitionSpec, TableProfile};
 use crate::meta::{Commit, DataFileMeta, Snapshot};
 use crate::metacache::{MetadataCache, MetadataMode};
 use common::clock::{millis, Nanos};
+use common::ctx::{IoCtx, Phase};
 use common::{Error, Result};
 use format::{CmpOp, ColumnStats, Expr, LakeFileReader, LakeFileWriter, Row, Schema, Value};
 use kvstore::SharedKv;
@@ -154,37 +155,37 @@ impl TableStore {
         schema: Schema,
         partition: Option<PartitionSpec>,
         target_file_rows: u64,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<TableProfile> {
-        self.catalog.create(name, schema, partition, target_file_rows.max(1), now)
+        self.catalog.create(name, schema, partition, target_file_rows.max(1), ctx.now)
     }
 
     /// INSERT: write rows as partitioned data files and commit.
-    pub fn insert(&self, name: &str, rows: &[Row], now: Nanos) -> Result<CommitInfo> {
+    pub fn insert(&self, name: &str, rows: &[Row], ctx: &IoCtx) -> Result<CommitInfo> {
         let profile = self.catalog.get(name)?;
         if rows.is_empty() {
             return Err(Error::InvalidArgument("insert of zero rows".into()));
         }
         let groups = self.partition_rows(&profile, rows)?;
         let mut added = Vec::with_capacity(groups.len());
-        let mut t = now;
+        let mut t = ctx.now;
         for (partition, group_rows) in groups {
-            let (meta, tw) = self.write_data_file(&profile, &partition, &group_rows, t)?;
+            let (meta, tw) = self.write_data_file(&profile, &partition, &group_rows, &ctx.at(t))?;
             t = tw;
             added.push(meta);
         }
-        self.commit(name, added, Vec::new(), None, t)
+        self.commit(name, added, Vec::new(), None, &ctx.at(t))
     }
 
     /// SELECT: plan from catalog → snapshot → commits, prune, read, filter.
-    pub fn select(&self, name: &str, opts: &ScanOptions, now: Nanos) -> Result<ScanResult> {
+    pub fn select(&self, name: &str, opts: &ScanOptions, ctx: &IoCtx) -> Result<ScanResult> {
         let profile = self.catalog.get(name)?;
         let mut stats = ScanStats::default();
         if profile.current_snapshot == 0 {
             return Ok(ScanResult { rows: Vec::new(), stats });
         }
         // Resolve the snapshot (time travel walks the parent chain).
-        let (snapshot, t_snap) = self.resolve_snapshot(&profile, opts.as_of, opts.mode, now)?;
+        let (snapshot, t_snap) = self.resolve_snapshot(&profile, opts.as_of, opts.mode, ctx)?;
         // Partition pruning from the predicate.
         let partitions = if opts.partition_pruning {
             partitions_for_predicate(&profile, &opts.predicate)
@@ -196,13 +197,22 @@ impl TableStore {
         let (files, t_meta) = if snapshot.id != profile.current_snapshot
             && opts.mode == MetadataMode::Accelerated
         {
-            self.meta
-                .live_files_time_travel(name, &snapshot, partitions.as_deref(), t_snap)?
+            self.meta.live_files_time_travel(
+                name,
+                &snapshot,
+                partitions.as_deref(),
+                &ctx.at(t_snap),
+            )?
         } else {
-            self.meta
-                .live_files(name, &snapshot, partitions.as_deref(), opts.mode, t_snap)?
+            self.meta.live_files(
+                name,
+                &snapshot,
+                partitions.as_deref(),
+                opts.mode,
+                &ctx.at(t_snap),
+            )?
         };
-        stats.metadata_time = t_meta.saturating_sub(now);
+        stats.metadata_time = t_meta.saturating_sub(ctx.now);
         stats.files_candidate = files.len() as u64;
 
         let projection_idx: Option<Vec<usize>> = match &opts.projection {
@@ -223,7 +233,7 @@ impl TableStore {
                 stats.bytes_skipped += f.bytes;
                 continue;
             }
-            let (reader, tr) = self.open_data_file(&f.path, t)?;
+            let (reader, tr) = self.open_data_file(&f.path, &ctx.at(t))?;
             t = tr;
             stats.files_scanned += 1;
             stats.bytes_scanned += f.bytes;
@@ -247,8 +257,8 @@ impl TableStore {
 
     /// DELETE: remove matching rows. Files whose rows all match are dropped
     /// by metadata only; partially-matching files are rewritten.
-    pub fn delete(&self, name: &str, predicate: &Expr, now: Nanos) -> Result<CommitInfo> {
-        self.rewrite_impl(name, predicate, now, &|_row: &Row| None)
+    pub fn delete(&self, name: &str, predicate: &Expr, ctx: &IoCtx) -> Result<CommitInfo> {
+        self.rewrite_impl(name, predicate, ctx, &|_row: &Row| None)
     }
 
     /// UPDATE: assign `assignments` (column name → new value) on matching
@@ -258,14 +268,14 @@ impl TableStore {
         name: &str,
         predicate: &Expr,
         assignments: &[(String, Value)],
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<CommitInfo> {
         let profile = self.catalog.get(name)?;
         let idx: Vec<(usize, Value)> = assignments
             .iter()
             .map(|(n, v)| Ok((profile.schema.index_of(n)?, v.clone())))
             .collect::<Result<Vec<_>>>()?;
-        self.rewrite_impl(name, predicate, now, &|row: &Row| {
+        self.rewrite_impl(name, predicate, ctx, &|row: &Row| {
             let mut out = row.clone();
             for (i, v) in &idx {
                 out[*i] = v.clone();
@@ -283,9 +293,9 @@ impl TableStore {
         name: &str,
         predicate: &Expr,
         f: &dyn Fn(&Row) -> Option<Row>,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<CommitInfo> {
-        self.rewrite_impl(name, predicate, now, f)
+        self.rewrite_impl(name, predicate, ctx, f)
     }
 
     /// DROP TABLE.
@@ -293,21 +303,25 @@ impl TableStore {
     /// * `hard = false` — soft: unregister from the catalog, keep data and
     ///   metadata for restoration;
     /// * `hard = true` — remove data files, metadata and the catalog entry.
-    pub fn drop_table(&self, name: &str, hard: bool, now: Nanos) -> Result<()> {
+    pub fn drop_table(&self, name: &str, hard: bool, ctx: &IoCtx) -> Result<()> {
         let mut profile = self.catalog.get_any(name)?;
         if !hard {
             profile.soft_deleted = true;
-            profile.modified_at = now;
+            profile.modified_at = ctx.now;
             self.catalog.update(&profile);
             return Ok(());
         }
         // hard drop: delete data files …
         if profile.current_snapshot != 0 {
             let (snapshot, t) =
-                self.resolve_snapshot(&profile, None, MetadataMode::Accelerated, now)?;
-            let (files, _) =
-                self.meta
-                    .live_files(name, &snapshot, None, MetadataMode::Accelerated, t)?;
+                self.resolve_snapshot(&profile, None, MetadataMode::Accelerated, ctx)?;
+            let (files, _) = self.meta.live_files(
+                name,
+                &snapshot,
+                None,
+                MetadataMode::Accelerated,
+                &ctx.at(t),
+            )?;
             for f in files {
                 if let Some(addr) = self.file_addr(&f.path) {
                     self.plog.delete(&addr);
@@ -322,13 +336,13 @@ impl TableStore {
     }
 
     /// Restore a soft-deleted table by re-registering it in the catalog.
-    pub fn restore_table(&self, name: &str, now: Nanos) -> Result<TableProfile> {
+    pub fn restore_table(&self, name: &str, ctx: &IoCtx) -> Result<TableProfile> {
         let mut profile = self.catalog.get_any(name)?;
         if !profile.soft_deleted {
             return Err(Error::InvalidArgument(format!("table {name} is not soft-deleted")));
         }
         profile.soft_deleted = false;
-        profile.modified_at = now;
+        profile.modified_at = ctx.now;
         self.catalog.update(&profile);
         Ok(profile)
     }
@@ -345,7 +359,7 @@ impl TableStore {
         base_snapshot: u64,
         removed: Vec<String>,
         added: Vec<(String, Vec<Row>)>,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<CommitInfo> {
         let profile = self.catalog.get(name)?;
         let _guard = self.commit_lock.lock();
@@ -354,10 +368,14 @@ impl TableStore {
             // Concurrent commits happened; conflict when they overlap the
             // partitions we are replacing.
             let (snapshot, t) =
-                self.resolve_snapshot(&current, None, MetadataMode::Accelerated, now)?;
-            let (live, _) =
-                self.meta
-                    .live_files(name, &snapshot, None, MetadataMode::Accelerated, t)?;
+                self.resolve_snapshot(&current, None, MetadataMode::Accelerated, ctx)?;
+            let (live, _) = self.meta.live_files(
+                name,
+                &snapshot,
+                None,
+                MetadataMode::Accelerated,
+                &ctx.at(t),
+            )?;
             let still_live = removed
                 .iter()
                 .all(|r| live.iter().any(|f| &f.path == r));
@@ -368,14 +386,14 @@ impl TableStore {
                 )));
             }
         }
-        let mut t = now;
+        let mut t = ctx.now;
         let mut added_meta = Vec::with_capacity(added.len());
         for (partition, rows) in added {
-            let (meta, tw) = self.write_data_file(&profile, &partition, &rows, t)?;
+            let (meta, tw) = self.write_data_file(&profile, &partition, &rows, &ctx.at(t))?;
             t = tw;
             added_meta.push(meta);
         }
-        self.commit_locked(name, added_meta, removed, t)
+        self.commit_locked(name, added_meta, removed, &ctx.at(t))
     }
 
     /// Expire snapshots whose timestamp is older than `retain_after`,
@@ -390,7 +408,7 @@ impl TableStore {
         &self,
         name: &str,
         retain_after: Nanos,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<crate::maintenance::ExpiryReport> {
         let _guard = self.commit_lock.lock();
         let profile = self.catalog.get(name)?;
@@ -405,7 +423,7 @@ impl TableStore {
         while let Some(id) = cursor {
             let (snap, _) =
                 self.meta
-                    .get_snapshot(name, id, MetadataMode::Accelerated, now)?;
+                    .get_snapshot(name, id, MetadataMode::Accelerated, ctx)?;
             cursor = snap.parent;
             if retained.is_empty() || snap.timestamp >= retain_after {
                 retained.push(snap);
@@ -421,7 +439,7 @@ impl TableStore {
         let mut keep: BTreeMap<String, DataFileMeta> = BTreeMap::new();
         let mut retained_live: Vec<Vec<DataFileMeta>> = Vec::new();
         for snap in &retained {
-            let (files, _) = self.meta.live_files_time_travel(name, snap, None, now)?;
+            let (files, _) = self.meta.live_files_time_travel(name, snap, None, ctx)?;
             for f in &files {
                 keep.insert(f.path.clone(), f.clone());
             }
@@ -431,7 +449,7 @@ impl TableStore {
         // report and the PLog delete sequence are deterministic.
         let mut drop_candidates: BTreeMap<String, DataFileMeta> = BTreeMap::new();
         for snap in &expired {
-            let (files, _) = self.meta.live_files_time_travel(name, snap, None, now)?;
+            let (files, _) = self.meta.live_files_time_travel(name, snap, None, ctx)?;
             for f in files {
                 if !keep.contains_key(&f.path) {
                     drop_candidates.insert(f.path.clone(), f);
@@ -466,7 +484,7 @@ impl TableStore {
             removed: Vec::new(),
         };
         self.meta.invalidate_persisted(name, oldest.id);
-        self.meta.put_commit(name, &base_commit, now)?;
+        self.meta.put_commit(name, &base_commit, ctx)?;
         // Rewrite retained snapshots: drop expired commit ids, cut the
         // parent pointer at the squashed base.
         for snap in &retained {
@@ -480,7 +498,7 @@ impl TableStore {
             }
             if new_snap != *snap {
                 self.meta.invalidate_persisted(name, snap.id);
-                self.meta.put_snapshot(name, &new_snap, now)?;
+                self.meta.put_snapshot(name, &new_snap, ctx)?;
             }
         }
         // Finally drop the expired snapshots and their exclusive commits.
@@ -493,21 +511,21 @@ impl TableStore {
     }
 
     /// All live files of the current snapshot (maintenance inspection).
-    pub fn live_files(&self, name: &str, now: Nanos) -> Result<Vec<DataFileMeta>> {
+    pub fn live_files(&self, name: &str, ctx: &IoCtx) -> Result<Vec<DataFileMeta>> {
         let profile = self.catalog.get(name)?;
         if profile.current_snapshot == 0 {
             return Ok(Vec::new());
         }
-        let (snapshot, t) = self.resolve_snapshot(&profile, None, MetadataMode::Accelerated, now)?;
+        let (snapshot, t) = self.resolve_snapshot(&profile, None, MetadataMode::Accelerated, ctx)?;
         Ok(self
             .meta
-            .live_files(name, &snapshot, None, MetadataMode::Accelerated, t)?
+            .live_files(name, &snapshot, None, MetadataMode::Accelerated, &ctx.at(t))?
             .0)
     }
 
     /// Read the raw rows of one live data file (compaction input).
-    pub fn read_file_rows(&self, path: &str, now: Nanos) -> Result<(Vec<Row>, Nanos)> {
-        let (reader, t) = self.open_data_file(path, now)?;
+    pub fn read_file_rows(&self, path: &str, ctx: &IoCtx) -> Result<(Vec<Row>, Nanos)> {
+        let (reader, t) = self.open_data_file(path, ctx)?;
         Ok((reader.scan(&Expr::True, None)?, t))
     }
 
@@ -526,7 +544,7 @@ impl TableStore {
         &self,
         name: &str,
         predicate: &Expr,
-        now: Nanos,
+        ctx: &IoCtx,
         transform: &dyn Fn(&Row) -> Option<Row>,
     ) -> Result<CommitInfo> {
         let profile = self.catalog.get(name)?;
@@ -534,14 +552,14 @@ impl TableStore {
             return Err(Error::NotFound(format!("table {name} is empty")));
         }
         let base = profile.current_snapshot;
-        let (snapshot, t0) = self.resolve_snapshot(&profile, None, MetadataMode::Accelerated, now)?;
+        let (snapshot, t0) = self.resolve_snapshot(&profile, None, MetadataMode::Accelerated, ctx)?;
         let partitions = partitions_for_predicate(&profile, predicate);
         let (files, mut t) = self.meta.live_files(
             name,
             &snapshot,
             partitions.as_deref(),
             MetadataMode::Accelerated,
-            t0,
+            &ctx.at(t0),
         )?;
         let mut removed = Vec::new();
         let mut added: Vec<(String, Vec<Row>)> = Vec::new();
@@ -549,7 +567,7 @@ impl TableStore {
             if !file_may_match(&profile.schema, f, predicate) {
                 continue; // data skipping: untouched
             }
-            let (rows, tr) = self.read_file_rows(&f.path, t)?;
+            let (rows, tr) = self.read_file_rows(&f.path, &ctx.at(t))?;
             t = tr;
             let mut out_rows = Vec::with_capacity(rows.len());
             let mut changed = false;
@@ -573,9 +591,9 @@ impl TableStore {
         }
         if removed.is_empty() {
             // nothing matched: an empty commit is a no-op snapshot
-            return self.commit(name, Vec::new(), Vec::new(), Some(base), t);
+            return self.commit(name, Vec::new(), Vec::new(), Some(base), &ctx.at(t));
         }
-        self.commit_replace(name, base, removed, added, t)
+        self.commit_replace(name, base, removed, added, &ctx.at(t))
     }
 
     fn partition_rows(
@@ -607,7 +625,7 @@ impl TableStore {
         profile: &TableProfile,
         partition: &str,
         rows: &[Row],
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(DataFileMeta, Nanos)> {
         let file_id = self.next_file_id.fetch_add(1, Ordering::Relaxed);
         let path = format!("data/{partition}/{file_id:010}.lake");
@@ -622,7 +640,7 @@ impl TableStore {
             .ok_or_else(|| Error::InvalidArgument("cannot write empty data file".into()))?;
         let (addr, t) = self
             .plog
-            .append_to_shard_at(self.plog.shard_of(path.as_bytes()), &bytes, now)?;
+            .append_to_shard_at(self.plog.shard_of(path.as_bytes()), &bytes, ctx)?;
         self.files
             .put(file_key(&profile.name, &path), encode_addr(&addr));
         // Index by bare path too (paths embed unique file ids, so this is safe).
@@ -639,11 +657,11 @@ impl TableStore {
         ))
     }
 
-    fn open_data_file(&self, path: &str, now: Nanos) -> Result<(LakeFileReader, Nanos)> {
+    fn open_data_file(&self, path: &str, ctx: &IoCtx) -> Result<(LakeFileReader, Nanos)> {
         let addr = self
             .file_addr(path)
             .ok_or_else(|| Error::NotFound(format!("data file {path}")))?;
-        let (bytes, t) = self.plog.read_at(&addr, now)?;
+        let (bytes, t) = self.plog.read_at(&addr, ctx)?;
         Ok((LakeFileReader::open(bytes)?, t))
     }
 
@@ -659,10 +677,10 @@ impl TableStore {
         added: Vec<DataFileMeta>,
         removed: Vec<String>,
         _base: Option<u64>,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<CommitInfo> {
         let _guard = self.commit_lock.lock();
-        self.commit_locked(name, added, removed, now)
+        self.commit_locked(name, added, removed, ctx)
     }
 
     fn commit_locked(
@@ -670,7 +688,7 @@ impl TableStore {
         name: &str,
         added: Vec<DataFileMeta>,
         removed: Vec<String>,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<CommitInfo> {
         let mut profile = self.catalog.get(name)?;
         let parent = profile.current_snapshot;
@@ -680,7 +698,7 @@ impl TableStore {
         } else {
             let (prev, _) = self
                 .meta
-                .get_snapshot(name, parent, MetadataMode::Accelerated, now)?;
+                .get_snapshot(name, parent, MetadataMode::Accelerated, ctx)?;
             // Row counts of the files being removed, from the live index
             // (consulted before the commit updates it).
             let removed_rows = if removed.is_empty() {
@@ -691,7 +709,7 @@ impl TableStore {
                     &prev,
                     None,
                     MetadataMode::Accelerated,
-                    now,
+                    ctx,
                 )?;
                 live.iter()
                     .filter(|f| removed.contains(&f.path))
@@ -700,23 +718,30 @@ impl TableStore {
             };
             (prev.total_rows, prev.total_files, prev.commit_ids, removed_rows)
         };
-        let commit =
-            Commit { id: new_id, timestamp: now, added: added.clone(), removed: removed.clone() };
-        let t1 = self.meta.put_commit(name, &commit, now)?;
+        let commit = Commit {
+            id: new_id,
+            timestamp: ctx.now,
+            added: added.clone(),
+            removed: removed.clone(),
+        };
+        let t1 = self.meta.put_commit(name, &commit, ctx)?;
         commit_ids.push(new_id);
         let snapshot = Snapshot {
             id: new_id,
             parent: (parent != 0).then_some(parent),
             commit_ids,
-            timestamp: now,
+            timestamp: ctx.now,
             total_rows: prev_rows + added.iter().map(|f| f.record_count).sum::<u64>()
                 - removed_rows,
             total_files: prev_files + added.len() as u64 - removed.len() as u64,
         };
-        let t2 = self.meta.put_snapshot(name, &snapshot, t1)?;
+        let t2 = self.meta.put_snapshot(name, &snapshot, &ctx.at(t1))?;
         profile.current_snapshot = new_id;
-        profile.modified_at = now;
+        profile.modified_at = ctx.now;
         self.catalog.update(&profile);
+        // The fixed coordination cost is metadata work: OCC validation,
+        // catalog CAS, snapshot publication.
+        ctx.record(Phase::Meta, t2, COMMIT_OVERHEAD);
         Ok(CommitInfo {
             snapshot_id: new_id,
             files_added: added.len() as u64,
@@ -730,16 +755,17 @@ impl TableStore {
         profile: &TableProfile,
         as_of: Option<Nanos>,
         mode: MetadataMode,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Snapshot, Nanos)> {
         let (mut snapshot, mut t) =
             self.meta
-                .get_snapshot(&profile.name, profile.current_snapshot, mode, now)?;
+                .get_snapshot(&profile.name, profile.current_snapshot, mode, ctx)?;
         if let Some(as_of) = as_of {
             while snapshot.timestamp > as_of {
                 match snapshot.parent {
                     Some(p) => {
-                        let (s, ts) = self.meta.get_snapshot(&profile.name, p, mode, t)?;
+                        let (s, ts) =
+                            self.meta.get_snapshot(&profile.name, p, mode, &ctx.at(t))?;
                         snapshot = s;
                         t = ts;
                     }
@@ -933,10 +959,10 @@ pub(crate) mod tests {
     #[test]
     fn create_insert_select_roundtrip() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 1000, 0)?;
+        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 1000, &IoCtx::new(0))?;
         let rows = log_rows(500, T0);
-        s.insert("logs", &rows, 0)?;
-        let r = s.select("logs", &ScanOptions::default(), 0)?;
+        s.insert("logs", &rows, &IoCtx::new(0))?;
+        let r = s.select("logs", &ScanOptions::default(), &IoCtx::new(0))?;
         assert_eq!(r.rows.len(), 500);
         assert_eq!(r.stats.files_scanned, r.stats.files_candidate);
         Ok(())
@@ -945,26 +971,26 @@ pub(crate) mod tests {
     #[test]
     fn empty_table_selects_nothing() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
-        let r = s.select("t", &ScanOptions::default(), 0)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
+        let r = s.select("t", &ScanOptions::default(), &IoCtx::new(0))?;
         assert!(r.rows.is_empty());
-        assert!(s.insert("t", &[], 0).is_err());
+        assert!(s.insert("t", &[], &IoCtx::new(0)).is_err());
         Ok(())
     }
 
     #[test]
     fn partition_pruning_limits_candidate_files() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 10_000, 0)?;
+        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 10_000, &IoCtx::new(0))?;
         // 10 hours of data, one insert per hour
         for h in 0..10 {
-            s.insert("logs", &log_rows(100, T0 + h * 3600), 0)?;
+            s.insert("logs", &log_rows(100, T0 + h * 3600), &IoCtx::new(0))?;
         }
         let pred = Expr::all(vec![
             Predicate::cmp("start_time", CmpOp::Ge, T0 + 3 * 3600),
             Predicate::cmp("start_time", CmpOp::Lt, T0 + 4 * 3600),
         ]);
-        let r = s.select("logs", &ScanOptions::filtered(pred), 0)?;
+        let r = s.select("logs", &ScanOptions::filtered(pred), &IoCtx::new(0))?;
         assert_eq!(r.rows.len(), 100);
         assert_eq!(r.stats.files_candidate, 1, "partition pruning must narrow to one hour");
         Ok(())
@@ -973,19 +999,19 @@ pub(crate) mod tests {
     #[test]
     fn pushdown_skips_files_by_stats() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), None, 10_000, 0)?;
+        s.create_table("logs", log_schema(), None, 10_000, &IoCtx::new(0))?;
         for h in 0..10 {
-            s.insert("logs", &log_rows(100, T0 + h * 3600), 0)?;
+            s.insert("logs", &log_rows(100, T0 + h * 3600), &IoCtx::new(0))?;
         }
         let pred = Expr::all(vec![
             Predicate::cmp("start_time", CmpOp::Ge, T0 + 3 * 3600),
             Predicate::cmp("start_time", CmpOp::Lt, T0 + 3 * 3600 + 100),
         ]);
-        let with = s.select("logs", &ScanOptions::filtered(pred.clone()), 0)?;
+        let with = s.select("logs", &ScanOptions::filtered(pred.clone()), &IoCtx::new(0))?;
         let without = s.select(
             "logs",
             &ScanOptions { predicate: pred, pushdown: false, ..Default::default() },
-            0,
+            &IoCtx::new(0),
         )?;
         assert_eq!(with.rows, without.rows);
         assert!(with.stats.files_skipped >= 9);
@@ -996,15 +1022,15 @@ pub(crate) mod tests {
     #[test]
     fn projection_returns_requested_columns() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), None, 1000, 0)?;
-        s.insert("logs", &log_rows(10, T0), 0)?;
+        s.create_table("logs", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("logs", &log_rows(10, T0), &IoCtx::new(0))?;
         let r = s.select(
             "logs",
             &ScanOptions {
                 projection: Some(vec!["province".into(), "start_time".into()]),
                 ..Default::default()
             },
-            0,
+            &IoCtx::new(0),
         )?;
         assert_eq!(r.rows[0].len(), 2);
         assert!(matches!(r.rows[0][0], Value::Str(_)));
@@ -1015,18 +1041,18 @@ pub(crate) mod tests {
     #[test]
     fn snapshot_isolation_readers_see_resolved_snapshot() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
-        let info1 = s.insert("t", &log_rows(10, T0), 100)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
+        let info1 = s.insert("t", &log_rows(10, T0), &IoCtx::new(100))?;
         // The snapshot's visibility timestamp is its commit completion time.
         let (snap1, _) =
-            s.meta().get_snapshot("t", info1.snapshot_id, MetadataMode::Accelerated, 0)?;
+            s.meta().get_snapshot("t", info1.snapshot_id, MetadataMode::Accelerated, &IoCtx::new(0))?;
         let snap1_time = snap1.timestamp;
-        s.insert("t", &log_rows(10, T0 + 1000), snap1_time + 1000)?;
+        s.insert("t", &log_rows(10, T0 + 1000), &IoCtx::new(snap1_time + 1000))?;
         // time travel to the first snapshot
         let r =
-            s.select("t", &ScanOptions { as_of: Some(snap1_time), ..Default::default() }, 300)?;
+            s.select("t", &ScanOptions { as_of: Some(snap1_time), ..Default::default() }, &IoCtx::new(300))?;
         assert_eq!(r.rows.len(), 10);
-        let r_now = s.select("t", &ScanOptions::default(), 300)?;
+        let r_now = s.select("t", &ScanOptions::default(), &IoCtx::new(300))?;
         assert_eq!(r_now.rows.len(), 20);
         Ok(())
     }
@@ -1034,10 +1060,10 @@ pub(crate) mod tests {
     #[test]
     fn time_travel_before_first_snapshot_is_not_found() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
-        s.insert("t", &log_rows(1, T0), 500)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("t", &log_rows(1, T0), &IoCtx::new(500))?;
         assert!(matches!(
-            s.select("t", &ScanOptions { as_of: Some(10), ..Default::default() }, 600),
+            s.select("t", &ScanOptions { as_of: Some(10), ..Default::default() }, &IoCtx::new(600)),
             Err(Error::NotFound(_))
         ));
         Ok(())
@@ -1046,18 +1072,18 @@ pub(crate) mod tests {
     #[test]
     fn delete_whole_partition_is_metadata_only() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 10_000, 0)?;
+        s.create_table("logs", log_schema(), Some(PartitionSpec::hourly("start_time")), 10_000, &IoCtx::new(0))?;
         for h in 0..3 {
-            s.insert("logs", &log_rows(50, T0 + h * 3600), 0)?;
+            s.insert("logs", &log_rows(50, T0 + h * 3600), &IoCtx::new(0))?;
         }
         let pred = Expr::all(vec![
             Predicate::cmp("start_time", CmpOp::Ge, T0),
             Predicate::cmp("start_time", CmpOp::Lt, T0 + 3600),
         ]);
-        let info = s.delete("logs", &pred, 10)?;
+        let info = s.delete("logs", &pred, &IoCtx::new(10))?;
         assert_eq!(info.files_removed, 1);
         assert_eq!(info.files_added, 0, "whole-file delete adds nothing");
-        let r = s.select("logs", &ScanOptions::default(), 20)?;
+        let r = s.select("logs", &ScanOptions::default(), &IoCtx::new(20))?;
         assert_eq!(r.rows.len(), 100);
         Ok(())
     }
@@ -1065,13 +1091,13 @@ pub(crate) mod tests {
     #[test]
     fn delete_partial_file_rewrites() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), None, 1000, 0)?;
-        s.insert("logs", &log_rows(90, T0), 0)?;
+        s.create_table("logs", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("logs", &log_rows(90, T0), &IoCtx::new(0))?;
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "beijing"));
-        let info = s.delete("logs", &pred, 10)?;
+        let info = s.delete("logs", &pred, &IoCtx::new(10))?;
         assert_eq!(info.files_removed, 1);
         assert_eq!(info.files_added, 1);
-        let r = s.select("logs", &ScanOptions::default(), 20)?;
+        let r = s.select("logs", &ScanOptions::default(), &IoCtx::new(20))?;
         assert_eq!(r.rows.len(), 60);
         assert!(r.rows.iter().all(|row| row[2] != Value::from("beijing")));
         Ok(())
@@ -1080,11 +1106,11 @@ pub(crate) mod tests {
     #[test]
     fn update_rewrites_matching_rows() -> Result<()> {
         let s = test_store();
-        s.create_table("logs", log_schema(), None, 1000, 0)?;
-        s.insert("logs", &log_rows(30, T0), 0)?;
+        s.create_table("logs", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("logs", &log_rows(30, T0), &IoCtx::new(0))?;
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "shanghai"));
-        s.update("logs", &pred, &[("province".to_string(), Value::from("hainan"))], 10)?;
-        let r = s.select("logs", &ScanOptions::default(), 20)?;
+        s.update("logs", &pred, &[("province".to_string(), Value::from("hainan"))], &IoCtx::new(10))?;
+        let r = s.select("logs", &ScanOptions::default(), &IoCtx::new(20))?;
         assert_eq!(r.rows.len(), 30, "update must not change row count");
         assert!(!r.rows.iter().any(|row| row[2] == Value::from("shanghai")));
         assert_eq!(
@@ -1097,51 +1123,51 @@ pub(crate) mod tests {
     #[test]
     fn delete_nothing_is_noop_snapshot() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
-        s.insert("t", &log_rows(5, T0), 0)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("t", &log_rows(5, T0), &IoCtx::new(0))?;
         let before = s.current_snapshot("t")?;
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "nowhere"));
-        s.delete("t", &pred, 10)?;
+        s.delete("t", &pred, &IoCtx::new(10))?;
         assert_eq!(s.current_snapshot("t")?, before + 1);
-        assert_eq!(s.select("t", &ScanOptions::default(), 20)?.rows.len(), 5);
+        assert_eq!(s.select("t", &ScanOptions::default(), &IoCtx::new(20))?.rows.len(), 5);
         Ok(())
     }
 
     #[test]
     fn soft_drop_restore_and_hard_drop() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
-        s.insert("t", &log_rows(5, T0), 0)?;
-        s.drop_table("t", false, 10)?;
-        assert!(s.select("t", &ScanOptions::default(), 20).is_err());
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("t", &log_rows(5, T0), &IoCtx::new(0))?;
+        s.drop_table("t", false, &IoCtx::new(10))?;
+        assert!(s.select("t", &ScanOptions::default(), &IoCtx::new(20)).is_err());
         // restore brings the data back
-        s.restore_table("t", 30)?;
-        assert_eq!(s.select("t", &ScanOptions::default(), 40)?.rows.len(), 5);
+        s.restore_table("t", &IoCtx::new(30))?;
+        assert_eq!(s.select("t", &ScanOptions::default(), &IoCtx::new(40))?.rows.len(), 5);
         // hard drop removes everything
-        s.drop_table("t", true, 50)?;
+        s.drop_table("t", true, &IoCtx::new(50))?;
         assert!(s.catalog().get_any("t").is_err());
         // the name is reusable afterwards
-        s.create_table("t", log_schema(), None, 1000, 60)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(60))?;
         Ok(())
     }
 
     #[test]
     fn commit_replace_conflict_on_stale_input() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
-        s.insert("t", &log_rows(10, T0), 0)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("t", &log_rows(10, T0), &IoCtx::new(0))?;
         let base = s.current_snapshot("t")?;
-        let files = s.live_files("t", 0)?;
+        let files = s.live_files("t", &IoCtx::new(0))?;
         let victim = files[0].path.clone();
         // A concurrent DELETE removes the file compaction wanted to rewrite.
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "beijing"));
-        s.delete("t", &pred, 10)?;
+        s.delete("t", &pred, &IoCtx::new(10))?;
         let err = s.commit_replace(
             "t",
             base,
             vec![victim],
             vec![(String::new(), log_rows(5, T0))],
-            20,
+            &IoCtx::new(20),
         );
         assert!(matches!(err, Err(Error::Conflict(_))), "{err:?}");
         Ok(())
@@ -1150,22 +1176,22 @@ pub(crate) mod tests {
     #[test]
     fn commit_replace_succeeds_when_inputs_still_live() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
-        s.insert("t", &log_rows(10, T0), 0)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("t", &log_rows(10, T0), &IoCtx::new(0))?;
         let base = s.current_snapshot("t")?;
-        let files = s.live_files("t", 0)?;
+        let files = s.live_files("t", &IoCtx::new(0))?;
         // A concurrent append-only insert does not conflict with compaction.
-        s.insert("t", &log_rows(10, T0 + 100), 10)?;
-        let (rows, _) = s.read_file_rows(&files[0].path, 20)?;
+        s.insert("t", &log_rows(10, T0 + 100), &IoCtx::new(10))?;
+        let (rows, _) = s.read_file_rows(&files[0].path, &IoCtx::new(20))?;
         let info = s.commit_replace(
             "t",
             base,
             vec![files[0].path.clone()],
             vec![(String::new(), rows)],
-            20,
+            &IoCtx::new(20),
         )?;
         assert_eq!(info.files_removed, 1);
-        let r = s.select("t", &ScanOptions::default(), 30)?;
+        let r = s.select("t", &ScanOptions::default(), &IoCtx::new(30))?;
         assert_eq!(r.rows.len(), 20);
         Ok(())
     }
@@ -1173,16 +1199,16 @@ pub(crate) mod tests {
     #[test]
     fn filebased_metadata_mode_agrees_with_accelerated() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
         for i in 0..5 {
-            s.insert("t", &log_rows(20, T0 + i * 100), 0)?;
+            s.insert("t", &log_rows(20, T0 + i * 100), &IoCtx::new(0))?;
         }
-        s.meta().flush("t", 0)?;
-        let fast = s.select("t", &ScanOptions::default(), 0)?;
+        s.meta().flush("t", &IoCtx::new(0))?;
+        let fast = s.select("t", &ScanOptions::default(), &IoCtx::new(0))?;
         let slow = s.select(
             "t",
             &ScanOptions { mode: MetadataMode::FileBased, ..Default::default() },
-            0,
+            &IoCtx::new(0),
         )?;
         let mut a = fast.rows.clone();
         let mut b = slow.rows.clone();
@@ -1202,21 +1228,21 @@ pub(crate) mod tests {
     #[test]
     fn snapshot_statistics_track_rows_and_files() -> Result<()> {
         let s = test_store();
-        s.create_table("t", log_schema(), None, 1000, 0)?;
-        s.insert("t", &log_rows(10, T0), 0)?;
-        s.insert("t", &log_rows(20, T0 + 50), 0)?;
+        s.create_table("t", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("t", &log_rows(10, T0), &IoCtx::new(0))?;
+        s.insert("t", &log_rows(20, T0 + 50), &IoCtx::new(0))?;
         let profile = s.catalog().get("t")?;
         let (snap, _) =
-            s.meta().get_snapshot("t", profile.current_snapshot, MetadataMode::Accelerated, 0)?;
+            s.meta().get_snapshot("t", profile.current_snapshot, MetadataMode::Accelerated, &IoCtx::new(0))?;
         assert_eq!(snap.total_rows, 30);
         assert_eq!(snap.total_files, 2);
         // delete one province and re-check
         let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "beijing"));
-        s.delete("t", &pred, 10)?;
+        s.delete("t", &pred, &IoCtx::new(10))?;
         let profile = s.catalog().get("t")?;
         let (snap, _) =
-            s.meta().get_snapshot("t", profile.current_snapshot, MetadataMode::Accelerated, 0)?;
-        let live_rows = s.select("t", &ScanOptions::default(), 20)?.rows.len() as u64;
+            s.meta().get_snapshot("t", profile.current_snapshot, MetadataMode::Accelerated, &IoCtx::new(0))?;
+        let live_rows = s.select("t", &ScanOptions::default(), &IoCtx::new(20))?.rows.len() as u64;
         assert_eq!(snap.total_rows, live_rows);
         Ok(())
     }

@@ -219,7 +219,8 @@ impl AutoCompactor {
         table: &str,
         now: Nanos,
     ) -> Result<Vec<(String, CompactionOutcome)>> {
-        let partitions = self.compactor.partitions(store, table, now)?;
+        let ctx = common::ctx::IoCtx::new(now).with_qos(common::ctx::QosClass::Maintenance);
+        let partitions = self.compactor.partitions(store, table, &ctx)?;
         let global_util = {
             let sizes: Vec<u64> = partitions
                 .values()
@@ -251,7 +252,7 @@ impl AutoCompactor {
             if !self.policy.decide(&state, now) {
                 continue;
             }
-            match self.compactor.compact_partition(store, table, partition, now) {
+            match self.compactor.compact_partition(store, table, partition, &ctx) {
                 Ok(o) => outcomes.push((partition.clone(), o)),
                 Err(Error::Conflict(_)) => continue,
                 Err(e) => return Err(e),
@@ -398,27 +399,27 @@ mod tests {
     #[test]
     fn autocompactor_compacts_real_table_with_greedy_policy() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 100_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 100_000, &common::ctx::IoCtx::new(0)).unwrap();
         for i in 0..15 {
-            store.insert("t", &log_rows(10, i * 10), 0).unwrap();
+            store.insert("t", &log_rows(10, i * 10), &common::ctx::IoCtx::new(0)).unwrap();
         }
         let mut ac = AutoCompactor::new(64 * 1024 * 1024, Box::new(GreedyPolicy::new(0.99)));
         let outcomes = ac.run_once(&store, "t", 0).unwrap();
         assert_eq!(outcomes.len(), 1);
-        assert_eq!(store.live_files("t", 0).unwrap().len(), 1);
+        assert_eq!(store.live_files("t", &common::ctx::IoCtx::new(0)).unwrap().len(), 1);
     }
 
     #[test]
     fn autocompactor_respects_policy_refusal() {
         let store = test_store();
-        store.create_table("t", log_schema(), None, 100_000, 0).unwrap();
+        store.create_table("t", log_schema(), None, 100_000, &common::ctx::IoCtx::new(0)).unwrap();
         for i in 0..5 {
-            store.insert("t", &log_rows(10, i * 10), 0).unwrap();
+            store.insert("t", &log_rows(10, i * 10), &common::ctx::IoCtx::new(0)).unwrap();
         }
         // threshold 0.0: never below → never compact
         let mut ac = AutoCompactor::new(64 * 1024 * 1024, Box::new(GreedyPolicy::new(0.0)));
         let outcomes = ac.run_once(&store, "t", 0).unwrap();
         assert!(outcomes.is_empty());
-        assert_eq!(store.live_files("t", 0).unwrap().len(), 5);
+        assert_eq!(store.live_files("t", &common::ctx::IoCtx::new(0)).unwrap().len(), 5);
     }
 }

@@ -6,16 +6,30 @@
 //! appended since the previous run over a WAN link, and
 //! [`recover`](RemoteReplicator::recover) restores a record from the
 //! remote copy when the primary has lost it beyond its redundancy margin.
+//!
+//! Remote appends that hit a transient device fault are retried with a
+//! deterministic virtual-time backoff (doubling from
+//! [`RETRY_BASE_BACKOFF`]). With a deadline on the driving [`IoCtx`] the
+//! retry loop gives up with [`Error::DeadlineExceeded`] as soon as the next
+//! wake-up would land past the budget; without one it abandons the record
+//! after [`MAX_RETRY_ATTEMPTS`] tries and lets a later cycle pick it up.
 
 use crate::store::{PlogAddress, PlogStore};
-use common::clock::Nanos;
+use common::clock::{millis, Nanos};
+use common::ctx::{IoCtx, Phase};
 use common::{Error, Result};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// WAN throughput between sites (far below the local fabric).
 pub const WAN_BYTES_PER_SEC: u64 = 100_000_000; // ~800 Mb/s
+
+/// First retry backoff after a transient remote fault; doubles per attempt.
+pub const RETRY_BASE_BACKOFF: Nanos = millis(1);
+
+/// Retry budget per record when the context carries no deadline.
+pub const MAX_RETRY_ATTEMPTS: u32 = 5;
 
 /// Report of one replication cycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,6 +38,10 @@ pub struct ReplicationReport {
     pub records_copied: u64,
     /// Logical bytes shipped over the WAN.
     pub bytes_shipped: u64,
+    /// Remote appends retried after transient faults.
+    pub retries: u64,
+    /// Records abandoned this cycle after exhausting the attempt budget.
+    pub records_abandoned: u64,
     /// Virtual completion time of the cycle.
     pub finished_at: Nanos,
 }
@@ -34,41 +52,91 @@ pub struct RemoteReplicator {
     primary: Arc<PlogStore>,
     remote: Arc<PlogStore>,
     /// primary address → remote address for everything already shipped.
-    mapping: Mutex<HashMap<PlogAddress, PlogAddress>>,
+    mapping: Mutex<BTreeMap<PlogAddress, PlogAddress>>,
 }
 
 impl RemoteReplicator {
     /// Pair `primary` with a `remote` site store.
     pub fn new(primary: Arc<PlogStore>, remote: Arc<PlogStore>) -> Self {
-        RemoteReplicator { primary, remote, mapping: Mutex::new(HashMap::new()) }
+        RemoteReplicator { primary, remote, mapping: Mutex::new(BTreeMap::new()) }
     }
 
     /// One replication cycle: ship every record not yet at the remote site.
     /// Records the primary can no longer read (beyond redundancy) are
-    /// skipped — recovery for those must come *from* the remote.
-    pub fn run(&self, now: Nanos) -> Result<ReplicationReport> {
-        let mut report = ReplicationReport { finished_at: now, ..Default::default() };
+    /// skipped — recovery for those must come *from* the remote. WAN
+    /// shipping time is attributed to [`Phase::Wan`]; retry backoff waits
+    /// to [`Phase::Queue`].
+    pub fn run(&self, ctx: &IoCtx) -> Result<ReplicationReport> {
+        let mut report = ReplicationReport { finished_at: ctx.now, ..Default::default() };
         let mut mapping = self.mapping.lock();
-        let mut t = now;
+        let mut t = ctx.now;
         for addr in self.primary.addresses() {
             if mapping.contains_key(&addr) {
                 continue;
             }
-            let Ok((data, t_read)) = self.primary.read_at(&addr, t) else {
-                continue; // unreadable locally; not this service's job
+            let (data, t_read) = match self.primary.read_at(&addr, &ctx.at(t)) {
+                Ok(v) => v,
+                Err(e @ Error::DeadlineExceeded(_)) => return Err(e),
+                Err(_) => continue, // unreadable locally; not this service's job
             };
             let wan = data.len() as u64 * 1_000_000_000 / WAN_BYTES_PER_SEC;
-            let (raddr, t_write) = self
-                .remote
-                .append_to_shard_at(addr.shard % self.remote.config().shard_count as u32,
-                    &data, t_read + wan)?;
-            mapping.insert(addr, raddr);
-            t = t_write;
-            report.records_copied += 1;
-            report.bytes_shipped += data.len() as u64;
+            ctx.record(Phase::Wan, t_read, wan);
+            match self.ship_with_retry(&addr, &data, t_read + wan, ctx, &mut report)? {
+                Some((raddr, t_write)) => {
+                    mapping.insert(addr, raddr);
+                    t = t_write;
+                    report.records_copied += 1;
+                    report.bytes_shipped += data.len() as u64;
+                }
+                None => report.records_abandoned += 1,
+            }
         }
         report.finished_at = t;
         Ok(report)
+    }
+
+    /// Append `data` at the remote site, retrying transient ([`Error::Io`])
+    /// faults with doubling backoff. `Ok(None)` means the attempt budget ran
+    /// out without a deadline; the record stays unmapped for the next cycle.
+    fn ship_with_retry(
+        &self,
+        addr: &PlogAddress,
+        data: &[u8],
+        arrival: Nanos,
+        ctx: &IoCtx,
+        report: &mut ReplicationReport,
+    ) -> Result<Option<(PlogAddress, Nanos)>> {
+        let shard = addr.shard % self.remote.config().shard_count as u32;
+        let mut t = arrival;
+        let mut backoff = RETRY_BASE_BACKOFF;
+        let mut attempts = 0u32;
+        loop {
+            match self.remote.append_to_shard_at(shard, data, &ctx.at(t)) {
+                Ok(placed) => return Ok(Some(placed)),
+                Err(e @ Error::DeadlineExceeded(_)) => return Err(e),
+                Err(Error::Io(_)) => {
+                    attempts += 1;
+                    let wake = t + backoff;
+                    if let Some(d) = ctx.deadline {
+                        if wake > d {
+                            return Err(Error::DeadlineExceeded(format!(
+                                "replication of {addr:?} still failing at attempt \
+                                 {attempts}; next retry at {wake} exceeds deadline {d} \
+                                 (trace {})",
+                                ctx.trace
+                            )));
+                        }
+                    } else if attempts >= MAX_RETRY_ATTEMPTS {
+                        return Ok(None);
+                    }
+                    ctx.record(Phase::Queue, t, backoff);
+                    report.retries += 1;
+                    t = wake;
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Number of records currently protected at the remote site.
@@ -78,13 +146,14 @@ impl RemoteReplicator {
 
     /// Recover the record at `addr` from the remote site (disaster
     /// recovery: the primary lost it beyond its redundancy margin).
-    pub fn recover(&self, addr: &PlogAddress, now: Nanos) -> Result<(Vec<u8>, Nanos)> {
+    pub fn recover(&self, addr: &PlogAddress, ctx: &IoCtx) -> Result<(Vec<u8>, Nanos)> {
         let mapping = self.mapping.lock();
         let raddr = mapping
             .get(addr)
             .ok_or_else(|| Error::NotFound(format!("no remote copy of {addr:?}")))?;
-        let (data, t_read) = self.remote.read_at(raddr, now)?;
+        let (data, t_read) = self.remote.read_at(raddr, ctx)?;
         let wan = data.len() as u64 * 1_000_000_000 / WAN_BYTES_PER_SEC;
+        ctx.record(Phase::Wan, t_read, wan);
         Ok((data, t_read + wan))
     }
 }
@@ -92,10 +161,13 @@ impl RemoteReplicator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PlogConfig;
+    use common::clock::secs;
+    use common::ctx::{QosClass, SpanSink};
+    use common::metrics::Metrics;
     use common::size::MIB;
     use common::SimClock;
     use ec::Redundancy;
-    use crate::PlogConfig;
     use simdisk::{MediaKind, StoragePool};
 
     fn site(name: &str, devices: usize) -> Arc<PlogStore> {
@@ -119,6 +191,12 @@ mod tests {
         )
     }
 
+    fn fail_remote_until(remote: &Arc<PlogStore>, until: Nanos) {
+        for i in 0..4 {
+            remote.pool_for_tests().device(i).fail_until(until);
+        }
+    }
+
     #[test]
     fn replication_copies_everything_once() {
         let primary = site("primary", 4);
@@ -128,16 +206,16 @@ mod tests {
             addrs.push(primary.append(format!("k{i}").as_bytes(), &vec![i as u8; 500]).unwrap());
         }
         let rep = RemoteReplicator::new(primary.clone(), remote.clone());
-        let r1 = rep.run(0).unwrap();
+        let r1 = rep.run(&IoCtx::new(0)).unwrap();
         assert_eq!(r1.records_copied, 20);
         assert_eq!(r1.bytes_shipped, 20 * 500);
         assert!(r1.finished_at > 0, "WAN time must be charged");
         // a second cycle with nothing new is a no-op
-        let r2 = rep.run(r1.finished_at).unwrap();
+        let r2 = rep.run(&IoCtx::new(r1.finished_at)).unwrap();
         assert_eq!(r2.records_copied, 0);
         // incremental: new appends ship next cycle
         primary.append(b"new", b"fresh record").unwrap();
-        let r3 = rep.run(r2.finished_at).unwrap();
+        let r3 = rep.run(&IoCtx::new(r2.finished_at)).unwrap();
         assert_eq!(r3.records_copied, 1);
         assert_eq!(rep.replicated_count(), 21);
     }
@@ -149,13 +227,13 @@ mod tests {
         let payload = b"business critical".to_vec();
         let addr = primary.append(b"k", &payload).unwrap();
         let rep = RemoteReplicator::new(primary.clone(), remote);
-        rep.run(0).unwrap();
+        rep.run(&IoCtx::new(0)).unwrap();
         // primary site burns down (both replicas lost)
         for i in 0..4 {
             primary_pool_fail(&primary, i);
         }
         assert!(primary.read(&addr).is_err(), "primary must have lost the data");
-        let (back, t) = rep.recover(&addr, 0).unwrap();
+        let (back, t) = rep.recover(&addr, &IoCtx::new(0)).unwrap();
         assert_eq!(back, payload);
         assert!(t > 0);
     }
@@ -166,7 +244,76 @@ mod tests {
         let remote = site("remote", 4);
         let addr = primary.append(b"k", b"not yet shipped").unwrap();
         let rep = RemoteReplicator::new(primary, remote);
-        assert!(matches!(rep.recover(&addr, 0), Err(Error::NotFound(_))));
+        assert!(matches!(rep.recover(&addr, &IoCtx::new(0)), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn transient_remote_fault_is_retried_until_it_heals() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        primary.append(b"k", &vec![7u8; 1000]).unwrap();
+        // The whole remote site is unreachable for 3ms of virtual time: the
+        // first attempt and the 1ms + 2ms backoff retries fail, the fourth
+        // (at >= 3ms) lands.
+        fail_remote_until(&remote, millis(3));
+        let rep = RemoteReplicator::new(primary, remote.clone());
+        let ctx = IoCtx::new(0).with_qos(QosClass::Background);
+        let report = rep.run(&ctx).unwrap();
+        assert_eq!(report.records_copied, 1);
+        assert!(report.retries >= 1, "transient fault must be retried, got {report:?}");
+        assert_eq!(report.records_abandoned, 0);
+        assert_eq!(rep.replicated_count(), 1);
+        assert!(report.finished_at >= millis(3), "success only after the fault window");
+        // deterministic: a fresh identical setup produces the same timings
+        let primary2 = site("primary", 4);
+        primary2.append(b"k", &vec![7u8; 1000]).unwrap();
+        let remote2 = site("remote", 4);
+        fail_remote_until(&remote2, millis(3));
+        let rep2 = RemoteReplicator::new(primary2, remote2);
+        let report2 = rep2.run(&IoCtx::new(0).with_qos(QosClass::Background)).unwrap();
+        assert_eq!(report.finished_at, report2.finished_at);
+        assert_eq!(report.retries, report2.retries);
+    }
+
+    #[test]
+    fn retry_exhaustion_respects_the_deadline_and_keeps_the_trail() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        primary.append(b"k", &vec![1u8; 1000]).unwrap();
+        fail_remote_until(&remote, secs(60)); // far past any budget
+        let sink = Arc::new(SpanSink::new(Metrics::new()));
+        let rep = RemoteReplicator::new(primary, remote);
+        let ctx = IoCtx::new(0)
+            .with_deadline(millis(4))
+            .with_qos(QosClass::Background)
+            .with_sink(sink.clone());
+        let err = rep.run(&ctx).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)), "got {err:?}");
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert_eq!(rep.replicated_count(), 0);
+        // the span trail survives the failure: WAN shipping plus at least
+        // one recorded backoff wait, all under the request's trace id.
+        let trail = sink.trail();
+        assert!(trail.iter().any(|r| r.phase == Phase::Wan), "trail: {trail:?}");
+        assert!(trail.iter().any(|r| r.phase == Phase::Queue), "trail: {trail:?}");
+        assert!(trail.iter().all(|r| r.trace == ctx.trace));
+    }
+
+    #[test]
+    fn without_a_deadline_a_dead_remote_is_abandoned_not_fatal() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        primary.append(b"k", &vec![1u8; 1000]).unwrap();
+        fail_remote_until(&remote, secs(60));
+        let rep = RemoteReplicator::new(primary, remote);
+        let report = rep.run(&IoCtx::new(0)).unwrap();
+        assert_eq!(report.records_copied, 0);
+        assert_eq!(report.records_abandoned, 1);
+        assert_eq!(report.retries, u64::from(MAX_RETRY_ATTEMPTS) - 1);
+        assert_eq!(rep.replicated_count(), 0);
+        // the next cycle, after the fault clears, ships it
+        let late = rep.run(&IoCtx::new(secs(61))).unwrap();
+        assert_eq!(late.records_copied, 1);
     }
 
     fn primary_pool_fail(store: &Arc<PlogStore>, device: usize) {

@@ -1,6 +1,7 @@
 //! The PLog store: sharded, redundancy-encoded, index-backed appends.
 
 use crate::placement::shard_for;
+use common::ctx::IoCtx;
 use common::{Error, Result};
 use ec::{Redundancy, Stripe};
 use kvstore::SharedKv;
@@ -30,7 +31,7 @@ impl Default for PlogConfig {
 }
 
 /// A durable address returned by [`PlogStore::append`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PlogAddress {
     /// Logical shard holding the record.
     pub shard: u32,
@@ -121,13 +122,14 @@ impl PlogStore {
     }
 
     /// Parallel-timed append: the redundancy shards are written concurrently
-    /// at virtual time `now`; returns the address and the completion time
-    /// (latest shard finish). The shared clock is not advanced.
+    /// under `ctx` (deadline, QoS lane and span phases apply); returns the
+    /// address and the completion time (latest shard finish). The shared
+    /// clock is not advanced.
     pub fn append_to_shard_at(
         &self,
         shard: u32,
         record: &[u8],
-        now: common::clock::Nanos,
+        ctx: &IoCtx,
     ) -> Result<(PlogAddress, common::clock::Nanos)> {
         let addr = {
             let mut st = self.shards[shard as usize].lock();
@@ -142,20 +144,35 @@ impl PlogStore {
             addr
         };
         let stripe = Stripe::encode(record, self.config.redundancy)?;
-        let (handle, finish) = self.pool.write_shards_at(&stripe.shards, now)?;
-        self.index
-            .put(addr.index_key(), encode_handle_with_len(&handle, addr.len));
-        Ok((addr, finish))
+        match self.pool.write_shards_ctx(&stripe.shards, ctx) {
+            Ok((handle, finish)) => {
+                self.index
+                    .put(addr.index_key(), encode_handle_with_len(&handle, addr.len));
+                Ok((addr, finish))
+            }
+            Err(e) => {
+                // Return the reserved address space if nothing was appended
+                // behind us, so rejected (e.g. past-deadline) appends can be
+                // retried without leaking the shard.
+                let mut st = self.shards[shard as usize].lock();
+                if st.next_offset == addr.offset + addr.len {
+                    st.next_offset = addr.offset;
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Parallel-timed read; returns the record and the completion time.
+    /// A blown `ctx` deadline surfaces as [`Error::DeadlineExceeded`];
+    /// individual shard faults degrade to redundancy reconstruction.
     pub fn read_at(
         &self,
         addr: &PlogAddress,
-        now: common::clock::Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Vec<u8>, common::clock::Nanos)> {
         let handle = self.lookup_handle(addr)?;
-        let (survivors, finish) = self.pool.read_shards_at(&handle, now);
+        let (survivors, finish) = self.pool.read_shards_ctx(&handle, ctx)?;
         let data = Stripe::decode(self.config.redundancy, addr.len as usize, &survivors)?;
         Ok((data, finish))
     }
@@ -401,11 +418,26 @@ mod tests {
     #[test]
     fn timed_append_and_read_report_completion() {
         let s = store(Redundancy::ErasureCode { k: 2, m: 1 }, 4);
-        let (addr, wfinish) = s.append_to_shard_at(0, b"timed record", 100).unwrap();
+        let (addr, wfinish) = s.append_to_shard_at(0, b"timed record", &IoCtx::new(100)).unwrap();
         assert!(wfinish > 100);
-        let (data, rfinish) = s.read_at(&addr, wfinish).unwrap();
+        let (data, rfinish) = s.read_at(&addr, &IoCtx::new(wfinish)).unwrap();
         assert_eq!(data, b"timed record");
         assert!(rfinish > wfinish);
+    }
+
+    #[test]
+    fn past_deadline_append_returns_the_shard_address_space() {
+        let s = store(Redundancy::Replicate { copies: 2 }, 4);
+        let ctx = IoCtx::new(0).with_deadline(1); // NVMe latency alone blows this
+        let err = s.append_to_shard_at(0, b"doomed", &ctx).unwrap_err();
+        assert!(matches!(err, Error::DeadlineExceeded(_)));
+        assert_eq!(s.shard_usage()[0], 0, "reserved offset must be rolled back");
+        assert_eq!(s.record_count(), 0);
+        // the same shard is still usable with an adequate budget
+        let (_, finish) = s
+            .append_to_shard_at(0, b"ok", &IoCtx::new(0).with_deadline(common::clock::secs(1)))
+            .unwrap();
+        assert!(finish > 0);
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! virtual time, and a fault flag for failure-injection tests.
 
 use common::clock::{micros, millis, Nanos};
+use common::ctx::{IoCtx, Phase, QosClass};
 use common::{Error, Result, SimClock};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The physical media class of a device, which fixes its latency model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,10 +74,22 @@ impl OpTiming {
 
 #[derive(Debug, Default)]
 struct DeviceState {
-    extents: HashMap<u64, Vec<u8>>,
+    /// Extent id → bytes. A `BTreeMap` so device dumps/iteration never
+    /// depend on hash state (determinism sweep, PR 1).
+    extents: BTreeMap<u64, Vec<u8>>,
     used: u64,
+    /// The single service queue: when the device finishes everything
+    /// currently accepted (foreground and background).
     busy_until: Nanos,
+    /// The foreground lane: when the device finishes its accepted
+    /// *foreground* work. Foreground ops queue only behind this, so
+    /// background/maintenance traffic cannot delay them (QoS-aware
+    /// queueing within the `busy_until` model).
+    fg_busy_until: Nanos,
     failed: bool,
+    /// Transient fault window: I/O issued before this virtual time fails
+    /// with `Error::Io` but stored data survives (unlike [`Device::fail`]).
+    failed_until: Nanos,
     reads: u64,
     writes: u64,
 }
@@ -136,9 +149,19 @@ impl Device {
         st.used = 0;
     }
 
+    /// Inject a transient fault: I/O issued at a virtual time before
+    /// `until` fails with `Error::Io`, but stored bytes survive. Models a
+    /// slow-to-respond or briefly unreachable device that retry loops can
+    /// ride out with virtual-time backoff.
+    pub fn fail_until(&self, until: Nanos) {
+        self.state.lock().failed_until = until;
+    }
+
     /// Clear the failure flag (the device returns empty, as after replacement).
     pub fn heal(&self) {
-        self.state.lock().failed = false;
+        let mut st = self.state.lock();
+        st.failed = false;
+        st.failed_until = 0;
     }
 
     /// Whether the device is currently failed.
@@ -154,9 +177,7 @@ impl Device {
     /// combines completion times (e.g. `max` across redundancy shards).
     pub fn write_extent_at(&self, extent_id: u64, data: &[u8], now: Nanos) -> Result<OpTiming> {
         let mut st = self.state.lock();
-        if st.failed {
-            return Err(Error::Io(format!("device {} failed", self.id)));
-        }
+        self.check_live(&st, now)?;
         let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
         let new_used = st.used - old + data.len() as u64;
         if new_used > self.capacity {
@@ -178,9 +199,7 @@ impl Device {
     /// advancing the shared clock.
     pub fn read_extent_at(&self, extent_id: u64, now: Nanos) -> Result<(Vec<u8>, OpTiming)> {
         let mut st = self.state.lock();
-        if st.failed {
-            return Err(Error::Io(format!("device {} failed", self.id)));
-        }
+        self.check_live(&st, now)?;
         let data = st
             .extents
             .get(&extent_id)
@@ -194,9 +213,7 @@ impl Device {
     /// Write `data` as extent `extent_id`, replacing any previous content.
     pub fn write_extent(&self, extent_id: u64, data: &[u8]) -> Result<OpTiming> {
         let mut st = self.state.lock();
-        if st.failed {
-            return Err(Error::Io(format!("device {} failed", self.id)));
-        }
+        self.check_live(&st, self.clock.now())?;
         let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
         let new_used = st.used - old + data.len() as u64;
         if new_used > self.capacity {
@@ -217,9 +234,7 @@ impl Device {
     /// Read back extent `extent_id`.
     pub fn read_extent(&self, extent_id: u64) -> Result<(Vec<u8>, OpTiming)> {
         let mut st = self.state.lock();
-        if st.failed {
-            return Err(Error::Io(format!("device {} failed", self.id)));
-        }
+        self.check_live(&st, self.clock.now())?;
         let data = st
             .extents
             .get(&extent_id)
@@ -254,6 +269,50 @@ impl Device {
         (st.reads, st.writes)
     }
 
+    /// Write `data` as extent `extent_id` under a request context, without
+    /// advancing the shared clock.
+    ///
+    /// The context supplies the issue time, the QoS class used for queue
+    /// placement, and the optional deadline: an op whose completion would
+    /// lie past the deadline returns `Error::DeadlineExceeded` and leaves
+    /// the device (queue and contents) untouched.
+    pub fn write_extent_ctx(&self, extent_id: u64, data: &[u8], ctx: &IoCtx) -> Result<OpTiming> {
+        let mut st = self.state.lock();
+        self.check_live(&st, ctx.now)?;
+        let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
+        let new_used = st.used - old + data.len() as u64;
+        if new_used > self.capacity {
+            return Err(Error::CapacityExhausted(format!(
+                "device {}: {} + {} > {}",
+                self.id,
+                st.used,
+                data.len(),
+                self.capacity
+            )));
+        }
+        let timing = self.charge_ctx(&mut st, data.len() as u64, ctx)?;
+        st.used = new_used;
+        st.extents.insert(extent_id, data.to_vec());
+        st.writes += 1;
+        Ok(timing)
+    }
+
+    /// Read extent `extent_id` under a request context, without advancing
+    /// the shared clock. Deadline/QoS semantics as
+    /// [`write_extent_ctx`](Self::write_extent_ctx).
+    pub fn read_extent_ctx(&self, extent_id: u64, ctx: &IoCtx) -> Result<(Vec<u8>, OpTiming)> {
+        let mut st = self.state.lock();
+        self.check_live(&st, ctx.now)?;
+        let data = st
+            .extents
+            .get(&extent_id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("extent {extent_id} on device {}", self.id)))?;
+        let timing = self.charge_ctx(&mut st, data.len() as u64, ctx)?;
+        st.reads += 1;
+        Ok((data, timing))
+    }
+
     fn charge(&self, st: &mut DeviceState, bytes: u64) -> OpTiming {
         let timing = self.charge_at(st, bytes, self.clock.now());
         self.clock.advance_to(timing.finish);
@@ -261,10 +320,62 @@ impl Device {
     }
 
     fn charge_at(&self, st: &mut DeviceState, bytes: u64, now: Nanos) -> OpTiming {
-        let start = now.max(st.busy_until);
+        let start = self.queue_start(st, now, QosClass::Foreground);
+        self.commit_charge(st, start, bytes, QosClass::Foreground)
+    }
+
+    /// When an op of `qos` issued at `now` starts service: foreground ops
+    /// wait only for the foreground lane; background/maintenance ops wait
+    /// for everything already accepted.
+    fn queue_start(&self, st: &DeviceState, now: Nanos, qos: QosClass) -> Nanos {
+        if qos.is_foreground() {
+            now.max(st.fg_busy_until)
+        } else {
+            now.max(st.busy_until)
+        }
+    }
+
+    /// Accept an op: advance the queue state and return its timing.
+    fn commit_charge(
+        &self,
+        st: &mut DeviceState,
+        start: Nanos,
+        bytes: u64,
+        qos: QosClass,
+    ) -> OpTiming {
         let finish = start + self.kind.service_time(bytes);
-        st.busy_until = finish;
+        if qos.is_foreground() {
+            st.fg_busy_until = finish;
+        }
+        st.busy_until = st.busy_until.max(finish);
         OpTiming { start, finish }
+    }
+
+    /// Queue admission for a context-carrying op: pick the start slot for
+    /// `ctx.qos`, reject with `Error::DeadlineExceeded` *before* mutating
+    /// queue state when the op cannot finish inside the deadline, then
+    /// charge the queue and close the `queue`/`device` spans.
+    fn charge_ctx(&self, st: &mut DeviceState, bytes: u64, ctx: &IoCtx) -> Result<OpTiming> {
+        let start = self.queue_start(st, ctx.now, ctx.qos);
+        let finish = start + self.kind.service_time(bytes);
+        ctx.check_deadline(finish)?;
+        let timing = self.commit_charge(st, start, bytes, ctx.qos);
+        ctx.record(Phase::Queue, ctx.now, start.saturating_sub(ctx.now));
+        ctx.record(Phase::Device, start, finish - start);
+        Ok(timing)
+    }
+
+    fn check_live(&self, st: &DeviceState, at: Nanos) -> Result<()> {
+        if st.failed {
+            return Err(Error::Io(format!("device {} failed", self.id)));
+        }
+        if at < st.failed_until {
+            return Err(Error::Io(format!(
+                "device {} transiently unavailable until {}",
+                self.id, st.failed_until
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -375,5 +486,70 @@ mod tests {
         d.write_extent(2, b"b").unwrap();
         d.read_extent(1).unwrap();
         assert_eq!(d.op_counts(), (1, 2));
+    }
+
+    #[test]
+    fn foreground_bypasses_background_queue() {
+        let (d, _) = dev(MediaKind::SasHdd);
+        let bg = d
+            .write_extent_ctx(1, &[0u8; MIB as usize], &IoCtx::new(0).with_qos(QosClass::Background))
+            .unwrap();
+        // A foreground op issued while the background write is in flight
+        // starts immediately — it does not wait out the background queue.
+        let fg = d.write_extent_ctx(2, &[0u8; 1024], &IoCtx::new(0)).unwrap();
+        assert_eq!(fg.start, 0, "foreground must not queue behind background");
+        assert!(fg.finish < bg.finish);
+        // But background work queues behind *everything* accepted so far.
+        let bg2 = d
+            .write_extent_ctx(3, b"x", &IoCtx::new(0).with_qos(QosClass::Maintenance))
+            .unwrap();
+        assert!(bg2.start >= bg.finish);
+    }
+
+    #[test]
+    fn deadline_rejects_without_charging_queue() {
+        let (d, _) = dev(MediaKind::SasHdd);
+        // Saturate the foreground lane.
+        let t1 = d.write_extent_ctx(1, &[0u8; MIB as usize], &IoCtx::new(0)).unwrap();
+        // A queued op that cannot finish by its deadline is rejected …
+        let err = d.write_extent_ctx(2, b"tiny", &IoCtx::new(0).with_deadline(millis(1)));
+        assert!(matches!(err, Err(Error::DeadlineExceeded(_))), "{err:?}");
+        // … and must not have been stored or have moved the queue.
+        assert!(!d.has_extent(2));
+        let t2 = d.write_extent_ctx(2, b"tiny", &IoCtx::new(0)).unwrap();
+        assert_eq!(t2.start, t1.finish, "rejected op must leave the queue untouched");
+    }
+
+    #[test]
+    fn transient_fault_window_preserves_data() {
+        let (d, _) = dev(MediaKind::NvmeSsd);
+        d.write_extent_ctx(1, b"keep", &IoCtx::new(0)).unwrap();
+        d.fail_until(millis(10));
+        let before = d.read_extent_ctx(1, &IoCtx::new(millis(5)));
+        assert!(matches!(before, Err(Error::Io(_))), "{before:?}");
+        // After the window the data is still there (unlike fail()).
+        let (data, _) = d.read_extent_ctx(1, &IoCtx::new(millis(10))).unwrap();
+        assert_eq!(data, b"keep");
+        d.fail_until(millis(20));
+        d.heal();
+        d.read_extent_ctx(1, &IoCtx::new(millis(15))).unwrap();
+    }
+
+    #[test]
+    fn ctx_ops_record_queue_and_device_phases() {
+        use common::ctx::SpanSink;
+        use common::metrics::Metrics;
+        use std::sync::Arc;
+        let (d, _) = dev(MediaKind::NvmeSsd);
+        let sink = Arc::new(SpanSink::new(Metrics::new()));
+        let ctx = IoCtx::new(0).with_sink(sink.clone());
+        d.write_extent_ctx(1, &[0u8; 4096], &ctx).unwrap();
+        d.read_extent_ctx(1, &ctx).unwrap();
+        let view = sink.phase_view();
+        let get = |n: &str| view.iter().find(|(k, _)| k == n).map(|(_, s)| s.clone());
+        assert_eq!(get("queue").unwrap().count, 2);
+        let device = get("device").unwrap();
+        assert_eq!(device.count, 2);
+        assert!(device.max >= MediaKind::NvmeSsd.base_latency());
     }
 }

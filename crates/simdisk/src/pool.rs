@@ -9,6 +9,7 @@
 //! the caller keeps for reads and GC.
 
 use crate::device::{Device, MediaKind};
+use common::ctx::IoCtx;
 use common::{Error, Result, SimClock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -152,6 +153,19 @@ impl StoragePool {
         shards: &[Vec<u8>],
         now: common::clock::Nanos,
     ) -> Result<(ExtentHandle, common::clock::Nanos)> {
+        self.write_shards_ctx(shards, &IoCtx::new(now))
+    }
+
+    /// Context-carrying variant of [`write_shards_at`](Self::write_shards_at):
+    /// shards are issued concurrently at `ctx.now`, queued per the context's
+    /// QoS class, and rejected with `Error::DeadlineExceeded` (with already
+    /// placed shards rolled back) when any shard cannot finish inside the
+    /// deadline. The shared clock is not advanced.
+    pub fn write_shards_ctx(
+        &self,
+        shards: &[Vec<u8>],
+        ctx: &IoCtx,
+    ) -> Result<(ExtentHandle, common::clock::Nanos)> {
         if shards.is_empty() {
             return Err(Error::InvalidArgument("no shards to write".into()));
         }
@@ -172,11 +186,11 @@ impl StoragePool {
 
         let extent_id = self.next_extent.fetch_add(1, Ordering::Relaxed);
         let mut placements = Vec::with_capacity(shards.len());
-        let mut finish = now;
+        let mut finish = ctx.now;
         for (shard_idx, shard) in shards.iter().enumerate() {
             let dev_idx = ranked[shard_idx];
             let dev_extent = extent_id * 1024 + shard_idx as u64;
-            match self.devices[dev_idx].write_extent_at(dev_extent, shard, now) {
+            match self.devices[dev_idx].write_extent_ctx(dev_extent, shard, ctx) {
                 Ok(t) => {
                     finish = finish.max(t.finish);
                     placements.push((dev_idx, dev_extent));
@@ -190,6 +204,35 @@ impl StoragePool {
             }
         }
         Ok((ExtentHandle { id: extent_id, shards: placements }, finish))
+    }
+
+    /// Context-carrying variant of [`read_shards_at`](Self::read_shards_at).
+    /// Shards on failed devices come back as `None` for the redundancy
+    /// layer to reconstruct, but a blown deadline is not survivable
+    /// degradation — it propagates as `Error::DeadlineExceeded`.
+    pub fn read_shards_ctx(
+        &self,
+        handle: &ExtentHandle,
+        ctx: &IoCtx,
+    ) -> Result<(Vec<Option<Vec<u8>>>, common::clock::Nanos)> {
+        let mut finish = ctx.now;
+        let mut shards = Vec::with_capacity(handle.shards.len());
+        for &(dev_idx, dev_extent) in &handle.shards {
+            match self.devices.get(dev_idx) {
+                Some(d) => match d.read_extent_ctx(dev_extent, ctx) {
+                    Ok((data, t)) => {
+                        finish = finish.max(t.finish);
+                        shards.push(Some(data));
+                    }
+                    Err(Error::DeadlineExceeded(m)) => {
+                        return Err(Error::DeadlineExceeded(m))
+                    }
+                    Err(_) => shards.push(None),
+                },
+                None => shards.push(None),
+            }
+        }
+        Ok((shards, finish))
     }
 
     /// Parallel-timed variant of [`read_shards`](Self::read_shards); returns

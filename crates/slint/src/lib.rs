@@ -24,6 +24,10 @@
 //!   order varies per process; prefer `BTreeMap` / `BTreeSet`.
 //! * **R6** — every `unsafe` block needs a `// SAFETY:` comment on the
 //!   same line or within the three lines above.
+//! * **R7** — outside `crates/common` and `crates/simdisk`, library code
+//!   must not call `SimClock::advance` / `advance_to` directly: upper
+//!   layers receive time through `common::ctx::IoCtx` and the `_at`
+//!   methods; only the device layer may move the shared clock.
 //!
 //! Findings can be waived inline with `// slint:allow(R4): reason` (the
 //! reason is mandatory; a reasonless waiver is itself a finding, rule W1)
@@ -54,14 +58,16 @@ pub enum Rule {
     R5,
     /// `unsafe` without a `// SAFETY:` comment.
     R6,
+    /// Direct clock advancement above the device layer.
+    R7,
     /// Waiver comment without a reason.
     W1,
 }
 
 impl Rule {
     /// All enforceable rules, in order.
-    pub const ALL: [Rule; 7] =
-        [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6, Rule::W1];
+    pub const ALL: [Rule; 8] =
+        [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6, Rule::R7, Rule::W1];
 
     /// Code as written in waivers and the baseline file.
     pub fn code(self) -> &'static str {
@@ -72,6 +78,7 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
             Rule::W1 => "W1",
         }
     }
@@ -130,6 +137,14 @@ fn rule_applies(rule: Rule, path: &str) -> bool {
         Rule::R3 => in_crate_src(path, &SIM_CRATES) && path != "crates/kvstore/src/wal.rs",
         Rule::R4 => in_crate_src(path, &NO_PANIC_CRATES),
         Rule::R5 => in_crate_src(path, &ORDERED_ITER_CRATES),
+        // The device layer (simdisk) owns clock advancement; common hosts
+        // the clock itself. Everything above threads time via IoCtx.
+        Rule::R7 => {
+            path.starts_with("crates/")
+                && path.contains("/src/")
+                && !path.starts_with("crates/common/")
+                && !path.starts_with("crates/simdisk/")
+        }
         Rule::R6 | Rule::W1 => true,
     }
 }
@@ -156,7 +171,7 @@ struct TokenRule {
     skip_test_code: bool,
 }
 
-const TOKEN_RULES: [TokenRule; 5] = [
+const TOKEN_RULES: [TokenRule; 6] = [
     TokenRule {
         rule: Rule::R1,
         tokens: &[
@@ -208,6 +223,14 @@ const TOKEN_RULES: [TokenRule; 5] = [
         tokens: &[
             ("HashMap", "hash iteration order is per-process; prefer BTreeMap"),
             ("HashSet", "hash iteration order is per-process; prefer BTreeSet"),
+        ],
+        skip_test_code: true,
+    },
+    TokenRule {
+        rule: Rule::R7,
+        tokens: &[
+            (".advance(", "direct clock advance above the device layer; thread time via IoCtx"),
+            (".advance_to(", "direct clock advance above the device layer; thread time via IoCtx"),
         ],
         skip_test_code: true,
     },

@@ -181,6 +181,36 @@ fn r6_safety_comment_too_far_away_does_not_count() {
     assert_eq!(rules_fired("crates/ec/src/x.rs", src), vec![Rule::R6]);
 }
 
+// ---- R7: clock advancement above the device layer ------------------------
+
+#[test]
+fn r7_flags_clock_advance_in_upper_layers() {
+    let src = "pub fn f(c: &common::SimClock) { c.advance(10); c.advance_to(50); }\n";
+    let fired = rules_fired("crates/lake/src/x.rs", src);
+    assert_eq!(fired, vec![Rule::R7, Rule::R7]);
+    assert_eq!(rules_fired("crates/stream/src/x.rs", src), vec![Rule::R7, Rule::R7]);
+}
+
+#[test]
+fn r7_exempts_the_clock_owner_and_the_device_layer() {
+    let src = "pub fn f(c: &SimClock) { c.advance_to(t); }\n";
+    assert!(rules_fired("crates/common/src/clock.rs", src).is_empty());
+    assert!(rules_fired("crates/simdisk/src/device.rs", src).is_empty());
+    // Root integration tests and examples drive scenarios; out of scope.
+    assert!(rules_fired("tests/operations.rs", src).is_empty());
+    assert!(rules_fired("examples/quickstart.rs", src).is_empty());
+}
+
+#[test]
+fn r7_skips_test_code() {
+    let src = "pub fn ok() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   fn t(c: &common::SimClock) { c.advance(5); }\n\
+               }\n";
+    assert!(rules_fired("crates/lake/src/x.rs", src).is_empty());
+}
+
 // ---- waivers -------------------------------------------------------------
 
 #[test]

@@ -15,7 +15,7 @@
 use crate::config::ArchiveConfig;
 use crate::object::{ReadCtrl, StreamObject};
 use crate::record::Record;
-use common::clock::Nanos;
+use common::ctx::IoCtx;
 use common::{Error, ObjectId, Result};
 use format::{DataType, Field, LakeFileReader, LakeFileWriter, Schema, Value};
 use parking_lot::Mutex;
@@ -69,7 +69,7 @@ impl ArchiveService {
         &self,
         object: &Arc<StreamObject>,
         config: &ArchiveConfig,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<Option<ArchiveEntry>> {
         if !config.enabled {
             return Ok(None);
@@ -81,7 +81,7 @@ impl ArchiveService {
         let (records, _) = object.read_at(
             0,
             ReadCtrl { max_records: usize::MAX, committed_only: true },
-            now,
+            ctx,
         )?;
         let (Some(base_offset), Some(last_offset)) = (
             records.first().map(|(off, _)| *off),
@@ -159,6 +159,7 @@ mod tests {
     use crate::object::{CreateOptions, StreamObjectStore};
     use common::size::MIB;
     use common::SimClock;
+    use common::ctx::IoCtx;
     use ec::Redundancy;
     use plog::{PlogConfig, PlogStore};
     use simdisk::MediaKind;
@@ -204,8 +205,8 @@ mod tests {
                 )
             })
             .collect();
-        obj.append_at(&records, 0).unwrap();
-        obj.flush_at(0).unwrap();
+        obj.append_at(&records, &IoCtx::new(0)).unwrap();
+        obj.flush_at(&IoCtx::new(0)).unwrap();
     }
 
     fn small_cfg(columnar: bool) -> ArchiveConfig {
@@ -224,10 +225,10 @@ mod tests {
         fill(&obj, 100);
         let mut cfg = small_cfg(false);
         cfg.enabled = false;
-        assert!(arch.maybe_archive(&obj, &cfg, 0).unwrap().is_none());
+        assert!(arch.maybe_archive(&obj, &cfg, &IoCtx::new(0)).unwrap().is_none());
         cfg.enabled = true;
         cfg.archive_size = 1_000_000; // 1 TB threshold: not reached
-        assert!(arch.maybe_archive(&obj, &cfg, 0).unwrap().is_none());
+        assert!(arch.maybe_archive(&obj, &cfg, &IoCtx::new(0)).unwrap().is_none());
     }
 
     #[test]
@@ -237,7 +238,7 @@ mod tests {
         fill(&obj, 256);
         let before_slices = obj.slice_count();
         assert!(before_slices > 0);
-        let entry = arch.maybe_archive(&obj, &small_cfg(false), 0).unwrap().unwrap();
+        let entry = arch.maybe_archive(&obj, &small_cfg(false), &IoCtx::new(0)).unwrap().unwrap();
         assert_eq!(entry.count, 256);
         assert!(!entry.columnar);
         assert_eq!(obj.slice_count(), 0, "archived slices truncated");
@@ -253,8 +254,8 @@ mod tests {
         let col_obj = store.create(CreateOptions { slice_capacity: 64, ..Default::default() }).unwrap();
         fill(&row_obj, 2048);
         fill(&col_obj, 2048);
-        let row = arch.maybe_archive(&row_obj, &small_cfg(false), 0).unwrap().unwrap();
-        let col = arch.maybe_archive(&col_obj, &small_cfg(true), 0).unwrap().unwrap();
+        let row = arch.maybe_archive(&row_obj, &small_cfg(false), &IoCtx::new(0)).unwrap().unwrap();
+        let col = arch.maybe_archive(&col_obj, &small_cfg(true), &IoCtx::new(0)).unwrap().unwrap();
         // Columnar re-encoding (dictionaries on keys/values, delta
         // timestamps) must not lose data and should compete with the row
         // blob; its real win shows on the EC space accounting in Fig 14(d).
@@ -269,7 +270,7 @@ mod tests {
         let (store, arch) = setup();
         let obj = store.create(CreateOptions { slice_capacity: 64, ..Default::default() }).unwrap();
         fill(&obj, 128);
-        arch.maybe_archive(&obj, &small_cfg(false), 0).unwrap().unwrap();
+        arch.maybe_archive(&obj, &small_cfg(false), &IoCtx::new(0)).unwrap().unwrap();
         assert_eq!(arch.entries().len(), 1);
         assert!(arch.stored_bytes() > 0);
     }
@@ -279,10 +280,10 @@ mod tests {
         let (store, arch) = setup();
         let obj = store.create(CreateOptions { slice_capacity: 4, ..Default::default() }).unwrap();
         let rec = Record::new(vec![0xFF, 0xFE], vec![0xFF], 0);
-        obj.append_at(&vec![rec; 4], 0).unwrap();
-        obj.flush_at(0).unwrap();
+        obj.append_at(&vec![rec; 4], &IoCtx::new(0)).unwrap();
+        obj.flush_at(&IoCtx::new(0)).unwrap();
         assert!(matches!(
-            arch.maybe_archive(&obj, &small_cfg(true), 0),
+            arch.maybe_archive(&obj, &small_cfg(true), &IoCtx::new(0)),
             Err(Error::InvalidArgument(_))
         ));
     }

@@ -8,7 +8,7 @@
 use crate::object::ReadCtrl;
 use crate::record::Record;
 use crate::service::StreamService;
-use common::clock::Nanos;
+use common::ctx::IoCtx;
 use common::Result;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -64,7 +64,7 @@ impl Consumer {
 
     /// Poll for up to `max_records` committed records across subscriptions,
     /// advancing local positions. Records within a stream arrive in order.
-    pub fn poll(&mut self, max_records: usize, now: Nanos) -> Result<Vec<ConsumedRecord>> {
+    pub fn poll(&mut self, max_records: usize, ctx: &IoCtx) -> Result<Vec<ConsumedRecord>> {
         let mut out = Vec::new();
         for topic in self.topics.clone() {
             if out.len() >= max_records {
@@ -80,7 +80,7 @@ impl Consumer {
                     max_records: max_records - out.len(),
                     committed_only: true,
                 };
-                let (records, _) = self.svc.fetch_from(&route, *pos, ctrl, now)?;
+                let (records, _) = self.svc.fetch_from(&route, *pos, ctrl, ctx)?;
                 for (offset, record) in records {
                     *pos = (*pos).max(offset + 1);
                     out.push(ConsumedRecord {
@@ -115,16 +115,17 @@ mod tests {
     use super::*;
     use crate::config::TopicConfig;
     use crate::service::tests::test_service;
+    use common::ctx::IoCtx;
 
     fn produce_n(svc: &Arc<StreamService>, topic: &str, n: usize) {
         let mut p = svc.producer();
         p.set_batch_size(1);
         for i in 0..n {
-            p.send(topic, format!("key-{i}").into_bytes(), format!("msg-{i}").into_bytes(), 0)
+            p.send(topic, format!("key-{i}").into_bytes(), format!("msg-{i}").into_bytes(), &IoCtx::new(0))
                 .unwrap();
         }
         for route in svc.dispatcher().topic_routes(topic).unwrap() {
-            svc.dispatcher().object_of(&route).unwrap().flush_at(0).unwrap();
+            svc.dispatcher().object_of(&route).unwrap().flush_at(&IoCtx::new(0)).unwrap();
         }
     }
 
@@ -135,7 +136,7 @@ mod tests {
         produce_n(&svc, "t", 30);
         let mut c = svc.consumer("g");
         c.subscribe("t").unwrap();
-        let got = c.poll(100, 0).unwrap();
+        let got = c.poll(100, &IoCtx::new(0)).unwrap();
         assert_eq!(got.len(), 30);
         // per-stream offsets strictly increase
         let mut last: BTreeMap<u32, u64> = BTreeMap::new();
@@ -146,7 +147,7 @@ mod tests {
             last.insert(r.stream_idx, r.offset);
         }
         // polling again finds nothing new
-        assert!(c.poll(100, 0).unwrap().is_empty());
+        assert!(c.poll(100, &IoCtx::new(0)).unwrap().is_empty());
     }
 
     #[test]
@@ -156,17 +157,17 @@ mod tests {
         produce_n(&svc, "t", 10);
         let mut c1 = svc.consumer("analytics");
         c1.subscribe("t").unwrap();
-        assert_eq!(c1.poll(10, 0).unwrap().len(), 10);
+        assert_eq!(c1.poll(10, &IoCtx::new(0)).unwrap().len(), 10);
         c1.commit();
         // A new consumer in the same group starts after the commit...
         produce_n(&svc, "t", 5);
         let mut c2 = svc.consumer("analytics");
         c2.subscribe("t").unwrap();
-        assert_eq!(c2.poll(100, 0).unwrap().len(), 5);
+        assert_eq!(c2.poll(100, &IoCtx::new(0)).unwrap().len(), 5);
         // ...while a different group reads from the beginning.
         let mut c3 = svc.consumer("audit");
         c3.subscribe("t").unwrap();
-        assert_eq!(c3.poll(100, 0).unwrap().len(), 15);
+        assert_eq!(c3.poll(100, &IoCtx::new(0)).unwrap().len(), 15);
     }
 
     #[test]
@@ -176,8 +177,8 @@ mod tests {
         produce_n(&svc, "t", 20);
         let mut c = svc.consumer("g");
         c.subscribe("t").unwrap();
-        assert_eq!(c.poll(7, 0).unwrap().len(), 7);
-        assert_eq!(c.poll(100, 0).unwrap().len(), 13);
+        assert_eq!(c.poll(7, &IoCtx::new(0)).unwrap().len(), 7);
+        assert_eq!(c.poll(100, &IoCtx::new(0)).unwrap().len(), 13);
     }
 
     #[test]
@@ -188,7 +189,7 @@ mod tests {
         let mut c = svc.consumer("g");
         c.subscribe("t").unwrap();
         c.subscribe("t").unwrap();
-        assert_eq!(c.poll(100, 0).unwrap().len(), 3, "no duplicate delivery");
+        assert_eq!(c.poll(100, &IoCtx::new(0)).unwrap().len(), 3, "no duplicate delivery");
     }
 
     #[test]
@@ -198,15 +199,15 @@ mod tests {
         let txn = svc.txns().begin();
         let mut p = svc.producer();
         p.set_batch_size(1);
-        p.send_in_txn(txn, "t", b"k".to_vec(), b"secret".to_vec(), 0).unwrap();
+        p.send_in_txn(txn, "t", b"k".to_vec(), b"secret".to_vec(), &IoCtx::new(0)).unwrap();
         let route = svc.dispatcher().route("t", b"k").unwrap();
-        svc.dispatcher().object_of(&route).unwrap().flush_at(0).unwrap();
+        svc.dispatcher().object_of(&route).unwrap().flush_at(&IoCtx::new(0)).unwrap();
 
         let mut c = svc.consumer("g");
         c.subscribe("t").unwrap();
-        assert!(c.poll(10, 0).unwrap().is_empty(), "open txn must be hidden");
+        assert!(c.poll(10, &IoCtx::new(0)).unwrap().is_empty(), "open txn must be hidden");
         svc.txns().commit(txn).unwrap();
-        let got = c.poll(10, 0).unwrap();
+        let got = c.poll(10, &IoCtx::new(0)).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].record.value, b"secret");
     }

@@ -12,6 +12,7 @@ use crate::config::TopicConfig;
 use crate::object::{CreateOptions, StreamObject, StreamObjectStore};
 use crate::placement_key;
 use common::clock::{micros, Nanos};
+use common::ctx::{IoCtx, Phase};
 use common::{Error, ObjectId, Result, WorkerId};
 use kvstore::SharedKv;
 use parking_lot::Mutex;
@@ -78,7 +79,7 @@ impl StreamDispatcher {
 
     /// Deregister a worker, reassigning its streams to the survivors.
     /// Returns the rescale report (metadata-only, no data moves).
-    pub fn deregister_worker(&self, id: WorkerId, _now: Nanos) -> Result<RescaleReport> {
+    pub fn deregister_worker(&self, id: WorkerId, ctx: &IoCtx) -> Result<RescaleReport> {
         let mut topo = self.topo.lock();
         if topo.workers.len() <= 1 {
             return Err(Error::InvalidArgument("cannot remove the last worker".into()));
@@ -101,6 +102,7 @@ impl StreamDispatcher {
                 }
             }
         }
+        ctx.record(Phase::Meta, ctx.now, updates * METADATA_OP_COST);
         Ok(RescaleReport {
             metadata_updates: updates,
             bytes_migrated: 0,
@@ -116,7 +118,7 @@ impl StreamDispatcher {
     /// Create a topic with `config.stream_num` streams, assigned round-robin
     /// (the paper: "streams are added to the stream workers in a round-robin
     /// manner"). Each stream is backed by a fresh stream object.
-    pub fn create_topic(&self, name: &str, config: TopicConfig, now: Nanos) -> Result<RescaleReport> {
+    pub fn create_topic(&self, name: &str, config: TopicConfig, ctx: &IoCtx) -> Result<RescaleReport> {
         let mut topo = self.topo.lock();
         if topo.topics.contains_key(name) {
             return Err(Error::AlreadyExists(format!("topic {name}")));
@@ -145,7 +147,7 @@ impl StreamDispatcher {
             .put(format!("topic/{name}/config"), config.to_json().into_bytes());
         topo.topics.insert(name.to_string(), routes);
         topo.configs.insert(name.to_string(), config);
-        let _ = now;
+        ctx.record(Phase::Meta, ctx.now, updates * METADATA_OP_COST);
         Ok(RescaleReport {
             metadata_updates: updates,
             bytes_migrated: 0,
@@ -172,7 +174,7 @@ impl StreamDispatcher {
     /// Grow (or shrink is unsupported) a topic to `new_stream_num` streams.
     /// Existing streams and their data are untouched — Fig 14(c)'s
     /// migration-free elasticity.
-    pub fn scale_topic(&self, name: &str, new_stream_num: u32, now: Nanos) -> Result<RescaleReport> {
+    pub fn scale_topic(&self, name: &str, new_stream_num: u32, ctx: &IoCtx) -> Result<RescaleReport> {
         let mut topo = self.topo.lock();
         let current = topo
             .topics
@@ -208,7 +210,7 @@ impl StreamDispatcher {
                 .put(format!("topic/{name}/config"), c.to_json().into_bytes());
             updates += 1;
         }
-        let _ = now;
+        ctx.record(Phase::Meta, ctx.now, updates * METADATA_OP_COST);
         Ok(RescaleReport {
             metadata_updates: updates,
             bytes_migrated: 0,
@@ -321,7 +323,7 @@ mod tests {
     #[test]
     fn create_topic_distributes_streams_round_robin() {
         let d = dispatcher(3);
-        d.create_topic("t", TopicConfig::with_streams(9), 0).unwrap();
+        d.create_topic("t", TopicConfig::with_streams(9), &IoCtx::new(0)).unwrap();
         let routes = d.topic_routes("t").unwrap();
         assert_eq!(routes.len(), 9);
         let mut per_worker = BTreeMap::new();
@@ -334,9 +336,9 @@ mod tests {
     #[test]
     fn duplicate_topic_rejected() {
         let d = dispatcher(1);
-        d.create_topic("t", TopicConfig::with_streams(1), 0).unwrap();
+        d.create_topic("t", TopicConfig::with_streams(1), &IoCtx::new(0)).unwrap();
         assert!(matches!(
-            d.create_topic("t", TopicConfig::with_streams(1), 0),
+            d.create_topic("t", TopicConfig::with_streams(1), &IoCtx::new(0)),
             Err(Error::AlreadyExists(_))
         ));
     }
@@ -344,7 +346,7 @@ mod tests {
     #[test]
     fn routing_is_stable_and_key_based() {
         let d = dispatcher(2);
-        d.create_topic("t", TopicConfig::with_streams(4), 0).unwrap();
+        d.create_topic("t", TopicConfig::with_streams(4), &IoCtx::new(0)).unwrap();
         let a = d.route("t", b"user-1").unwrap();
         let b = d.route("t", b"user-1").unwrap();
         assert_eq!(a, b, "same key must route identically");
@@ -360,8 +362,8 @@ mod tests {
         // Fig 14(c): 1000 → 10000 partitions in under 10 virtual seconds,
         // zero bytes migrated.
         let d = dispatcher(4);
-        d.create_topic("big", TopicConfig::with_streams(1000), 0).unwrap();
-        let report = d.scale_topic("big", 10_000, 0).unwrap();
+        d.create_topic("big", TopicConfig::with_streams(1000), &IoCtx::new(0)).unwrap();
+        let report = d.scale_topic("big", 10_000, &IoCtx::new(0)).unwrap();
         assert_eq!(report.bytes_migrated, 0);
         assert_eq!(d.topic_routes("big").unwrap().len(), 10_000);
         assert!(
@@ -374,9 +376,9 @@ mod tests {
     #[test]
     fn shrink_is_unsupported() {
         let d = dispatcher(1);
-        d.create_topic("t", TopicConfig::with_streams(4), 0).unwrap();
+        d.create_topic("t", TopicConfig::with_streams(4), &IoCtx::new(0)).unwrap();
         assert!(matches!(
-            d.scale_topic("t", 2, 0),
+            d.scale_topic("t", 2, &IoCtx::new(0)),
             Err(Error::Unsupported(_))
         ));
     }
@@ -384,7 +386,7 @@ mod tests {
     #[test]
     fn worker_removal_reassigns_without_migration() {
         let d = dispatcher(3);
-        d.create_topic("t", TopicConfig::with_streams(6), 0).unwrap();
+        d.create_topic("t", TopicConfig::with_streams(6), &IoCtx::new(0)).unwrap();
         let victim = WorkerId(1);
         let before: Vec<ObjectId> = d
             .topic_routes("t")
@@ -392,7 +394,7 @@ mod tests {
             .iter()
             .map(|r| r.object_id)
             .collect();
-        let report = d.deregister_worker(victim, 0).unwrap();
+        let report = d.deregister_worker(victim, &IoCtx::new(0)).unwrap();
         assert_eq!(report.bytes_migrated, 0);
         let after = d.topic_routes("t").unwrap();
         assert!(after.iter().all(|r| r.worker != victim));
@@ -404,7 +406,7 @@ mod tests {
     #[test]
     fn cannot_remove_last_worker() {
         let d = dispatcher(1);
-        assert!(d.deregister_worker(WorkerId(0), 0).is_err());
+        assert!(d.deregister_worker(WorkerId(0), &IoCtx::new(0)).is_err());
     }
 
     #[test]
@@ -419,7 +421,7 @@ mod tests {
     #[test]
     fn delete_topic_destroys_objects() {
         let d = dispatcher(1);
-        d.create_topic("t", TopicConfig::with_streams(3), 0).unwrap();
+        d.create_topic("t", TopicConfig::with_streams(3), &IoCtx::new(0)).unwrap();
         assert_eq!(d.objects.len(), 3);
         d.delete_topic("t").unwrap();
         assert_eq!(d.objects.len(), 0);

@@ -23,6 +23,7 @@
 
 use crate::record::Record;
 use common::clock::{Nanos, millis};
+use common::ctx::{IoCtx, QosClass};
 use common::{Error, ObjectId, Result};
 use parking_lot::Mutex;
 use plog::{PlogAddress, PlogStore};
@@ -137,17 +138,17 @@ impl StreamObject {
         self.state.lock().slices.len()
     }
 
-    /// Append records at virtual time `now`.
+    /// Append records under `ctx` (arrival time, deadline, QoS).
     ///
     /// Duplicate `(producer_id, sequence)` pairs are dropped (idempotence);
     /// a sequence gap is an error, as the broker cannot know what was lost.
-    pub fn append_at(&self, records: &[Record], now: Nanos) -> Result<AppendAck> {
+    pub fn append_at(&self, records: &[Record], ctx: &IoCtx) -> Result<AppendAck> {
         let mut st = self.state.lock();
         if st.destroyed {
             return Err(Error::NotFound(format!("stream object {} destroyed", self.id)));
         }
         let mut base: Option<u64> = None;
-        let mut ack = now;
+        let mut ack = ctx.now;
         for r in records {
             if let Some((pid, seq)) = r.producer_seq {
                 let last = st.producer_seqs.get(&pid).copied();
@@ -170,24 +171,24 @@ impl StreamObject {
             st.next_offset += 1;
             st.buffer.push(r.clone());
             if st.buffer.len() >= self.slice_capacity {
-                ack = ack.max(self.flush_locked(&mut st, now)?);
+                ack = ack.max(self.flush_locked(&mut st, ctx)?);
             }
         }
         Ok(AppendAck { base_offset: base, ack_time: ack })
     }
 
     /// Force-persist the open slice buffer (e.g. on shutdown or conversion).
-    pub fn flush_at(&self, now: Nanos) -> Result<Nanos> {
+    pub fn flush_at(&self, ctx: &IoCtx) -> Result<Nanos> {
         let mut st = self.state.lock();
         if st.destroyed {
             return Err(Error::NotFound(format!("stream object {} destroyed", self.id)));
         }
-        self.flush_locked(&mut st, now)
+        self.flush_locked(&mut st, ctx)
     }
 
-    fn flush_locked(&self, st: &mut ObjectState, now: Nanos) -> Result<Nanos> {
+    fn flush_locked(&self, st: &mut ObjectState, ctx: &IoCtx) -> Result<Nanos> {
         if st.buffer.is_empty() {
-            return Ok(now);
+            return Ok(ctx.now);
         }
         let encoded = Record::encode_slice(&st.buffer);
         let count = st.buffer.len() as u64;
@@ -196,10 +197,16 @@ impl StreamObject {
             Some(scm) => {
                 // Stage in SCM: fast ack, background drain to the PLog.
                 let scm_ext = self.id.raw() * 1_000_003 + st.slices.len() as u64;
-                let t = scm.write_extent_at(scm_ext, &encoded, now)?;
+                let t = scm.write_extent_ctx(scm_ext, &encoded, ctx)?;
                 let drain_start = t.finish.max(st.drain_backlog_until);
+                // The drain is background work: it keeps the request's trace
+                // and sink but must not inherit its deadline or foreground
+                // device lane.
+                let mut drain_ctx =
+                    ctx.at(drain_start).with_qos(QosClass::Background);
+                drain_ctx.deadline = None;
                 let (addr, plog_finish) =
-                    self.plog.append_to_shard_at(self.shard, &encoded, drain_start)?;
+                    self.plog.append_to_shard_at(self.shard, &encoded, &drain_ctx)?;
                 st.drain_backlog_until = plog_finish;
                 let _ = scm.delete_extent(scm_ext); // drained
                 st.slices.push(SliceMeta { base_offset, count, addr });
@@ -214,7 +221,7 @@ impl StreamObject {
                 }
             }
             None => {
-                let (addr, finish) = self.plog.append_to_shard_at(self.shard, &encoded, now)?;
+                let (addr, finish) = self.plog.append_to_shard_at(self.shard, &encoded, ctx)?;
                 st.slices.push(SliceMeta { base_offset, count, addr });
                 finish
             }
@@ -233,7 +240,7 @@ impl StreamObject {
         &self,
         offset: u64,
         ctrl: ReadCtrl,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Vec<(u64, Record)>, Nanos)> {
         let (slices, buffer, buffer_base, open, aborted) = {
             let st = self.state.lock();
@@ -269,7 +276,7 @@ impl StreamObject {
             }
         };
         let mut out = Vec::new();
-        let mut finish = now;
+        let mut finish = ctx.now;
         for meta in &slices {
             if out.len() >= ctrl.max_records {
                 return Ok((out, finish));
@@ -277,7 +284,7 @@ impl StreamObject {
             if meta.base_offset + meta.count <= offset {
                 continue;
             }
-            let (bytes, t) = self.plog.read_at(&meta.addr, now)?;
+            let (bytes, t) = self.plog.read_at(&meta.addr, ctx)?;
             finish = finish.max(t);
             for (i, r) in Record::decode_slice(&bytes)?.into_iter().enumerate() {
                 let off = meta.base_offset + i as u64;
@@ -432,6 +439,7 @@ mod tests {
     use super::*;
     use common::size::MIB;
     use common::SimClock;
+    use common::ctx::IoCtx;
     use ec::Redundancy;
     use plog::PlogConfig;
     use simdisk::StoragePool;
@@ -459,6 +467,10 @@ mod tests {
         StreamObjectStore::new(plog, if scm { 16 * MIB } else { 0 }, clock)
     }
 
+    fn at(t: Nanos) -> IoCtx {
+        IoCtx::new(t)
+    }
+
     fn recs(n: usize, start: i64) -> Vec<Record> {
         (0..n)
             .map(|i| Record::new(format!("k{i}").into_bytes(), vec![b'v'; 64], start + i as i64))
@@ -469,8 +481,8 @@ mod tests {
     fn append_assigns_contiguous_offsets() {
         let s = store(false);
         let obj = s.create(CreateOptions::default()).unwrap();
-        let a1 = obj.append_at(&recs(10, 0), 0).unwrap();
-        let a2 = obj.append_at(&recs(5, 10), 0).unwrap();
+        let a1 = obj.append_at(&recs(10, 0), &at(0)).unwrap();
+        let a2 = obj.append_at(&recs(5, 10), &at(0)).unwrap();
         assert_eq!(a1.base_offset, Some(0));
         assert_eq!(a2.base_offset, Some(10));
         assert_eq!(obj.end_offset(), 15);
@@ -482,9 +494,9 @@ mod tests {
         let obj = s
             .create(CreateOptions { slice_capacity: 16, ..Default::default() })
             .unwrap();
-        obj.append_at(&recs(40, 0), 0).unwrap();
+        obj.append_at(&recs(40, 0), &at(0)).unwrap();
         assert_eq!(obj.slice_count(), 2, "two full slices persisted");
-        let (got, _) = obj.read_at(0, ReadCtrl::default(), 0).unwrap();
+        let (got, _) = obj.read_at(0, ReadCtrl::default(), &at(0)).unwrap();
         assert_eq!(got.len(), 40);
         for (i, (off, r)) in got.iter().enumerate() {
             assert_eq!(*off, i as u64);
@@ -498,9 +510,9 @@ mod tests {
         let obj = s
             .create(CreateOptions { slice_capacity: 8, ..Default::default() })
             .unwrap();
-        obj.append_at(&recs(30, 0), 0).unwrap();
+        obj.append_at(&recs(30, 0), &at(0)).unwrap();
         let ctrl = ReadCtrl { max_records: 5, committed_only: true };
-        let (got, _) = obj.read_at(12, ctrl, 0).unwrap();
+        let (got, _) = obj.read_at(12, ctrl, &at(0)).unwrap();
         assert_eq!(got.len(), 5);
         assert_eq!(got[0].0, 12);
         assert_eq!(got[4].0, 16);
@@ -512,15 +524,15 @@ mod tests {
         let obj = s.create(CreateOptions::default()).unwrap();
         let mut r = Record::new(b"k".to_vec(), b"v".to_vec(), 1);
         r.producer_seq = Some((7, 1));
-        obj.append_at(std::slice::from_ref(&r), 0).unwrap();
+        obj.append_at(std::slice::from_ref(&r), &at(0)).unwrap();
         // network retry resends the same sequence
-        let ack = obj.append_at(std::slice::from_ref(&r), 0).unwrap();
+        let ack = obj.append_at(std::slice::from_ref(&r), &at(0)).unwrap();
         assert_eq!(ack.base_offset, None, "duplicate must not be re-appended");
         assert_eq!(obj.end_offset(), 1);
         // a gap is an error
         let mut r3 = r.clone();
         r3.producer_seq = Some((7, 5));
-        assert!(obj.append_at(&[r3], 0).is_err());
+        assert!(obj.append_at(&[r3], &at(0)).is_err());
     }
 
     #[test]
@@ -529,18 +541,18 @@ mod tests {
         let obj = s.create(CreateOptions::default()).unwrap();
         let mut r = Record::new(b"k".to_vec(), b"txn-value".to_vec(), 1);
         r.txn = Some(42);
-        obj.append_at(&[r], 0).unwrap();
-        obj.append_at(&recs(1, 99), 0).unwrap(); // plain record after
+        obj.append_at(&[r], &at(0)).unwrap();
+        obj.append_at(&recs(1, 99), &at(0)).unwrap(); // plain record after
 
         let committed = ReadCtrl { max_records: usize::MAX, committed_only: true };
         let all = ReadCtrl { max_records: usize::MAX, committed_only: false };
         // LSO semantics: the committed read stops at the open transaction,
         // hiding it AND everything after it.
-        assert_eq!(obj.read_at(0, committed, 0).unwrap().0.len(), 0, "open txn blocks");
-        assert_eq!(obj.read_at(0, all, 0).unwrap().0.len(), 2);
+        assert_eq!(obj.read_at(0, committed, &at(0)).unwrap().0.len(), 0, "open txn blocks");
+        assert_eq!(obj.read_at(0, all, &at(0)).unwrap().0.len(), 2);
 
         obj.commit_txn(42);
-        assert_eq!(obj.read_at(0, committed, 0).unwrap().0.len(), 2, "commit reveals");
+        assert_eq!(obj.read_at(0, committed, &at(0)).unwrap().0.len(), 2, "commit reveals");
     }
 
     #[test]
@@ -549,9 +561,9 @@ mod tests {
         let obj = s.create(CreateOptions::default()).unwrap();
         let mut r = Record::new(b"k".to_vec(), b"poison".to_vec(), 1);
         r.txn = Some(9);
-        obj.append_at(&[r], 0).unwrap();
+        obj.append_at(&[r], &at(0)).unwrap();
         obj.abort_txn(9);
-        let (got, _) = obj.read_at(0, ReadCtrl::default(), 0).unwrap();
+        let (got, _) = obj.read_at(0, ReadCtrl::default(), &at(0)).unwrap();
         assert!(got.is_empty());
         assert!(!obj.prepared(9));
     }
@@ -562,11 +574,11 @@ mod tests {
         let obj = s
             .create(CreateOptions { slice_capacity: 4, ..Default::default() })
             .unwrap();
-        obj.append_at(&recs(16, 0), 0).unwrap();
+        obj.append_at(&recs(16, 0), &at(0)).unwrap();
         assert!(s.plog().physical_bytes() > 0);
         s.destroy(obj.id()).unwrap();
         assert_eq!(s.plog().physical_bytes(), 0);
-        assert!(obj.append_at(&recs(1, 0), 0).is_err());
+        assert!(obj.append_at(&recs(1, 0), &at(0)).is_err());
         assert!(s.get(obj.id()).is_err());
         assert!(s.is_empty());
     }
@@ -586,8 +598,8 @@ mod tests {
         let mut lat2 = 0u64;
         for i in 0..8u64 {
             let now = i * common::clock::millis(100);
-            let a1 = o1.append_at(&recs(4, 0), now).unwrap();
-            let a2 = o2.append_at(&recs(4, 0), now).unwrap();
+            let a1 = o1.append_at(&recs(4, 0), &at(now)).unwrap();
+            let a2 = o2.append_at(&recs(4, 0), &at(now)).unwrap();
             lat1 += a1.ack_time - now;
             lat2 += a2.ack_time - now;
         }
@@ -601,12 +613,12 @@ mod tests {
     fn flush_persists_partial_slice() {
         let s = store(false);
         let obj = s.create(CreateOptions::default()).unwrap();
-        obj.append_at(&recs(3, 0), 0).unwrap();
+        obj.append_at(&recs(3, 0), &at(0)).unwrap();
         assert_eq!(obj.slice_count(), 0);
-        obj.flush_at(0).unwrap();
+        obj.flush_at(&at(0)).unwrap();
         assert_eq!(obj.slice_count(), 1);
         assert!(obj.persisted_bytes() > 0);
-        let (got, _) = obj.read_at(0, ReadCtrl::default(), 0).unwrap();
+        let (got, _) = obj.read_at(0, ReadCtrl::default(), &at(0)).unwrap();
         assert_eq!(got.len(), 3);
     }
 

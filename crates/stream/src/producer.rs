@@ -10,7 +10,7 @@
 use crate::object::AppendAck;
 use crate::record::Record;
 use crate::service::StreamService;
-use common::clock::Nanos;
+use common::ctx::IoCtx;
 use common::{Error, Result, TxnId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -50,9 +50,9 @@ impl Producer {
         topic: &str,
         key: impl Into<Vec<u8>>,
         value: impl Into<Vec<u8>>,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<Option<AppendAck>> {
-        self.send_inner(topic, key.into(), value.into(), None, now)
+        self.send_inner(topic, key.into(), value.into(), None, ctx)
     }
 
     /// Send one message inside transaction `txn` (invisible to committed
@@ -63,9 +63,9 @@ impl Producer {
         topic: &str,
         key: impl Into<Vec<u8>>,
         value: impl Into<Vec<u8>>,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<Option<AppendAck>> {
-        self.send_inner(topic, key.into(), value.into(), Some(txn), now)
+        self.send_inner(topic, key.into(), value.into(), Some(txn), ctx)
     }
 
     fn send_inner(
@@ -74,27 +74,27 @@ impl Producer {
         key: Vec<u8>,
         value: Vec<u8>,
         txn: Option<TxnId>,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<Option<AppendAck>> {
         let route = self.svc.dispatcher().route(topic, &key)?;
         let slot = (topic.to_string(), route.stream_idx);
         let seq = self.seqs.entry(slot.clone()).or_insert(0);
         *seq += 1;
-        let mut record = Record::new(key, value, (now / 1_000_000) as i64);
+        let mut record = Record::new(key, value, (ctx.now / 1_000_000) as i64);
         record.producer_seq = Some((self.pid, *seq));
         record.txn = txn.map(|t| t.raw());
         let batch = self.batches.entry(slot.clone()).or_default();
         batch.push(record);
         if batch.len() >= self.batch_size {
             let records = std::mem::take(batch);
-            let ack = self.svc.produce_to(topic, &route, &records, now)?;
+            let ack = self.svc.produce_to(topic, &route, &records, ctx)?;
             return Ok(Some(ack));
         }
         Ok(None)
     }
 
     /// Flush all buffered batches; returns one ack per flushed stream.
-    pub fn flush(&mut self, now: Nanos) -> Result<Vec<AppendAck>> {
+    pub fn flush(&mut self, ctx: &IoCtx) -> Result<Vec<AppendAck>> {
         let mut acks = Vec::new();
         let slots: Vec<(String, u32)> = self
             .batches
@@ -115,7 +115,7 @@ impl Producer {
                 .ok_or_else(|| {
                     Error::NotFound(format!("stream {} of topic {} disappeared", slot.1, slot.0))
                 })?;
-            acks.push(self.svc.produce_to(&slot.0, &route, &records, now)?);
+            acks.push(self.svc.produce_to(&slot.0, &route, &records, ctx)?);
         }
         Ok(acks)
     }
@@ -131,6 +131,7 @@ mod tests {
     use crate::config::TopicConfig;
     use crate::object::ReadCtrl;
     use crate::service::tests::test_service;
+    use common::ctx::IoCtx;
 
     #[test]
     fn batching_flushes_at_threshold() {
@@ -139,10 +140,10 @@ mod tests {
         let mut p = svc.producer();
         p.set_batch_size(4);
         for i in 0..3 {
-            assert!(p.send("t", b"k".to_vec(), format!("m{i}").into_bytes(), 0).unwrap().is_none());
+            assert!(p.send("t", b"k".to_vec(), format!("m{i}").into_bytes(), &IoCtx::new(0)).unwrap().is_none());
         }
         assert_eq!(p.pending(), 3);
-        let ack = p.send("t", b"k".to_vec(), b"m3".to_vec(), 0).unwrap();
+        let ack = p.send("t", b"k".to_vec(), b"m3".to_vec(), &IoCtx::new(0)).unwrap();
         assert!(ack.is_some(), "4th message must flush the batch");
         assert_eq!(p.pending(), 0);
     }
@@ -154,16 +155,16 @@ mod tests {
         let mut p = svc.producer();
         p.set_batch_size(100);
         for i in 0..10 {
-            p.send("t", format!("key-{i}").into_bytes(), b"v".to_vec(), 0).unwrap();
+            p.send("t", format!("key-{i}").into_bytes(), b"v".to_vec(), &IoCtx::new(0)).unwrap();
         }
-        let acks = p.flush(0).unwrap();
+        let acks = p.flush(&IoCtx::new(0)).unwrap();
         assert!(!acks.is_empty());
         assert_eq!(p.pending(), 0);
         // Every message is readable afterwards.
         let mut total = 0;
         for route in svc.dispatcher().topic_routes("t").unwrap() {
-            svc.dispatcher().object_of(&route).unwrap().flush_at(0).unwrap();
-            let (got, _) = svc.fetch_from(&route, 0, ReadCtrl::default(), 0).unwrap();
+            svc.dispatcher().object_of(&route).unwrap().flush_at(&IoCtx::new(0)).unwrap();
+            let (got, _) = svc.fetch_from(&route, 0, ReadCtrl::default(), &IoCtx::new(0)).unwrap();
             total += got.len();
         }
         assert_eq!(total, 10);
@@ -184,12 +185,12 @@ mod tests {
         let mut p = svc.producer();
         p.set_batch_size(1);
         for _ in 0..5 {
-            p.send("t", b"k".to_vec(), b"v".to_vec(), 0).unwrap();
+            p.send("t", b"k".to_vec(), b"v".to_vec(), &IoCtx::new(0)).unwrap();
         }
         let route = svc.dispatcher().route("t", b"k").unwrap();
         let obj = svc.dispatcher().object_of(&route).unwrap();
-        obj.flush_at(0).unwrap();
-        let (got, _) = obj.read_at(0, ReadCtrl::default(), 0).unwrap();
+        obj.flush_at(&IoCtx::new(0)).unwrap();
+        let (got, _) = obj.read_at(0, ReadCtrl::default(), &IoCtx::new(0)).unwrap();
         let seqs: Vec<u64> = got.iter().map(|(_, r)| r.producer_seq.unwrap().1).collect();
         assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
     }

@@ -5,6 +5,7 @@
 //! second's worth of tokens, refilled continuously.
 
 use common::clock::Nanos;
+use common::ctx::IoCtx;
 use common::{Error, Result};
 
 /// Token-bucket limiter: at most `rate` messages per virtual second, with a
@@ -27,10 +28,10 @@ impl QuotaLimiter {
         self.rate_per_sec
     }
 
-    /// Try to admit `n` messages at virtual time `now`; returns
+    /// Try to admit `n` messages at `ctx`'s virtual time; returns
     /// `QuotaExceeded` when the bucket is empty.
-    pub fn try_acquire(&mut self, n: u64, now: Nanos) -> Result<()> {
-        self.refill(now);
+    pub fn try_acquire(&mut self, n: u64, ctx: &IoCtx) -> Result<()> {
+        self.refill(ctx.now);
         if self.tokens >= n as f64 {
             self.tokens -= n as f64;
             Ok(())
@@ -42,14 +43,14 @@ impl QuotaLimiter {
         }
     }
 
-    fn refill(&mut self, now: Nanos) {
-        if now <= self.last_refill {
+    fn refill(&mut self, t: Nanos) {
+        if t <= self.last_refill {
             return;
         }
-        let elapsed = (now - self.last_refill) as f64 / 1e9;
+        let elapsed = (t - self.last_refill) as f64 / 1e9;
         self.tokens =
             (self.tokens + elapsed * self.rate_per_sec as f64).min(self.rate_per_sec as f64);
-        self.last_refill = now;
+        self.last_refill = t;
     }
 }
 
@@ -57,39 +58,40 @@ impl QuotaLimiter {
 mod tests {
     use super::*;
     use common::clock::{millis, secs};
+    use common::ctx::IoCtx;
 
     #[test]
     fn admits_up_to_burst_then_rejects() {
         let mut q = QuotaLimiter::new(100);
-        assert!(q.try_acquire(100, 0).is_ok());
-        assert!(matches!(q.try_acquire(1, 0), Err(Error::QuotaExceeded(_))));
+        assert!(q.try_acquire(100, &IoCtx::new(0)).is_ok());
+        assert!(matches!(q.try_acquire(1, &IoCtx::new(0)), Err(Error::QuotaExceeded(_))));
     }
 
     #[test]
     fn refills_with_time() {
         let mut q = QuotaLimiter::new(1000);
-        q.try_acquire(1000, 0).unwrap();
-        assert!(q.try_acquire(1, 0).is_err());
+        q.try_acquire(1000, &IoCtx::new(0)).unwrap();
+        assert!(q.try_acquire(1, &IoCtx::new(0)).is_err());
         // 100 ms later: 100 tokens refilled
-        assert!(q.try_acquire(100, millis(100)).is_ok());
-        assert!(q.try_acquire(1, millis(100)).is_err());
+        assert!(q.try_acquire(100, &IoCtx::new(millis(100))).is_ok());
+        assert!(q.try_acquire(1, &IoCtx::new(millis(100))).is_err());
     }
 
     #[test]
     fn bucket_caps_at_one_second_of_tokens() {
         let mut q = QuotaLimiter::new(10);
         // A long idle period must not bank more than `rate` tokens.
-        assert!(q.try_acquire(10, secs(100)).is_ok());
-        assert!(q.try_acquire(1, secs(100)).is_err());
+        assert!(q.try_acquire(10, &IoCtx::new(secs(100))).is_ok());
+        assert!(q.try_acquire(1, &IoCtx::new(secs(100))).is_err());
     }
 
     #[test]
     fn time_going_backwards_is_harmless() {
         let mut q = QuotaLimiter::new(10);
-        q.try_acquire(5, secs(1)).unwrap();
+        q.try_acquire(5, &IoCtx::new(secs(1))).unwrap();
         // an earlier timestamp neither refills nor panics
-        assert!(q.try_acquire(5, millis(500)).is_ok());
-        assert!(q.try_acquire(1, millis(500)).is_err());
+        assert!(q.try_acquire(5, &IoCtx::new(millis(500))).is_ok());
+        assert!(q.try_acquire(1, &IoCtx::new(millis(500))).is_err());
     }
 
     #[test]
@@ -99,7 +101,7 @@ mod tests {
         // Offer 100 msgs every 100 ms for 10 virtual seconds at t >= 1s.
         for step in 0..100u64 {
             let now = secs(1) + step * millis(100);
-            if q.try_acquire(100, now).is_ok() {
+            if q.try_acquire(100, &IoCtx::new(now)).is_ok() {
                 admitted += 100;
             }
         }

@@ -15,6 +15,7 @@ use crate::record::Record;
 use crate::txn::TxnManager;
 use crate::worker::StreamWorker;
 use common::clock::Nanos;
+use common::ctx::IoCtx;
 use common::id::IdGen;
 use common::metrics::Metrics;
 use common::{Error, Result, SimClock, WorkerId};
@@ -128,8 +129,8 @@ impl StreamService {
     }
 
     /// Remove a worker, reassigning its streams.
-    pub fn remove_worker(&self, id: WorkerId, now: Nanos) -> Result<RescaleReport> {
-        let report = self.dispatcher.deregister_worker(id, now)?;
+    pub fn remove_worker(&self, id: WorkerId, ctx: &IoCtx) -> Result<RescaleReport> {
+        let report = self.dispatcher.deregister_worker(id, ctx)?;
         self.workers.write().remove(&id);
         Ok(report)
     }
@@ -142,7 +143,7 @@ impl StreamService {
     /// Create a topic.
     pub fn create_topic(&self, name: &str, config: TopicConfig) -> Result<RescaleReport> {
         let quota = config.quota;
-        let report = self.dispatcher.create_topic(name, config, self.clock.now())?;
+        let report = self.dispatcher.create_topic(name, config, &IoCtx::new(self.clock.now()))?;
         let mut quotas = self.quotas.lock();
         for route in self.dispatcher.topic_routes(name)? {
             quotas.insert((name.to_string(), route.stream_idx), QuotaLimiter::new(quota));
@@ -151,8 +152,8 @@ impl StreamService {
     }
 
     /// Scale a topic to more streams (Fig 14(c)).
-    pub fn scale_topic(&self, name: &str, streams: u32, now: Nanos) -> Result<RescaleReport> {
-        let report = self.dispatcher.scale_topic(name, streams, now)?;
+    pub fn scale_topic(&self, name: &str, streams: u32, ctx: &IoCtx) -> Result<RescaleReport> {
+        let report = self.dispatcher.scale_topic(name, streams, ctx)?;
         let quota = self.dispatcher.topic_config(name)?.quota;
         let mut quotas = self.quotas.lock();
         for route in self.dispatcher.topic_routes(name)? {
@@ -179,17 +180,17 @@ impl StreamService {
         topic: &str,
         route: &StreamRoute,
         records: &[Record],
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<AppendAck> {
         {
             let mut quotas = self.quotas.lock();
             if let Some(q) = quotas.get_mut(&(topic.to_string(), route.stream_idx)) {
-                q.try_acquire(records.len() as u64, now)?;
+                q.try_acquire(records.len() as u64, ctx)?;
             }
         }
         let worker = self.worker_for(route)?;
         let object = self.dispatcher.object_of(route)?;
-        let ack = worker.produce(&object, records, now)?;
+        let ack = worker.produce(&object, records, ctx)?;
         // Register transactional participants with the coordinator.
         for r in records {
             if let Some(t) = r.txn {
@@ -199,7 +200,7 @@ impl StreamService {
         }
         self.metrics.incr("produce.records", records.len() as u64);
         self.metrics
-            .observe("produce.latency_ns", ack.ack_time.saturating_sub(now));
+            .observe("produce.latency_ns", ack.ack_time.saturating_sub(ctx.now));
         Ok(ack)
     }
 
@@ -209,11 +210,11 @@ impl StreamService {
         route: &StreamRoute,
         offset: u64,
         ctrl: ReadCtrl,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Vec<(u64, Record)>, Nanos)> {
         let worker = self.worker_for(route)?;
         let object = self.dispatcher.object_of(route)?;
-        let out = worker.fetch(&object, offset, ctrl, now)?;
+        let out = worker.fetch(&object, offset, ctrl, ctx)?;
         self.metrics.incr("fetch.records", out.0.len() as u64);
         Ok(out)
     }
@@ -273,7 +274,7 @@ pub(crate) mod tests {
         svc.create_topic("t", TopicConfig::with_streams(4)).unwrap();
         let id = svc.add_worker(MIB);
         assert_eq!(svc.worker_count(), 3);
-        let report = svc.remove_worker(id, 0).unwrap();
+        let report = svc.remove_worker(id, &IoCtx::new(0)).unwrap();
         assert_eq!(report.bytes_migrated, 0);
         assert_eq!(svc.worker_count(), 2);
     }
@@ -287,8 +288,8 @@ pub(crate) mod tests {
         let route = svc.dispatcher().route("slow", b"k").unwrap();
         let records: Vec<Record> =
             (0..10).map(|i| Record::new(b"k".to_vec(), b"v".to_vec(), i)).collect();
-        svc.produce_to("slow", &route, &records, 0).unwrap();
-        let err = svc.produce_to("slow", &route, &records[..1], 0);
+        svc.produce_to("slow", &route, &records, &IoCtx::new(0)).unwrap();
+        let err = svc.produce_to("slow", &route, &records[..1], &IoCtx::new(0));
         assert!(matches!(err, Err(Error::QuotaExceeded(_))));
     }
 
@@ -299,11 +300,11 @@ pub(crate) mod tests {
         let route = svc.dispatcher().route("t", b"key-1").unwrap();
         let records: Vec<Record> =
             (0..5).map(|i| Record::new(b"key-1".to_vec(), format!("m{i}").into_bytes(), i)).collect();
-        let ack = svc.produce_to("t", &route, &records, 0).unwrap();
+        let ack = svc.produce_to("t", &route, &records, &IoCtx::new(0)).unwrap();
         assert_eq!(ack.base_offset, Some(0));
         // flush the open slice so a fresh read sees everything
-        svc.dispatcher().object_of(&route).unwrap().flush_at(0).unwrap();
-        let (got, _) = svc.fetch_from(&route, 0, ReadCtrl::default(), 0).unwrap();
+        svc.dispatcher().object_of(&route).unwrap().flush_at(&IoCtx::new(0)).unwrap();
+        let (got, _) = svc.fetch_from(&route, 0, ReadCtrl::default(), &IoCtx::new(0)).unwrap();
         assert_eq!(got.len(), 5);
         assert_eq!(svc.metrics().counter("produce.records"), 5);
     }

@@ -110,6 +110,7 @@ impl TxnManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use common::ctx::IoCtx;
     use crate::object::{CreateOptions, ReadCtrl, StreamObjectStore};
     use crate::record::Record;
     use common::size::MIB;
@@ -154,18 +155,18 @@ mod tests {
         let b = store.create(CreateOptions::default()).unwrap();
         let mgr = TxnManager::new();
         let txn = mgr.begin();
-        a.append_at(&[txn_record(txn, b"to-a")], 0).unwrap();
-        b.append_at(&[txn_record(txn, b"to-b")], 0).unwrap();
+        a.append_at(&[txn_record(txn, b"to-a")], &IoCtx::new(0)).unwrap();
+        b.append_at(&[txn_record(txn, b"to-b")], &IoCtx::new(0)).unwrap();
         mgr.register_participant(txn, a.clone()).unwrap();
         mgr.register_participant(txn, b.clone()).unwrap();
         assert_eq!(mgr.participant_count(txn), 2);
 
         let ctrl = ReadCtrl::default();
-        assert!(a.read_at(0, ctrl, 0).unwrap().0.is_empty());
-        assert!(b.read_at(0, ctrl, 0).unwrap().0.is_empty());
+        assert!(a.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.is_empty());
+        assert!(b.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.is_empty());
         mgr.commit(txn).unwrap();
-        assert_eq!(a.read_at(0, ctrl, 0).unwrap().0.len(), 1);
-        assert_eq!(b.read_at(0, ctrl, 0).unwrap().0.len(), 1);
+        assert_eq!(a.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.len(), 1);
+        assert_eq!(b.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.len(), 1);
         assert_eq!(mgr.active_count(), 0);
     }
 
@@ -176,14 +177,14 @@ mod tests {
         let b = store.create(CreateOptions::default()).unwrap();
         let mgr = TxnManager::new();
         let txn = mgr.begin();
-        a.append_at(&[txn_record(txn, b"x")], 0).unwrap();
-        b.append_at(&[txn_record(txn, b"y")], 0).unwrap();
+        a.append_at(&[txn_record(txn, b"x")], &IoCtx::new(0)).unwrap();
+        b.append_at(&[txn_record(txn, b"y")], &IoCtx::new(0)).unwrap();
         mgr.register_participant(txn, a.clone()).unwrap();
         mgr.register_participant(txn, b.clone()).unwrap();
         mgr.abort(txn).unwrap();
         let ctrl = ReadCtrl::default();
-        assert!(a.read_at(0, ctrl, 0).unwrap().0.is_empty());
-        assert!(b.read_at(0, ctrl, 0).unwrap().0.is_empty());
+        assert!(a.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.is_empty());
+        assert!(b.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.is_empty());
     }
 
     #[test]
@@ -193,15 +194,15 @@ mod tests {
         let b = store.create(CreateOptions::default()).unwrap();
         let mgr = TxnManager::new();
         let txn = mgr.begin();
-        a.append_at(&[txn_record(txn, b"x")], 0).unwrap();
-        b.append_at(&[txn_record(txn, b"y")], 0).unwrap();
+        a.append_at(&[txn_record(txn, b"x")], &IoCtx::new(0)).unwrap();
+        b.append_at(&[txn_record(txn, b"y")], &IoCtx::new(0)).unwrap();
         mgr.register_participant(txn, a.clone()).unwrap();
         mgr.register_participant(txn, b.clone()).unwrap();
         // Participant b fails before commit (destroyed object cannot prepare).
         store.destroy(b.id()).unwrap();
         assert!(matches!(mgr.commit(txn), Err(Error::TxnAborted(_))));
         // Survivor's records are aborted, never visible.
-        assert!(a.read_at(0, ReadCtrl::default(), 0).unwrap().0.is_empty());
+        assert!(a.read_at(0, ReadCtrl::default(), &IoCtx::new(0)).unwrap().0.is_empty());
     }
 
     #[test]
@@ -217,7 +218,7 @@ mod tests {
         let a = store.create(CreateOptions::default()).unwrap();
         let mgr = TxnManager::new();
         let txn = mgr.begin();
-        a.append_at(&[txn_record(txn, b"x")], 0).unwrap();
+        a.append_at(&[txn_record(txn, b"x")], &IoCtx::new(0)).unwrap();
         mgr.register_participant(txn, a).unwrap();
         mgr.commit(txn).unwrap();
         assert!(matches!(mgr.commit(txn), Err(Error::NotFound(_))));

@@ -9,6 +9,7 @@
 use crate::object::{AppendAck, ReadCtrl, StreamObject};
 use crate::record::Record;
 use common::clock::Nanos;
+use common::ctx::{IoCtx, Phase};
 use common::{Result, WorkerId};
 use parking_lot::Mutex;
 use simdisk::{Bus, LruCache};
@@ -54,12 +55,13 @@ impl StreamWorker {
         &self,
         object: &Arc<StreamObject>,
         records: &[Record],
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<AppendAck> {
         let bytes: usize = records.iter().map(|r| r.size_bytes()).sum();
         let transfer = self.bus.transport().transfer_time(bytes as u64);
-        let ack = object.append_at(records, now + transfer)?;
-        let durable = object.flush_at(ack.ack_time)?;
+        ctx.record(Phase::Wan, ctx.now, transfer);
+        let ack = object.append_at(records, &ctx.at(ctx.now + transfer))?;
+        let durable = object.flush_at(&ctx.at(ack.ack_time))?;
         *self.produced.lock() += records.len() as u64;
         Ok(AppendAck { base_offset: ack.base_offset, ack_time: durable.max(ack.ack_time) })
     }
@@ -71,7 +73,7 @@ impl StreamWorker {
         object: &Arc<StreamObject>,
         offset: u64,
         ctrl: ReadCtrl,
-        now: Nanos,
+        ctx: &IoCtx,
     ) -> Result<(Vec<(u64, Record)>, Nanos)> {
         let cache_key = (object.id().raw(), offset);
         // Cached batches are only valid while the object hasn't grown past
@@ -91,12 +93,12 @@ impl StreamWorker {
                 // A cached batch that already reaches the end is complete.
                 if out.last().map(|(o, _)| o + 1) == Some(end) || out.len() >= ctrl.max_records {
                     *self.fetched.lock() += out.len() as u64;
-                    return Ok((out, now));
+                    return Ok((out, ctx.now));
                 }
             }
         }
         drop(cache);
-        let (records, finish) = object.read_at(offset, ctrl, now)?;
+        let (records, finish) = object.read_at(offset, ctrl, ctx)?;
         if !records.is_empty() && records.first().map(|(o, _)| *o) == Some(offset) {
             let contiguous: Vec<Record> = records
                 .iter()
@@ -117,6 +119,7 @@ impl StreamWorker {
             .bus
             .transport()
             .transfer_time(records.iter().map(|(_, r)| r.size_bytes() as u64).sum());
+        ctx.record(Phase::Wan, finish, transfer);
         *self.fetched.lock() += records.len() as u64;
         Ok((records, finish + transfer))
     }
@@ -138,6 +141,7 @@ mod tests {
     use crate::object::{CreateOptions, StreamObjectStore};
     use common::size::MIB;
     use common::SimClock;
+    use common::ctx::IoCtx;
     use ec::Redundancy;
     use plog::{PlogConfig, PlogStore};
     use simdisk::{MediaKind, StoragePool, Transport};
@@ -179,7 +183,7 @@ mod tests {
     #[test]
     fn produce_charges_bus_transfer() {
         let (w, obj) = setup();
-        let ack = w.produce(&obj, &recs(8), 0).unwrap();
+        let ack = w.produce(&obj, &recs(8), &IoCtx::new(0)).unwrap();
         assert!(ack.ack_time > 0, "bus + plog time must be charged");
         assert_eq!(ack.base_offset, Some(0));
         assert_eq!(w.stats().0, 8);
@@ -188,12 +192,12 @@ mod tests {
     #[test]
     fn fetch_roundtrips_and_second_fetch_hits_cache() {
         let (w, obj) = setup();
-        w.produce(&obj, &recs(8), 0).unwrap();
+        w.produce(&obj, &recs(8), &IoCtx::new(0)).unwrap();
         let ctrl = ReadCtrl::default();
-        let (r1, _) = w.fetch(&obj, 0, ctrl, 0).unwrap();
+        let (r1, _) = w.fetch(&obj, 0, ctrl, &IoCtx::new(0)).unwrap();
         assert_eq!(r1.len(), 8);
         let (hits_before, _) = w.cache_stats();
-        let (r2, _) = w.fetch(&obj, 0, ctrl, 0).unwrap();
+        let (r2, _) = w.fetch(&obj, 0, ctrl, &IoCtx::new(0)).unwrap();
         assert_eq!(r2.len(), 8);
         let (hits_after, _) = w.cache_stats();
         assert_eq!(hits_after, hits_before + 1, "second fetch must hit cache");
@@ -203,21 +207,21 @@ mod tests {
     #[test]
     fn cache_does_not_serve_stale_short_reads() {
         let (w, obj) = setup();
-        w.produce(&obj, &recs(8), 0).unwrap();
-        w.fetch(&obj, 0, ReadCtrl::default(), 0).unwrap();
+        w.produce(&obj, &recs(8), &IoCtx::new(0)).unwrap();
+        w.fetch(&obj, 0, ReadCtrl::default(), &IoCtx::new(0)).unwrap();
         // More records arrive; a cached batch ending before the new end must
         // not satisfy an unbounded read.
-        w.produce(&obj, &recs(8), 0).unwrap();
-        let (r, _) = w.fetch(&obj, 0, ReadCtrl::default(), 0).unwrap();
+        w.produce(&obj, &recs(8), &IoCtx::new(0)).unwrap();
+        let (r, _) = w.fetch(&obj, 0, ReadCtrl::default(), &IoCtx::new(0)).unwrap();
         assert_eq!(r.len(), 16);
     }
 
     #[test]
     fn bounded_fetch_respects_max_records() {
         let (w, obj) = setup();
-        w.produce(&obj, &recs(16), 0).unwrap();
+        w.produce(&obj, &recs(16), &IoCtx::new(0)).unwrap();
         let ctrl = ReadCtrl { max_records: 5, committed_only: true };
-        let (r, _) = w.fetch(&obj, 2, ctrl, 0).unwrap();
+        let (r, _) = w.fetch(&obj, 2, ctrl, &IoCtx::new(0)).unwrap();
         assert_eq!(r.len(), 5);
         assert_eq!(r[0].0, 2);
     }

@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo run --release --example mobile_pipeline`.
 
+use common::ctx::IoCtx;
 use baselines::{BaselinePipeline, MiniHdfs, MiniKafka};
 use common::size::{human_bytes, MIB};
 use common::SimClock;
@@ -51,7 +52,7 @@ fn main() {
     // --- StreamLake: one copy, conversion + in-place commits ------------
     let pipeline = StreamLakePipeline::new(StreamLake::new(StreamLakeConfig::evaluation()));
     let s = pipeline
-        .run(&packets, &url, T0, T0 + 86_400, 0)
+        .run(&packets, &url, T0, T0 + 86_400, &IoCtx::new(0))
         .expect("streamlake pipeline");
 
     println!("\n{:<28}{:>16}{:>16}", "", "HDFS+Kafka", "StreamLake");

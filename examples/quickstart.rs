@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+use common::ctx::IoCtx;
 use format::{DataType, Field, Schema, Value};
 use lake::ScanOptions;
 use streamlake::{StreamLake, StreamLakeConfig};
@@ -20,12 +21,12 @@ fn main() {
     let mut producer = sl.producer();
     producer.set_batch_size(1);
     producer
-        .send("topic_streamlake_test", "greeting", "Hello world", 0)
+        .send("topic_streamlake_test", "greeting", "Hello world", &IoCtx::new(0))
         .expect("send");
 
     let mut consumer = sl.consumer("quickstart-group");
     consumer.subscribe("topic_streamlake_test").expect("subscribe");
-    for record in consumer.poll(10, 0).expect("poll") {
+    for record in consumer.poll(10, &IoCtx::new(0)).expect("poll") {
         println!(
             "consumed from stream {} offset {}: {}",
             record.stream_idx,
@@ -41,7 +42,7 @@ fn main() {
     ])
     .expect("schema");
     sl.tables()
-        .create_table("greetings", schema, None, 1000, 0)
+        .create_table("greetings", schema, None, 1000, &IoCtx::new(0))
         .expect("create table");
     sl.tables()
         .insert(
@@ -50,13 +51,13 @@ fn main() {
                 vec![Value::from("hello"), Value::Int(1)],
                 vec![Value::from("world"), Value::Int(2)],
             ],
-            0,
+            &IoCtx::new(0),
         )
         .expect("insert");
 
     let result = sl
         .tables()
-        .select("greetings", &ScanOptions::default(), 0)
+        .select("greetings", &ScanOptions::default(), &IoCtx::new(0))
         .expect("select");
     for row in &result.rows {
         println!("table row: {} -> {}", row[0], row[1]);

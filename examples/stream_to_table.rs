@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --example stream_to_table`.
 
+use common::ctx::IoCtx;
 use format::{CmpOp, Expr, Predicate, Value};
 use lake::conversion::{table_to_stream, ConversionTask};
 use lake::ScanOptions;
@@ -35,7 +36,7 @@ fn main() {
             PacketGen::schema(),
             Some(lake::catalog::PartitionSpec::hourly("start_time")),
             10_000,
-            0,
+            &IoCtx::new(0),
         )
         .expect("table");
 
@@ -44,9 +45,9 @@ fn main() {
     let packets = gen.batch(1200);
     let mut producer = sl.producer();
     for p in &packets {
-        producer.send("dpi", p.key(), p.to_wire(), 0).expect("send");
+        producer.send("dpi", p.key(), p.to_wire(), &IoCtx::new(0)).expect("send");
     }
-    producer.flush(0).expect("flush");
+    producer.flush(&IoCtx::new(0)).expect("flush");
 
     // Run the conversion task over every stream of the topic.
     let mut converted = 0;
@@ -58,7 +59,7 @@ fn main() {
             cfg.convert_2_table.clone(),
             Box::new(|r: &Record| Ok(Packet::from_wire(&r.value)?.to_row())),
         );
-        if let Some(report) = task.run(sl.tables(), 0, true).expect("convert") {
+        if let Some(report) = task.run(sl.tables(), &IoCtx::new(0), true).expect("convert") {
             converted += report.records_converted;
         }
     }
@@ -67,7 +68,7 @@ fn main() {
     // The DAU query of Fig 13, pushed down to storage.
     let q = Query::dau("tb_dpi_log_hours", &packets[0].url, T0, T0 + 86_400);
     let out = QueryEngine::new()
-        .execute(sl.tables(), &q, 0)
+        .execute(sl.tables(), &q, &IoCtx::new(0))
         .expect("query");
     println!("DAU for {}:", packets[0].url);
     for (province, count) in &out.groups {
@@ -105,11 +106,11 @@ fn main() {
                 row[1].as_int().unwrap(),
             )
         },
-        0,
+        &IoCtx::new(0),
     )
     .expect("playback");
     let (replayed, _) = playback
-        .read_at(0, ReadCtrl::default(), 0)
+        .read_at(0, ReadCtrl::default(), &IoCtx::new(0))
         .expect("read playback");
     println!("played {n} beijing rows back as a stream ({} readable)", replayed.len());
     assert_eq!(n as usize, replayed.len());

@@ -7,3 +7,6 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo run -p slint
+# Latency-attribution smoke: a tiny Fig 14-style run; fails if any span
+# phase (queue/device/wan/meta) records zero samples.
+cargo run --release -p bench --bin phase_smoke

@@ -3,6 +3,7 @@
 //! redundancy margin — covered in `fault_tolerance.rs`), and exactly-once
 //! transactions across topics.
 
+use common::ctx::IoCtx;
 use streamlake::{StreamLake, StreamLakeConfig};
 
 fn system() -> StreamLake {
@@ -18,12 +19,12 @@ fn per_stream_order_is_strict() {
     let mut p = sl.producer();
     p.set_batch_size(7); // batching must not reorder
     for i in 0..200u32 {
-        p.send("t", b"same-key".to_vec(), i.to_le_bytes().to_vec(), 0).unwrap();
+        p.send("t", b"same-key".to_vec(), i.to_le_bytes().to_vec(), &IoCtx::new(0)).unwrap();
     }
-    p.flush(0).unwrap();
+    p.flush(&IoCtx::new(0)).unwrap();
     let mut c = sl.consumer("order");
     c.subscribe("t").unwrap();
-    let got = c.poll(1000, 0).unwrap();
+    let got = c.poll(1000, &IoCtx::new(0)).unwrap();
     assert_eq!(got.len(), 200);
     // single key → single stream; payloads arrive in send order
     let values: Vec<u32> = got
@@ -49,11 +50,11 @@ fn duplicate_producer_batches_are_dropped() {
         r.producer_seq = Some((77, seq));
         records.push(r);
     }
-    object.append_at(&records, 0).unwrap();
-    object.append_at(&records, 0).unwrap(); // network retry
-    object.flush_at(0).unwrap();
+    object.append_at(&records, &IoCtx::new(0)).unwrap();
+    object.append_at(&records, &IoCtx::new(0)).unwrap(); // network retry
+    object.flush_at(&IoCtx::new(0)).unwrap();
     let (got, _) = object
-        .read_at(0, stream::ReadCtrl::default(), 0)
+        .read_at(0, stream::ReadCtrl::default(), &IoCtx::new(0))
         .unwrap();
     assert_eq!(got.len(), 5, "idempotence must drop the retried batch");
 }
@@ -72,27 +73,27 @@ fn exactly_once_across_two_topics() {
     let txn = sl.stream().txns().begin();
     let mut p = sl.producer();
     p.set_batch_size(1);
-    p.send_in_txn(txn, "orders", "o1", "order", 0).unwrap();
-    p.send_in_txn(txn, "payments", "o1", "payment", 0).unwrap();
+    p.send_in_txn(txn, "orders", "o1", "order", &IoCtx::new(0)).unwrap();
+    p.send_in_txn(txn, "payments", "o1", "payment", &IoCtx::new(0)).unwrap();
 
     let mut c_orders = sl.consumer("g");
     let mut c_payments = sl.consumer("g");
     c_orders.subscribe("orders").unwrap();
     c_payments.subscribe("payments").unwrap();
-    assert!(c_orders.poll(10, 0).unwrap().is_empty(), "invisible before commit");
-    assert!(c_payments.poll(10, 0).unwrap().is_empty());
+    assert!(c_orders.poll(10, &IoCtx::new(0)).unwrap().is_empty(), "invisible before commit");
+    assert!(c_payments.poll(10, &IoCtx::new(0)).unwrap().is_empty());
 
     sl.stream().txns().commit(txn).unwrap();
-    assert_eq!(c_orders.poll(10, 0).unwrap().len(), 1);
-    assert_eq!(c_payments.poll(10, 0).unwrap().len(), 1);
+    assert_eq!(c_orders.poll(10, &IoCtx::new(0)).unwrap().len(), 1);
+    assert_eq!(c_payments.poll(10, &IoCtx::new(0)).unwrap().len(), 1);
 
     // aborted transaction: neither side ever visible
     let txn2 = sl.stream().txns().begin();
-    p.send_in_txn(txn2, "orders", "o2", "order", 0).unwrap();
-    p.send_in_txn(txn2, "payments", "o2", "payment", 0).unwrap();
+    p.send_in_txn(txn2, "orders", "o2", "order", &IoCtx::new(0)).unwrap();
+    p.send_in_txn(txn2, "payments", "o2", "payment", &IoCtx::new(0)).unwrap();
     sl.stream().txns().abort(txn2).unwrap();
-    assert!(c_orders.poll(10, 0).unwrap().is_empty());
-    assert!(c_payments.poll(10, 0).unwrap().is_empty());
+    assert!(c_orders.poll(10, &IoCtx::new(0)).unwrap().is_empty());
+    assert!(c_payments.poll(10, &IoCtx::new(0)).unwrap().is_empty());
 }
 
 #[test]
@@ -103,19 +104,19 @@ fn rescaling_workers_loses_no_messages() {
         .unwrap();
     let mut p = sl.producer();
     for i in 0..120 {
-        p.send("t", format!("k{i}"), format!("v{i}"), 0).unwrap();
+        p.send("t", format!("k{i}"), format!("v{i}"), &IoCtx::new(0)).unwrap();
     }
-    p.flush(0).unwrap();
+    p.flush(&IoCtx::new(0)).unwrap();
 
     // scale up, then remove a worker: pure metadata operations
     sl.stream().add_worker(1024 * 1024);
     let victim = sl.stream().dispatcher().workers()[0];
-    let report = sl.stream().remove_worker(victim, 0).unwrap();
+    let report = sl.stream().remove_worker(victim, &IoCtx::new(0)).unwrap();
     assert_eq!(report.bytes_migrated, 0);
 
     let mut c = sl.consumer("g");
     c.subscribe("t").unwrap();
-    assert_eq!(c.poll(1000, 0).unwrap().len(), 120);
+    assert_eq!(c.poll(1000, &IoCtx::new(0)).unwrap().len(), 120);
 }
 
 #[test]
@@ -126,20 +127,20 @@ fn consumer_group_resume_is_exactly_once_per_group() {
         .unwrap();
     let mut p = sl.producer();
     for i in 0..50 {
-        p.send("t", format!("k{i}"), format!("v{i}"), 0).unwrap();
+        p.send("t", format!("k{i}"), format!("v{i}"), &IoCtx::new(0)).unwrap();
     }
-    p.flush(0).unwrap();
+    p.flush(&IoCtx::new(0)).unwrap();
 
     let mut c1 = sl.consumer("g");
     c1.subscribe("t").unwrap();
-    let first = c1.poll(30, 0).unwrap();
+    let first = c1.poll(30, &IoCtx::new(0)).unwrap();
     c1.commit();
     drop(c1);
 
     // a replacement consumer in the same group picks up the remainder only
     let mut c2 = sl.consumer("g");
     c2.subscribe("t").unwrap();
-    let rest = c2.poll(1000, 0).unwrap();
+    let rest = c2.poll(1000, &IoCtx::new(0)).unwrap();
     assert_eq!(first.len() + rest.len(), 50);
     let mut seen = std::collections::HashSet::new();
     for r in first.iter().chain(rest.iter()) {

@@ -1,6 +1,7 @@
 //! Cross-crate integration: the full stream → convert → mutate → query →
 //! time-travel life cycle on one deployment.
 
+use common::ctx::IoCtx;
 use format::{CmpOp, Expr, Predicate, Value};
 use lake::catalog::PartitionSpec;
 use lake::conversion::ConversionTask;
@@ -23,7 +24,7 @@ fn convert_all(sl: &StreamLake, topic: &str, table: &str, now: u64) -> u64 {
             cfg.clone(),
             Box::new(|r: &Record| Ok(Packet::from_wire(&r.value)?.to_row())),
         );
-        if let Some(report) = task.run(sl.tables(), now, true).unwrap() {
+        if let Some(report) = task.run(sl.tables(), &IoCtx::new(now), true).unwrap() {
             converted += report.records_converted;
         }
     }
@@ -42,7 +43,7 @@ fn stream_to_table_to_query_lifecycle() {
             PacketGen::schema(),
             Some(PartitionSpec::hourly("start_time")),
             10_000,
-            0,
+            &IoCtx::new(0),
         )
         .unwrap();
 
@@ -51,9 +52,9 @@ fn stream_to_table_to_query_lifecycle() {
     let packets = gen.batch(900);
     let mut producer = sl.producer();
     for p in &packets {
-        producer.send("dpi", p.key(), p.to_wire(), 0).unwrap();
+        producer.send("dpi", p.key(), p.to_wire(), &IoCtx::new(0)).unwrap();
     }
-    producer.flush(0).unwrap();
+    producer.flush(&IoCtx::new(0)).unwrap();
 
     // convert: every produced record becomes exactly one row
     let converted = convert_all(&sl, "dpi", "dpi", 0);
@@ -62,7 +63,7 @@ fn stream_to_table_to_query_lifecycle() {
     // query with pushdown answers the same as scanning the packets
     let url = &packets[0].url;
     let q = Query::dau("dpi", url, T0, T0 + 86_400);
-    let out = QueryEngine::new().execute(sl.tables(), &q, 0).unwrap();
+    let out = QueryEngine::new().execute(sl.tables(), &q, &IoCtx::new(0)).unwrap();
     let mut truth = std::collections::BTreeMap::new();
     for p in &packets {
         if &p.url == url {
@@ -81,14 +82,14 @@ fn stream_to_table_to_query_lifecycle() {
     let (snap, _) = sl
         .tables()
         .meta()
-        .get_snapshot("dpi", before_delete, MetadataMode::Accelerated, 0)
+        .get_snapshot("dpi", before_delete, MetadataMode::Accelerated, &IoCtx::new(0))
         .unwrap();
     let pred = Expr::Pred(Predicate::cmp("province", CmpOp::Eq, "beijing"));
-    sl.tables().delete("dpi", &pred, snap.timestamp + 1000).unwrap();
+    sl.tables().delete("dpi", &pred, &IoCtx::new(snap.timestamp + 1000)).unwrap();
 
     let now_rows = sl
         .tables()
-        .select("dpi", &ScanOptions::default(), snap.timestamp + 10_000)
+        .select("dpi", &ScanOptions::default(), &IoCtx::new(snap.timestamp + 10_000))
         .unwrap()
         .rows;
     assert!(now_rows
@@ -100,7 +101,7 @@ fn stream_to_table_to_query_lifecycle() {
         .select(
             "dpi",
             &ScanOptions { as_of: Some(snap.timestamp), ..Default::default() },
-            snap.timestamp + 10_000,
+            &IoCtx::new(snap.timestamp + 10_000),
         )
         .unwrap()
         .rows;
@@ -111,7 +112,7 @@ fn stream_to_table_to_query_lifecycle() {
 fn compaction_preserves_query_results_end_to_end() {
     let sl = StreamLake::new(StreamLakeConfig::small());
     sl.tables()
-        .create_table("logs", PacketGen::schema(), None, 100_000, 0)
+        .create_table("logs", PacketGen::schema(), None, 100_000, &IoCtx::new(0))
         .unwrap();
     // many small inserts → many small files
     let mut gen = PacketGen::new(5, T0, 500);
@@ -119,10 +120,10 @@ fn compaction_preserves_query_results_end_to_end() {
     for _ in 0..12 {
         let batch = gen.batch(40);
         let rows: Vec<_> = batch.iter().map(|p| p.to_row()).collect();
-        sl.tables().insert("logs", &rows, 0).unwrap();
+        sl.tables().insert("logs", &rows, &IoCtx::new(0)).unwrap();
         all.extend(batch);
     }
-    assert_eq!(sl.tables().live_files("logs", 0).unwrap().len(), 12);
+    assert_eq!(sl.tables().live_files("logs", &IoCtx::new(0)).unwrap().len(), 12);
 
     let q = Query {
         table: "logs".into(),
@@ -130,13 +131,13 @@ fn compaction_preserves_query_results_end_to_end() {
         group_by: Some("province".into()),
         aggregate: streamlake::Aggregate::CountStar,
     };
-    let before = QueryEngine::new().execute(sl.tables(), &q, 0).unwrap();
+    let before = QueryEngine::new().execute(sl.tables(), &q, &IoCtx::new(0)).unwrap();
 
     let compactor = lake::maintenance::Compactor::new(64 * 1024 * 1024);
-    compactor.compact_all(sl.tables(), "logs", 0).unwrap();
-    assert_eq!(sl.tables().live_files("logs", 0).unwrap().len(), 1);
+    compactor.compact_all(sl.tables(), "logs", &IoCtx::new(0)).unwrap();
+    assert_eq!(sl.tables().live_files("logs", &IoCtx::new(0)).unwrap().len(), 1);
 
-    let after = QueryEngine::new().execute(sl.tables(), &q, 0).unwrap();
+    let after = QueryEngine::new().execute(sl.tables(), &q, &IoCtx::new(0)).unwrap();
     assert_eq!(before.groups, after.groups);
 }
 
@@ -144,24 +145,24 @@ fn compaction_preserves_query_results_end_to_end() {
 fn drop_soft_restore_then_hard_drop() {
     let sl = StreamLake::new(StreamLakeConfig::small());
     sl.tables()
-        .create_table("t", PacketGen::schema(), None, 1000, 0)
+        .create_table("t", PacketGen::schema(), None, 1000, &IoCtx::new(0))
         .unwrap();
     let mut gen = PacketGen::new(9, T0, 500);
     let rows: Vec<_> = gen.batch(50).iter().map(|p| p.to_row()).collect();
-    sl.tables().insert("t", &rows, 0).unwrap();
+    sl.tables().insert("t", &rows, &IoCtx::new(0)).unwrap();
     let used_before = sl.physical_bytes();
 
-    sl.tables().drop_table("t", false, 0).unwrap();
-    assert!(sl.tables().select("t", &ScanOptions::default(), 0).is_err());
+    sl.tables().drop_table("t", false, &IoCtx::new(0)).unwrap();
+    assert!(sl.tables().select("t", &ScanOptions::default(), &IoCtx::new(0)).is_err());
     assert_eq!(sl.physical_bytes(), used_before, "soft drop keeps data");
 
-    sl.tables().restore_table("t", 0).unwrap();
+    sl.tables().restore_table("t", &IoCtx::new(0)).unwrap();
     assert_eq!(
-        sl.tables().select("t", &ScanOptions::default(), 0).unwrap().rows.len(),
+        sl.tables().select("t", &ScanOptions::default(), &IoCtx::new(0)).unwrap().rows.len(),
         50
     );
 
-    sl.tables().drop_table("t", true, 0).unwrap();
+    sl.tables().drop_table("t", true, &IoCtx::new(0)).unwrap();
     assert!(
         sl.physical_bytes() < used_before,
         "hard drop must free data-file space"
@@ -182,8 +183,8 @@ fn archive_then_playback_preserves_messages() {
         .iter()
         .map(|p| Record::new(p.key(), p.to_wire(), p.start_time))
         .collect();
-    obj.append_at(&records, 0).unwrap();
-    obj.flush_at(0).unwrap();
+    obj.append_at(&records, &IoCtx::new(0)).unwrap();
+    obj.flush_at(&IoCtx::new(0)).unwrap();
 
     let cfg = stream::config::ArchiveConfig {
         external_archive_url: None,
@@ -191,7 +192,7 @@ fn archive_then_playback_preserves_messages() {
         row_2_col: false,
         enabled: true,
     };
-    let entry = sl.archive().maybe_archive(&obj, &cfg, 0).unwrap().unwrap();
+    let entry = sl.archive().maybe_archive(&obj, &cfg, &IoCtx::new(0)).unwrap().unwrap();
     assert_eq!(entry.count, 256);
     assert_eq!(obj.slice_count(), 0, "archived slices truncated from hot tier");
     assert!(sl.hdd_pool().used() > 0, "archive lives in the cold pool");

@@ -1,6 +1,7 @@
 //! Failure injection across the stack: device loss under replication and
 //! erasure coding, repair, and WAL-backed metadata recovery.
 
+use common::ctx::IoCtx;
 use common::size::MIB;
 use common::SimClock;
 use ec::Redundancy;
@@ -66,17 +67,17 @@ fn replication_loses_data_only_when_all_copies_fail() {
 fn lakehouse_reads_survive_device_failure_under_ec() {
     let sl = StreamLake::new(StreamLakeConfig::evaluation()); // EC 10+2
     sl.tables()
-        .create_table("t", PacketGen::schema(), None, 10_000, 0)
+        .create_table("t", PacketGen::schema(), None, 10_000, &IoCtx::new(0))
         .unwrap();
     let mut gen = PacketGen::new(21, 0, 500);
     let rows: Vec<_> = gen.batch(300).iter().map(|p| p.to_row()).collect();
-    sl.tables().insert("t", &rows, 0).unwrap();
+    sl.tables().insert("t", &rows, &IoCtx::new(0)).unwrap();
 
     sl.ssd_pool().device(0).fail();
     sl.ssd_pool().device(5).fail();
     let r = sl
         .tables()
-        .select("t", &lake::ScanOptions::default(), 0)
+        .select("t", &lake::ScanOptions::default(), &IoCtx::new(0))
         .unwrap();
     assert_eq!(r.rows.len(), 300, "reads must reconstruct through EC");
 }
@@ -113,12 +114,12 @@ fn stream_consumption_survives_failures_within_tolerance() {
         .unwrap();
     let mut p = sl.producer();
     for i in 0..100 {
-        p.send("t", format!("k{i}"), format!("v{i}"), 0).unwrap();
+        p.send("t", format!("k{i}"), format!("v{i}"), &IoCtx::new(0)).unwrap();
     }
-    p.flush(0).unwrap();
+    p.flush(&IoCtx::new(0)).unwrap();
     sl.ssd_pool().device(0).fail();
     let mut c = sl.consumer("g");
     c.subscribe("t").unwrap();
-    let got = c.poll(1000, 0).unwrap();
+    let got = c.poll(1000, &IoCtx::new(0)).unwrap();
     assert_eq!(got.len(), 100, "one failure is within the replication margin");
 }

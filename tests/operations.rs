@@ -1,6 +1,7 @@
 //! Operational services end-to-end: retention (snapshot expiry), remote
 //! replication / disaster recovery, tiering and access control.
 
+use common::ctx::IoCtx;
 use common::clock::secs;
 use common::size::MIB;
 use common::SimClock;
@@ -16,18 +17,18 @@ use workloads::packets::PacketGen;
 fn retention_policy_bounds_history_but_keeps_current_data() {
     let sl = StreamLake::new(StreamLakeConfig::small());
     sl.tables()
-        .create_table("t", PacketGen::schema(), None, 100_000, 0)
+        .create_table("t", PacketGen::schema(), None, 100_000, &IoCtx::new(0))
         .unwrap();
     let mut gen = PacketGen::new(1, 0, 500);
     let mut stamps = Vec::new();
     let mut t = 0u64;
     for _ in 0..6 {
         let rows: Vec<_> = gen.batch(30).iter().map(|p| p.to_row()).collect();
-        let info = sl.tables().insert("t", &rows, t).unwrap();
+        let info = sl.tables().insert("t", &rows, &IoCtx::new(t)).unwrap();
         let (snap, _) = sl
             .tables()
             .meta()
-            .get_snapshot("t", info.snapshot_id, MetadataMode::Accelerated, 0)
+            .get_snapshot("t", info.snapshot_id, MetadataMode::Accelerated, &IoCtx::new(0))
             .unwrap();
         stamps.push(snap.timestamp);
         t = snap.timestamp + secs(1);
@@ -35,17 +36,17 @@ fn retention_policy_bounds_history_but_keeps_current_data() {
     let before = sl.physical_bytes();
     // compact first so old versions hold exclusive files, then expire
     lake::maintenance::Compactor::new(64 * 1024 * 1024)
-        .compact_all(sl.tables(), "t", t)
+        .compact_all(sl.tables(), "t", &IoCtx::new(t))
         .unwrap();
     let report =
-        lake::maintenance::expire_snapshots(sl.tables(), "t", t, t + secs(1)).unwrap();
+        lake::maintenance::expire_snapshots(sl.tables(), "t", t, &IoCtx::new(t + secs(1))).unwrap();
     assert!(report.snapshots_expired >= 5);
     assert!(report.files_deleted >= 1);
     assert!(sl.physical_bytes() < before, "expiry must reclaim physical space");
     // all current rows intact
     let rows = sl
         .tables()
-        .select("t", &ScanOptions::default(), t + secs(2))
+        .select("t", &ScanOptions::default(), &IoCtx::new(t + secs(2)))
         .unwrap()
         .rows;
     assert_eq!(rows.len(), 180);
@@ -55,7 +56,7 @@ fn retention_policy_bounds_history_but_keeps_current_data() {
         .select(
             "t",
             &ScanOptions { as_of: Some(stamps[0]), ..Default::default() },
-            t + secs(2),
+            &IoCtx::new(t + secs(2)),
         )
         .is_err());
 }
@@ -94,7 +95,7 @@ fn remote_replication_recovers_from_total_site_loss() {
         );
     }
     let replicator = RemoteReplicator::new(primary.clone(), remote);
-    let report = replicator.run(0).unwrap();
+    let report = replicator.run(&IoCtx::new(0)).unwrap();
     assert_eq!(report.records_copied, 50);
 
     // the whole primary site fails
@@ -102,7 +103,7 @@ fn remote_replication_recovers_from_total_site_loss() {
         primary.pool_for_tests().device(d).fail();
     }
     for (i, addr) in addrs.iter().enumerate() {
-        let (data, _) = replicator.recover(addr, report.finished_at).unwrap();
+        let (data, _) = replicator.recover(addr, &IoCtx::new(report.finished_at)).unwrap();
         assert_eq!(data, format!("payload-{i}").into_bytes());
     }
 }

@@ -1,6 +1,7 @@
 //! Cross-crate property tests: whole-system invariants under randomized
 //! operation sequences.
 
+use common::ctx::IoCtx;
 use format::{CmpOp, Expr, Predicate, Value};
 use lake::ScanOptions;
 use proptest::prelude::*;
@@ -26,7 +27,7 @@ fn table_matches_model_under_random_mutations() {
         .run(&ops_strategy, |ops| {
             let sl = StreamLake::new(StreamLakeConfig::small());
             sl.tables()
-                .create_table("t", PacketGen::schema(), None, 100_000, 0)
+                .create_table("t", PacketGen::schema(), None, 100_000, &IoCtx::new(0))
                 .unwrap();
             let mut model: Vec<Vec<Value>> = Vec::new();
             let mut gen = PacketGen::new(7, 0, 500);
@@ -37,7 +38,7 @@ fn table_matches_model_under_random_mutations() {
                 match *op {
                     "insert" => {
                         let rows: Vec<_> = gen.batch(*arg).iter().map(|p| p.to_row()).collect();
-                        sl.tables().insert("t", &rows, t).unwrap();
+                        sl.tables().insert("t", &rows, &IoCtx::new(t)).unwrap();
                         model.extend(rows);
                     }
                     "delete" => {
@@ -45,7 +46,7 @@ fn table_matches_model_under_random_mutations() {
                         if !model.is_empty() {
                             let pred =
                                 Expr::Pred(Predicate::cmp("province", CmpOp::Eq, p));
-                            sl.tables().delete("t", &pred, t).unwrap();
+                            sl.tables().delete("t", &pred, &IoCtx::new(t)).unwrap();
                             model.retain(|row| row[2] != Value::from(p));
                         }
                     }
@@ -54,7 +55,7 @@ fn table_matches_model_under_random_mutations() {
             }
             let got = sl
                 .tables()
-                .select("t", &ScanOptions::default(), t + common::clock::secs(1))
+                .select("t", &ScanOptions::default(), &IoCtx::new(t + common::clock::secs(1)))
                 .unwrap()
                 .rows;
             prop_assert_eq!(got.len(), model.len());
@@ -88,13 +89,13 @@ fn stream_delivery_is_complete_and_ordered_for_any_batching() {
             producer.set_batch_size(batch);
             for i in 0..messages {
                 producer
-                    .send("t", format!("key-{}", i % 7), (i as u32).to_le_bytes().to_vec(), 0)
+                    .send("t", format!("key-{}", i % 7), (i as u32).to_le_bytes().to_vec(), &IoCtx::new(0))
                     .unwrap();
             }
-            producer.flush(0).unwrap();
+            producer.flush(&IoCtx::new(0)).unwrap();
             let mut consumer = sl.consumer("g");
             consumer.subscribe("t").unwrap();
-            let got = consumer.poll(usize::MAX, 0).unwrap();
+            let got = consumer.poll(usize::MAX, &IoCtx::new(0)).unwrap();
             prop_assert_eq!(got.len(), messages);
             // per-key sequence numbers must arrive in send order
             let mut last_per_key: std::collections::HashMap<Vec<u8>, u32> =
@@ -135,13 +136,13 @@ fn single_failure_never_loses_acked_messages() {
             let mut producer = sl.producer();
             producer.set_batch_size(16);
             for i in 0..messages {
-                producer.send("t", format!("k{i}"), format!("v{i}"), 0).unwrap();
+                producer.send("t", format!("k{i}"), format!("v{i}"), &IoCtx::new(0)).unwrap();
             }
-            producer.flush(0).unwrap();
+            producer.flush(&IoCtx::new(0)).unwrap();
             sl.ssd_pool().device(victim).fail();
             let mut consumer = sl.consumer("g");
             consumer.subscribe("t").unwrap();
-            let got = consumer.poll(usize::MAX, 0).unwrap();
+            let got = consumer.poll(usize::MAX, &IoCtx::new(0)).unwrap();
             prop_assert_eq!(got.len(), messages);
             Ok(())
         })
@@ -161,7 +162,7 @@ fn time_travel_returns_exact_prefixes() {
         .run(&strategy, |batches| {
             let sl = StreamLake::new(StreamLakeConfig::small());
             sl.tables()
-                .create_table("t", PacketGen::schema(), None, 100_000, 0)
+                .create_table("t", PacketGen::schema(), None, 100_000, &IoCtx::new(0))
                 .unwrap();
             let mut gen = PacketGen::new(3, 0, 500);
             let mut cumulative = 0usize;
@@ -170,12 +171,12 @@ fn time_travel_returns_exact_prefixes() {
             for n in &batches {
                 t += common::clock::secs(1);
                 let rows: Vec<_> = gen.batch(*n).iter().map(|p| p.to_row()).collect();
-                let info = sl.tables().insert("t", &rows, t).unwrap();
+                let info = sl.tables().insert("t", &rows, &IoCtx::new(t)).unwrap();
                 cumulative += n;
                 let (snap, _) = sl
                     .tables()
                     .meta()
-                    .get_snapshot("t", info.snapshot_id, lake::MetadataMode::Accelerated, 0)
+                    .get_snapshot("t", info.snapshot_id, lake::MetadataMode::Accelerated, &IoCtx::new(0))
                     .unwrap();
                 checkpoints.push((snap.timestamp, cumulative));
                 t = snap.timestamp;
@@ -186,7 +187,7 @@ fn time_travel_returns_exact_prefixes() {
                     .select(
                         "t",
                         &ScanOptions { as_of: Some(*ts), ..Default::default() },
-                        t + common::clock::secs(5),
+                        &IoCtx::new(t + common::clock::secs(5)),
                     )
                     .unwrap()
                     .rows;
