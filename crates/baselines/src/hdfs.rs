@@ -49,7 +49,8 @@ impl MiniHdfs {
         let mut blocks = Vec::new();
         let mut finish = now;
         for chunk in data.chunks(self.block_size as usize).filter(|c| !c.is_empty()) {
-            let replicas = vec![chunk.to_vec(); self.replication];
+            // one materialized copy of the chunk, `replication` handles over it
+            let replicas = vec![common::Bytes::copy_from_slice(chunk); self.replication];
             let (handle, t) = self.pool.write_shards_at(&replicas, now)?;
             finish = finish.max(t);
             blocks.push(handle);

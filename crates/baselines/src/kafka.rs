@@ -124,17 +124,18 @@ impl MiniKafka {
     }
 
     fn roll_segment(&self, part: &mut Partition, now: Nanos) -> Result<Nanos> {
-        let encoded = encode_batch(&part.buffer);
+        let encoded = common::Bytes::from_vec(encode_batch(&part.buffer));
         // producers reach brokers over kernel TCP (no RDMA fabric here),
         // and followers pull the segment over the same network
         let net = simdisk::Transport::Tcp.transfer_time(encoded.len() as u64);
-        let replicas = vec![encoded.clone(); self.replication];
+        let encoded_len = encoded.len() as u64;
+        let replicas = vec![encoded; self.replication];
         let (handle, t) = self.pool.write_shards_at(&replicas, now + net)?;
         part.segments.push(Segment {
             base_offset: part.buffer_base,
             count: part.buffer.len() as u64,
             handle,
-            bytes: encoded.len() as u64,
+            bytes: encoded_len,
         });
         part.buffer.clear();
         part.buffer_bytes = 0;
@@ -240,7 +241,8 @@ impl MiniKafka {
                 }
                 // read + rewrite the moved share (RF copies)
                 let (_, t_read) = self.pool.read_shards_at(&seg.handle, now);
-                let data = vec![vec![0u8; share as usize]; self.replication];
+                let data =
+                    vec![common::Bytes::from_vec(vec![0u8; share as usize]); self.replication];
                 let (handle, t_write) = self.pool.write_shards_at(&data, t_read)?;
                 self.pool.delete(&handle); // space settles back after the move
                 finish = finish.max(t_write);

@@ -1,0 +1,390 @@
+//! Refcounted, sliceable byte buffers — the zero-copy currency of the data
+//! path.
+//!
+//! StreamLake's pitch is that one copy of the data serves every workload;
+//! [`Bytes`] is how the reproduction holds itself to that. A `Bytes` is a
+//! view (`start`, `len`) into an `Arc<Vec<u8>>`: cloning it, slicing it, and
+//! handing it across layers (stripe → pool → device → index) moves a
+//! refcount and two integers, never payload bytes. The only operations that
+//! touch payload are the explicit boundary conversions
+//! ([`Bytes::copy_from_slice`], [`Bytes::to_vec`]), and each of those bumps
+//! a thread-local copy counter so tests can *prove* a path is zero-copy
+//! (see [`payload_copies`]).
+//!
+//! This is a deliberately std-only miniature of the `bytes` crate's
+//! `Bytes`: no vtable tricks, no `unsafe`, just `Arc` + a range.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+std::thread_local! {
+    static PAYLOAD_COPIES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of payload-copying operations performed *by this thread* since it
+/// started. Copy-count regression tests read this before and after driving
+/// a request through the stack; the delta is the number of times the
+/// payload was physically duplicated. Clones and slices of [`Bytes`] do not
+/// count; [`Bytes::copy_from_slice`] (and the `From<&[u8]>`-family
+/// conversions built on it) and [`Bytes::to_vec`] count one each when the
+/// payload is non-empty.
+pub fn payload_copies() -> u64 {
+    PAYLOAD_COPIES.with(|c| c.get())
+}
+
+fn note_copy(len: usize) {
+    if len > 0 {
+        PAYLOAD_COPIES.with(|c| c.set(c.get() + 1));
+    }
+}
+
+/// A cheaply clonable, cheaply sliceable, immutable byte buffer.
+///
+/// `clone()` and [`slice`](Bytes::slice) are O(1) and share the underlying
+/// allocation; the buffer is freed when the last handle drops. Equality and
+/// ordering compare contents, not identity — use
+/// [`aliases`](Bytes::aliases) to ask whether two handles share storage.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes { data: Arc::new(Vec::new()), start: 0, len: 0 }
+    }
+
+    /// Take ownership of `v` without copying its contents.
+    pub fn from_vec(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes { data: Arc::new(v), start: 0, len }
+    }
+
+    /// Copy `s` into a fresh buffer. This is the explicit boundary
+    /// conversion for borrowed data and counts one payload copy.
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        note_copy(s.len());
+        Bytes::from_vec_uncounted(s.to_vec())
+    }
+
+    fn from_vec_uncounted(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes { data: Arc::new(v), start: 0, len }
+    }
+
+    /// Length of this view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether this view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes of this view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    /// A sub-view of this buffer sharing the same allocation (O(1), no
+    /// payload copy). Ranges compose: `b.slice(2..8).slice(1..3)` equals
+    /// `b.slice(3..5)`.
+    ///
+    /// # Panics
+    ///
+    /// Like std slicing, panics when the range is out of bounds or
+    /// inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "Bytes::slice range {start}..{end} out of bounds for length {}",
+            self.len
+        );
+        Bytes { data: Arc::clone(&self.data), start: self.start + start, len: end - start }
+    }
+
+    /// Materialize this view as an owned `Vec`. Counts one payload copy —
+    /// call sites that need `Vec` are exactly the places the zero-copy path
+    /// ends.
+    pub fn to_vec(&self) -> Vec<u8> {
+        note_copy(self.len);
+        self.as_slice().to_vec()
+    }
+
+    /// Whether `self` and `other` share the same underlying allocation
+    /// (regardless of the window each views). Test hook for aliasing
+    /// assertions.
+    pub fn aliases(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Bytes[{}; ", self.len)?;
+        for b in self.as_slice().iter().take(PREVIEW) {
+            write!(f, "{b:02x}")?;
+        }
+        if self.len > PREVIEW {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    /// Ownership transfer: no payload copy.
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    /// Borrowed data must be copied in; counts one payload copy.
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&Vec<u8>> for Bytes {
+    /// Borrowed data must be copied in; counts one payload copy.
+    fn from(v: &Vec<u8>) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    /// Borrowed data must be copied in; counts one payload copy.
+    fn from(a: &[u8; N]) -> Bytes {
+        Bytes::copy_from_slice(a)
+    }
+}
+
+impl From<&Bytes> for Bytes {
+    /// Refcount clone: no payload copy.
+    fn from(b: &Bytes) -> Bytes {
+        b.clone()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_storage_and_copy_nothing() {
+        let before = payload_copies();
+        let b = Bytes::from_vec(vec![1, 2, 3, 4, 5]);
+        let c = b.clone();
+        let s = b.slice(1..4);
+        assert!(b.aliases(&c));
+        assert!(b.aliases(&s));
+        assert_eq!(s, [2, 3, 4]);
+        assert_eq!(payload_copies(), before, "clone/slice must not copy payload");
+    }
+
+    #[test]
+    fn boundary_conversions_count_copies() {
+        let before = payload_copies();
+        let b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(payload_copies(), before + 1);
+        let v = b.to_vec();
+        assert_eq!(v, b"hello");
+        assert_eq!(payload_copies(), before + 2);
+        // empty payloads are free
+        let _ = Bytes::copy_from_slice(b"");
+        assert_eq!(payload_copies(), before + 2);
+    }
+
+    #[test]
+    fn slices_compose() {
+        let b = Bytes::from_vec((0..10).collect());
+        let s = b.slice(2..8).slice(1..3);
+        assert_eq!(s, [3, 4]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(b.slice(..), b);
+        assert_eq!(b.slice(3..), [3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(b.slice(..=1), [0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        Bytes::from_vec(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from_vec(vec![1, 2, 3]);
+        let b = Bytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert!(!a.aliases(&b));
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(a, [1, 2, 3]);
+        assert_eq!(a, b"\x01\x02\x03");
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let b = Bytes::from_vec(b"streamlake".to_vec());
+        assert_eq!(b.len(), 10);
+        assert_eq!(&b[..6], b"stream");
+        assert!(b.starts_with(b"str"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// `slice` agrees with `Vec` slicing for every in-bounds range.
+            #[test]
+            fn slice_matches_vec_slicing(
+                data in proptest::collection::vec(any::<u8>(), 0..256),
+                a in 0usize..300,
+                b in 0usize..300,
+            ) {
+                let (lo, hi) = (a.min(b).min(data.len()), a.max(b).min(data.len()));
+                let bytes = Bytes::from_vec(data.clone());
+                prop_assert_eq!(bytes.slice(lo..hi), &data[lo..hi]);
+            }
+
+            /// Composed slices index into the ORIGINAL buffer: slicing a
+            /// slice equals slicing the source at the composed offsets, and
+            /// both alias the root allocation without copying the payload.
+            #[test]
+            fn slices_compose_and_alias(
+                data in proptest::collection::vec(any::<u8>(), 1..256),
+                a in 0usize..256,
+                b in 0usize..256,
+                c in 0usize..256,
+                d in 0usize..256,
+            ) {
+                let (lo, hi) = (a.min(b).min(data.len()), a.max(b).min(data.len()));
+                let outer_len = hi - lo;
+                let (ilo, ihi) = (c.min(d).min(outer_len), c.max(d).min(outer_len));
+                let root = Bytes::from_vec(data.clone());
+                let before = payload_copies();
+                let outer = root.slice(lo..hi);
+                let inner = outer.slice(ilo..ihi);
+                prop_assert_eq!(payload_copies(), before, "slicing must not copy");
+                prop_assert_eq!(&inner, &root.slice(lo + ilo..lo + ihi));
+                prop_assert_eq!(&inner, &data[lo + ilo..lo + ihi]);
+                prop_assert!(inner.aliases(&root));
+            }
+
+            /// A slice reaching even one byte past the end panics rather than
+            /// silently clamping.
+            #[test]
+            fn out_of_bounds_slice_always_panics(
+                len in 0usize..64,
+                start in 0usize..64,
+                over in 1usize..16,
+            ) {
+                let start = start.min(len);
+                let bytes = Bytes::from_vec(vec![0u8; len]);
+                let end = len + over;
+                let result = std::panic::catch_unwind(|| bytes.slice(start..end));
+                prop_assert!(result.is_err(), "slice({start}..{end}) of len {len} must panic");
+            }
+        }
+    }
+}

@@ -4,6 +4,8 @@
 //!
 //! * [`Error`] / [`Result`] — the common error taxonomy for storage, stream and
 //!   lakehouse operations;
+//! * [`Bytes`] — refcounted, sliceable buffers: the zero-copy currency every
+//!   layer of the data path trades in;
 //! * typed identifiers ([`ObjectId`], [`ShardId`], …) so that shard numbers,
 //!   PLog handles and table ids cannot be confused with each other;
 //! * [`SimClock`] — the virtual nanosecond clock that the simulated hardware
@@ -14,6 +16,7 @@
 //! * [`IoCtx`] — the per-request context (deadline, QoS class, trace span)
 //!   threaded through every layer of the storage stack.
 
+pub mod bytes;
 pub mod checksum;
 pub mod ctx;
 pub mod clock;
@@ -24,6 +27,7 @@ pub mod metrics;
 pub mod size;
 pub mod varint;
 
+pub use bytes::Bytes;
 pub use clock::SimClock;
 pub use ctx::{IoCtx, Phase, QosClass, SpanRecord, SpanSink};
 pub use error::{Error, Result};

@@ -95,27 +95,69 @@ pub fn pow(a: u8, n: u32) -> u8 {
     t.exp[l as usize]
 }
 
+/// Buffers shorter than this skip the per-call product table: for a handful
+/// of bytes the 256-entry table build costs more than it saves.
+const PRODUCT_TABLE_MIN: usize = 64;
+
 /// In-place fused multiply-add over byte slices: `dst[i] ^= c * src[i]`.
 ///
-/// This is the hot loop of Reed–Solomon encoding; it walks the per-`c` row of
-/// the multiplication through the log/exp tables once.
+/// This is the hot loop of Reed–Solomon encoding and reconstruction, so it
+/// avoids per-byte table-walk work:
+///
+/// * `c == 1` degenerates to pure XOR, done a `u64` word at a time;
+/// * otherwise a 256-entry product table for `c` is built once per call
+///   (256 exp/log lookups) and the main loop is a single indexed load + XOR
+///   per byte — no zero-branch, no double log lookup;
+/// * tiny buffers fall back to the classic log/exp walk, where the table
+///   build would dominate.
+///
+/// The `mul_acc_slice_matches_scalar` proptest pins every path against the
+/// scalar [`mul`] reference.
 pub fn mul_acc_slice(dst: &mut [u8], src: &[u8], c: u8) {
     debug_assert_eq!(dst.len(), src.len());
     if c == 0 {
         return;
     }
     if c == 1 {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= *s;
-        }
+        xor_slice(dst, src);
         return;
     }
     let t = tables();
     let log_c = t.log[c as usize] as usize;
-    for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            *d ^= t.exp[log_c + t.log[*s as usize] as usize];
+    if dst.len() < PRODUCT_TABLE_MIN {
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s != 0 {
+                *d ^= t.exp[log_c + t.log[*s as usize] as usize];
+            }
         }
+        return;
+    }
+    // One row of the GF(256) multiplication table, specialized to `c`.
+    let mut product = [0u8; 256];
+    for (s, p) in product.iter_mut().enumerate().skip(1) {
+        *p = t.exp[log_c + t.log[s] as usize];
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= product[*s as usize];
+    }
+}
+
+/// `dst[i] ^= src[i]`, eight bytes per step. GF(256) addition is XOR, so
+/// this is both the `c == 1` multiply-accumulate and plain field addition.
+fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut d_words = dst.chunks_exact_mut(8);
+    let mut s_words = src.chunks_exact(8);
+    for (d, s) in d_words.by_ref().zip(s_words.by_ref()) {
+        let mut dw = [0u8; 8];
+        dw.copy_from_slice(d);
+        let mut sw = [0u8; 8];
+        sw.copy_from_slice(s);
+        let x = u64::from_ne_bytes(dw) ^ u64::from_ne_bytes(sw);
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in d_words.into_remainder().iter_mut().zip(s_words.remainder()) {
+        *d ^= *s;
     }
 }
 

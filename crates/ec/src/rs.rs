@@ -61,17 +61,30 @@ impl ReedSolomon {
     /// Encode `k` equal-length data shards into `k + m` shards.
     ///
     /// The first `k` returned shards are (copies of) the inputs; the final
-    /// `m` are parity.
-    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>> {
-        self.check_shards(data)?;
-        let shard_len = data[0].len();
+    /// `m` are parity. Zero-copy callers that already hold the data shards
+    /// should call [`parity`](Self::parity) instead and keep their handles.
+    pub fn encode<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>> {
+        let parity = self.parity(data)?;
         let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
-        out.extend(data.iter().cloned());
+        out.extend(data.iter().map(|s| s.as_ref().to_vec()));
+        out.extend(parity);
+        Ok(out)
+    }
+
+    /// Compute only the `m` parity shards for `k` equal-length data shards.
+    ///
+    /// This is the allocation-minimal half of [`encode`](Self::encode): the
+    /// data shards pass through untouched at the caller, and only parity is
+    /// materialized here.
+    pub fn parity<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<Vec<Vec<u8>>> {
+        self.check_shards(data)?;
+        let shard_len = data[0].as_ref().len();
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.m);
         for p in 0..self.m {
-            let row = self.encode_matrix.row(self.k + p).to_vec();
+            let row = self.encode_matrix.row(self.k + p);
             let mut parity = vec![0u8; shard_len];
             for (j, &coeff) in row.iter().enumerate() {
-                gf256::mul_acc_slice(&mut parity, &data[j], coeff);
+                gf256::mul_acc_slice(&mut parity, data[j].as_ref(), coeff);
             }
             out.push(parity);
         }
@@ -83,7 +96,7 @@ impl ReedSolomon {
     /// `shards[i]` is `Some` if shard `i` survived (indices `0..k` are data,
     /// `k..k+m` parity). Fails with `Unrecoverable` when fewer than `k`
     /// shards survive.
-    pub fn reconstruct(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<Vec<u8>>> {
+    pub fn reconstruct<S: AsRef<[u8]>>(&self, shards: &[Option<S>]) -> Result<Vec<Vec<u8>>> {
         if shards.len() != self.total_shards() {
             return Err(Error::InvalidArgument(format!(
                 "expected {} shard slots, got {}",
@@ -104,18 +117,22 @@ impl ReedSolomon {
                 self.k
             )));
         }
-        let shard_len = shards[present[0]].as_ref().unwrap().len();
+        let shard_len = match shards[present[0]].as_ref() {
+            Some(s) => s.as_ref().len(),
+            None => return Err(Error::InvalidArgument("present shard missing".into())),
+        };
         for &i in &present {
-            if shards[i].as_ref().unwrap().len() != shard_len {
+            if shards[i].as_ref().map(|s| s.as_ref().len()) != Some(shard_len) {
                 return Err(Error::InvalidArgument("surviving shards differ in length".into()));
             }
         }
         // Fast path: all data shards intact.
-        if present.iter().take(self.k).eq((0..self.k).collect::<Vec<_>>().iter())
-            && present.len() >= self.k
-            && (0..self.k).all(|i| shards[i].is_some())
-        {
-            return Ok((0..self.k).map(|i| shards[i].clone().unwrap()).collect());
+        if (0..self.k).all(|i| shards[i].is_some()) {
+            return Ok(shards[..self.k]
+                .iter()
+                .flatten()
+                .map(|s| s.as_ref().to_vec())
+                .collect());
         }
         // Pick the first k survivors and invert their encoding rows.
         let use_rows: Vec<usize> = present.iter().copied().take(self.k).collect();
@@ -125,14 +142,16 @@ impl ReedSolomon {
             let mut shard = vec![0u8; shard_len];
             for (j, &src_row) in use_rows.iter().enumerate() {
                 let coeff = decode.get(r, j);
-                gf256::mul_acc_slice(&mut shard, shards[src_row].as_ref().unwrap(), coeff);
+                if let Some(src) = shards[src_row].as_ref() {
+                    gf256::mul_acc_slice(&mut shard, src.as_ref(), coeff);
+                }
             }
             data.push(shard);
         }
         Ok(data)
     }
 
-    fn check_shards(&self, data: &[Vec<u8>]) -> Result<()> {
+    fn check_shards<S: AsRef<[u8]>>(&self, data: &[S]) -> Result<()> {
         if data.len() != self.k {
             return Err(Error::InvalidArgument(format!(
                 "expected {} data shards, got {}",
@@ -140,8 +159,8 @@ impl ReedSolomon {
                 data.len()
             )));
         }
-        let len = data[0].len();
-        if data.iter().any(|s| s.len() != len) {
+        let len = data[0].as_ref().len();
+        if data.iter().any(|s| s.as_ref().len() != len) {
             return Err(Error::InvalidArgument("data shards differ in length".into()));
         }
         Ok(())

@@ -7,7 +7,7 @@
 
 use crate::rs::ReedSolomon;
 use common::size::div_ceil;
-use common::{Error, Result};
+use common::{Bytes, Error, Result};
 
 /// Data-redundancy strategy for a PLog write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,32 +83,47 @@ pub struct Stripe {
     /// Length of the original buffer (shards are padded to equal length).
     pub original_len: usize,
     /// Shard payloads; index order is data shards then parity (EC), or the
-    /// replicas (replication).
-    pub shards: Vec<Vec<u8>>,
+    /// replicas (replication). Replication shards are `copies` handles over
+    /// ONE buffer; EC data shards are zero-copy slices of the input (only
+    /// the padded tail shard and the parity shards are fresh allocations).
+    pub shards: Vec<Bytes>,
 }
 
 impl Stripe {
     /// Encode `data` under `redundancy`.
-    pub fn encode(data: &[u8], redundancy: Redundancy) -> Result<Stripe> {
+    ///
+    /// Takes the payload by handle (anything `Into<Bytes>`): replication
+    /// produces `copies` refcounted clones of it with zero payload copies,
+    /// and erasure coding slices the data shards straight out of it.
+    pub fn encode(data: impl Into<Bytes>, redundancy: Redundancy) -> Result<Stripe> {
+        let data: Bytes = data.into();
         let shards = match redundancy {
             Redundancy::Replicate { copies } => {
                 if copies == 0 {
                     return Err(Error::InvalidArgument("zero replicas".into()));
                 }
-                vec![data.to_vec(); copies]
+                vec![data.clone(); copies]
             }
             Redundancy::ErasureCode { k, m } => {
                 let rs = ReedSolomon::new(k, m)?;
                 let shard_len = div_ceil(data.len().max(1) as u64, k as u64) as usize;
-                let mut data_shards = Vec::with_capacity(k);
+                let mut shards: Vec<Bytes> = Vec::with_capacity(k + m);
                 for i in 0..k {
                     let start = (i * shard_len).min(data.len());
                     let end = ((i + 1) * shard_len).min(data.len());
-                    let mut shard = data[start..end].to_vec();
-                    shard.resize(shard_len, 0);
-                    data_shards.push(shard);
+                    if end - start == shard_len {
+                        shards.push(data.slice(start..end));
+                    } else {
+                        // Only the final, short shard materializes: it must
+                        // be zero-padded out to `shard_len`.
+                        let mut tail = data.as_slice()[start..end].to_vec();
+                        tail.resize(shard_len, 0);
+                        shards.push(Bytes::from_vec(tail));
+                    }
                 }
-                rs.encode(&data_shards)?
+                let parity = rs.parity(&shards)?;
+                shards.extend(parity.into_iter().map(Bytes::from_vec));
+                shards
             }
         };
         Ok(Stripe { redundancy, original_len: data.len(), shards })
@@ -117,12 +132,13 @@ impl Stripe {
     /// Decode the original buffer from surviving shards.
     ///
     /// `survivors[i]` is `Some` when shard `i` is readable. Replication needs
-    /// any one survivor; EC needs any `k`.
+    /// any one survivor and returns that handle itself (no payload copy); EC
+    /// needs any `k` and materializes one contiguous buffer.
     pub fn decode(
         redundancy: Redundancy,
         original_len: usize,
-        survivors: &[Option<Vec<u8>>],
-    ) -> Result<Vec<u8>> {
+        survivors: &[Option<Bytes>],
+    ) -> Result<Bytes> {
         match redundancy {
             Redundancy::Replicate { copies } => {
                 if survivors.len() != copies {
@@ -137,13 +153,22 @@ impl Stripe {
             }
             Redundancy::ErasureCode { k, m } => {
                 let rs = ReedSolomon::new(k, m)?;
-                let data_shards = rs.reconstruct(survivors)?;
                 let mut out = Vec::with_capacity(original_len);
-                for shard in data_shards {
-                    out.extend_from_slice(&shard);
+                if (0..k.min(survivors.len())).all(|i| survivors[i].is_some())
+                    && survivors.len() == k + m
+                {
+                    // All data shards intact: concatenate them directly,
+                    // skipping the reconstruction shard buffers entirely.
+                    for shard in survivors[..k].iter().flatten() {
+                        out.extend_from_slice(shard);
+                    }
+                } else {
+                    for shard in rs.reconstruct(survivors)? {
+                        out.extend_from_slice(&shard);
+                    }
                 }
                 out.truncate(original_len);
-                Ok(out)
+                Ok(Bytes::from_vec(out))
             }
         }
     }
@@ -182,12 +207,26 @@ mod tests {
         let data = b"hello plog".to_vec();
         let s = Stripe::encode(&data, Redundancy::Replicate { copies: 3 }).unwrap();
         assert_eq!(s.shards.len(), 3);
-        let mut survivors: Vec<Option<Vec<u8>>> = s.shards.iter().cloned().map(Some).collect();
+        let mut survivors: Vec<Option<Bytes>> = s.shards.iter().cloned().map(Some).collect();
         survivors[0] = None;
         survivors[1] = None;
         let out =
             Stripe::decode(Redundancy::Replicate { copies: 3 }, data.len(), &survivors).unwrap();
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn replication_shards_alias_one_buffer() {
+        let data = Bytes::from_vec(vec![5u8; 4096]);
+        let before = common::bytes::payload_copies();
+        let s = Stripe::encode(&data, Redundancy::Replicate { copies: 3 }).unwrap();
+        assert_eq!(common::bytes::payload_copies(), before, "replication must not copy");
+        assert!(s.shards.iter().all(|sh| sh.aliases(&data)));
+        // EC data shards are zero-copy views too; only tail + parity allocate.
+        let before = common::bytes::payload_copies();
+        let ec = Stripe::encode(&data, Redundancy::ErasureCode { k: 4, m: 2 }).unwrap();
+        assert_eq!(common::bytes::payload_copies(), before, "EC data shards must be slices");
+        assert!(ec.shards[..4].iter().all(|sh| sh.aliases(&data)));
     }
 
     #[test]
@@ -208,7 +247,7 @@ mod tests {
         let red = Redundancy::ErasureCode { k: 4, m: 2 };
         let s = Stripe::encode(&data, red).unwrap();
         assert_eq!(s.shards.len(), 6);
-        let mut survivors: Vec<Option<Vec<u8>>> = s.shards.iter().cloned().map(Some).collect();
+        let mut survivors: Vec<Option<Bytes>> = s.shards.iter().cloned().map(Some).collect();
         survivors[1] = None;
         survivors[4] = None;
         let out = Stripe::decode(red, data.len(), &survivors).unwrap();
@@ -218,8 +257,8 @@ mod tests {
     #[test]
     fn empty_buffer_roundtrips() {
         let red = Redundancy::ErasureCode { k: 3, m: 1 };
-        let s = Stripe::encode(&[], red).unwrap();
-        let survivors: Vec<Option<Vec<u8>>> = s.shards.iter().cloned().map(Some).collect();
+        let s = Stripe::encode(Bytes::new(), red).unwrap();
+        let survivors: Vec<Option<Bytes>> = s.shards.iter().cloned().map(Some).collect();
         assert_eq!(Stripe::decode(red, 0, &survivors).unwrap(), Vec::<u8>::new());
     }
 
@@ -245,7 +284,7 @@ mod tests {
         ) {
             let red = Redundancy::ErasureCode { k, m };
             let s = Stripe::encode(&data, red).unwrap();
-            let mut survivors: Vec<Option<Vec<u8>>> = s.shards.iter().cloned().map(Some).collect();
+            let mut survivors: Vec<Option<Bytes>> = s.shards.iter().cloned().map(Some).collect();
             // lose up to m shards deterministically from the seed
             let mut x = loss_seed;
             for _ in 0..m {

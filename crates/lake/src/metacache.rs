@@ -341,7 +341,7 @@ impl MetadataCache {
         self.kv.len()
     }
 
-    fn read_persisted(&self, key: &str, ctx: &IoCtx) -> Result<(Vec<u8>, Nanos)> {
+    fn read_persisted(&self, key: &str, ctx: &IoCtx) -> Result<(common::Bytes, Nanos)> {
         let addr_bytes = self
             .kv
             .get(&addr_key_for(key.as_bytes()))

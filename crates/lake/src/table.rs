@@ -662,7 +662,7 @@ impl TableStore {
             .file_addr(path)
             .ok_or_else(|| Error::NotFound(format!("data file {path}")))?;
         let (bytes, t) = self.plog.read_at(&addr, ctx)?;
-        Ok((LakeFileReader::open(bytes)?, t))
+        Ok((LakeFileReader::open(bytes.to_vec())?, t))
     }
 
     fn file_addr(&self, path: &str) -> Option<PlogAddress> {

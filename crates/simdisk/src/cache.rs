@@ -12,6 +12,7 @@
 //! cache repairs its accounting instead of unwrapping (this replaced a
 //! latent `expect("cache accounting broken")` in the eviction loop).
 
+use common::Bytes;
 use std::borrow::Borrow;
 use std::collections::BTreeMap;
 
@@ -21,7 +22,7 @@ pub struct LruCache<K: Ord + Clone> {
     capacity_bytes: u64,
     used_bytes: u64,
     seq: u64,
-    entries: BTreeMap<K, (Vec<u8>, u64)>,
+    entries: BTreeMap<K, (Bytes, u64)>,
     order: BTreeMap<u64, K>,
     hits: u64,
     misses: u64,
@@ -41,8 +42,10 @@ impl<K: Ord + Clone> LruCache<K> {
         }
     }
 
-    /// Look up `key`, refreshing its recency. Records a hit or miss.
-    pub fn get<Q>(&mut self, key: &Q) -> Option<Vec<u8>>
+    /// Look up `key`, refreshing its recency. Records a hit or miss. The
+    /// returned handle shares storage with the cached entry — a hit copies
+    /// no payload.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<Bytes>
     where
         K: Borrow<Q>,
         Q: Ord + ?Sized,
@@ -69,7 +72,8 @@ impl<K: Ord + Clone> LruCache<K> {
 
     /// Insert or replace `key`, evicting least-recently-used entries until
     /// the value fits. Values larger than the whole cache are not stored.
-    pub fn put(&mut self, key: K, value: Vec<u8>) {
+    pub fn put(&mut self, key: K, value: impl Into<Bytes>) {
+        let value: Bytes = value.into();
         let len = value.len() as u64;
         if len > self.capacity_bytes {
             return;
@@ -150,7 +154,7 @@ mod tests {
     fn get_after_put_hits() {
         let mut c = LruCache::new(1024);
         c.put("a", vec![1, 2, 3]);
-        assert_eq!(c.get("a"), Some(vec![1, 2, 3]));
+        assert_eq!(c.get("a").unwrap(), vec![1, 2, 3]);
         assert_eq!(c.stats(), (1, 0));
     }
 

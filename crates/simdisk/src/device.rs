@@ -6,7 +6,7 @@
 
 use common::clock::{micros, millis, Nanos};
 use common::ctx::{IoCtx, Phase, QosClass};
-use common::{Error, Result, SimClock};
+use common::{Bytes, Error, Result, SimClock};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
@@ -75,8 +75,10 @@ impl OpTiming {
 #[derive(Debug, Default)]
 struct DeviceState {
     /// Extent id → bytes. A `BTreeMap` so device dumps/iteration never
-    /// depend on hash state (determinism sweep, PR 1).
-    extents: BTreeMap<u64, Vec<u8>>,
+    /// depend on hash state (determinism sweep, PR 1). Values are [`Bytes`]
+    /// handles: writes take ownership of the caller's buffer and reads hand
+    /// back refcounted views, so the device itself never copies payload.
+    extents: BTreeMap<u64, Bytes>,
     used: u64,
     /// The single service queue: when the device finishes everything
     /// currently accepted (foreground and background).
@@ -175,7 +177,13 @@ impl Device {
     /// This is the parallel-friendly variant: concurrent operations on
     /// *different* devices issued at the same `now` overlap, and the caller
     /// combines completion times (e.g. `max` across redundancy shards).
-    pub fn write_extent_at(&self, extent_id: u64, data: &[u8], now: Nanos) -> Result<OpTiming> {
+    pub fn write_extent_at(
+        &self,
+        extent_id: u64,
+        data: impl Into<Bytes>,
+        now: Nanos,
+    ) -> Result<OpTiming> {
+        let data: Bytes = data.into();
         let mut st = self.state.lock();
         self.check_live(&st, now)?;
         let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
@@ -190,14 +198,15 @@ impl Device {
             )));
         }
         st.used = new_used;
-        st.extents.insert(extent_id, data.to_vec());
+        let len = data.len() as u64;
+        st.extents.insert(extent_id, data);
         st.writes += 1;
-        Ok(self.charge_at(&mut st, data.len() as u64, now))
+        Ok(self.charge_at(&mut st, len, now))
     }
 
     /// Read extent `extent_id` at explicit virtual time `now`, without
     /// advancing the shared clock.
-    pub fn read_extent_at(&self, extent_id: u64, now: Nanos) -> Result<(Vec<u8>, OpTiming)> {
+    pub fn read_extent_at(&self, extent_id: u64, now: Nanos) -> Result<(Bytes, OpTiming)> {
         let mut st = self.state.lock();
         self.check_live(&st, now)?;
         let data = st
@@ -211,7 +220,8 @@ impl Device {
     }
 
     /// Write `data` as extent `extent_id`, replacing any previous content.
-    pub fn write_extent(&self, extent_id: u64, data: &[u8]) -> Result<OpTiming> {
+    pub fn write_extent(&self, extent_id: u64, data: impl Into<Bytes>) -> Result<OpTiming> {
+        let data: Bytes = data.into();
         let mut st = self.state.lock();
         self.check_live(&st, self.clock.now())?;
         let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
@@ -226,13 +236,14 @@ impl Device {
             )));
         }
         st.used = new_used;
-        st.extents.insert(extent_id, data.to_vec());
+        let len = data.len() as u64;
+        st.extents.insert(extent_id, data);
         st.writes += 1;
-        Ok(self.charge(&mut st, data.len() as u64))
+        Ok(self.charge(&mut st, len))
     }
 
     /// Read back extent `extent_id`.
-    pub fn read_extent(&self, extent_id: u64) -> Result<(Vec<u8>, OpTiming)> {
+    pub fn read_extent(&self, extent_id: u64) -> Result<(Bytes, OpTiming)> {
         let mut st = self.state.lock();
         self.check_live(&st, self.clock.now())?;
         let data = st
@@ -276,7 +287,13 @@ impl Device {
     /// placement, and the optional deadline: an op whose completion would
     /// lie past the deadline returns `Error::DeadlineExceeded` and leaves
     /// the device (queue and contents) untouched.
-    pub fn write_extent_ctx(&self, extent_id: u64, data: &[u8], ctx: &IoCtx) -> Result<OpTiming> {
+    pub fn write_extent_ctx(
+        &self,
+        extent_id: u64,
+        data: impl Into<Bytes>,
+        ctx: &IoCtx,
+    ) -> Result<OpTiming> {
+        let data: Bytes = data.into();
         let mut st = self.state.lock();
         self.check_live(&st, ctx.now)?;
         let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
@@ -292,7 +309,7 @@ impl Device {
         }
         let timing = self.charge_ctx(&mut st, data.len() as u64, ctx)?;
         st.used = new_used;
-        st.extents.insert(extent_id, data.to_vec());
+        st.extents.insert(extent_id, data);
         st.writes += 1;
         Ok(timing)
     }
@@ -300,7 +317,7 @@ impl Device {
     /// Read extent `extent_id` under a request context, without advancing
     /// the shared clock. Deadline/QoS semantics as
     /// [`write_extent_ctx`](Self::write_extent_ctx).
-    pub fn read_extent_ctx(&self, extent_id: u64, ctx: &IoCtx) -> Result<(Vec<u8>, OpTiming)> {
+    pub fn read_extent_ctx(&self, extent_id: u64, ctx: &IoCtx) -> Result<(Bytes, OpTiming)> {
         let mut st = self.state.lock();
         self.check_live(&st, ctx.now)?;
         let data = st

@@ -10,7 +10,7 @@
 
 use crate::device::{Device, MediaKind};
 use common::ctx::IoCtx;
-use common::{Error, Result, SimClock};
+use common::{Bytes, Error, Result, SimClock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -100,7 +100,7 @@ impl StoragePool {
     /// Placement is most-free-first, which load-balances the pool. Fails if
     /// there are more shards than healthy devices (redundancy would be
     /// meaningless on co-located shards).
-    pub fn write_shards(&self, shards: &[Vec<u8>]) -> Result<ExtentHandle> {
+    pub fn write_shards(&self, shards: &[Bytes]) -> Result<ExtentHandle> {
         if shards.is_empty() {
             return Err(Error::InvalidArgument("no shards to write".into()));
         }
@@ -115,17 +115,14 @@ impl StoragePool {
                 healthy.len()
             )));
         }
-        // Rank healthy devices by free space, take the top shards.len().
-        let mut ranked = healthy;
-        ranked.sort_by_key(|&i| std::cmp::Reverse(self.devices[i].free()));
-        ranked.truncate(shards.len());
+        let ranked = self.rank_most_free(healthy, shards.len());
 
         let extent_id = self.next_extent.fetch_add(1, Ordering::Relaxed);
         let mut placements = Vec::with_capacity(shards.len());
         for (shard_idx, shard) in shards.iter().enumerate() {
             let dev_idx = ranked[shard_idx];
             let dev_extent = extent_id * 1024 + shard_idx as u64;
-            match self.devices[dev_idx].write_extent(dev_extent, shard) {
+            match self.devices[dev_idx].write_extent(dev_extent, shard.clone()) {
                 Ok(_) => placements.push((dev_idx, dev_extent)),
                 Err(e) => {
                     // Roll back already-placed shards before reporting.
@@ -140,8 +137,24 @@ impl StoragePool {
     }
 
     /// Convenience wrapper for unsharded data.
-    pub fn write_extent(&self, data: &[u8]) -> Result<ExtentHandle> {
-        self.write_shards(std::slice::from_ref(&data.to_vec()))
+    pub fn write_extent(&self, data: impl Into<Bytes>) -> Result<ExtentHandle> {
+        let data: Bytes = data.into();
+        self.write_shards(std::slice::from_ref(&data))
+    }
+
+    /// Pick the `take` most-free healthy devices. An O(n) selection plus an
+    /// O(take log take) sort of just the winners — the rest of the pool is
+    /// never ordered. Ties break toward the lower device index, matching the
+    /// stable most-free-first sort this replaces, so placement (and thus
+    /// every virtual timing downstream) is unchanged.
+    fn rank_most_free(&self, mut healthy: Vec<usize>, take: usize) -> Vec<usize> {
+        let key = |i: &usize| (std::cmp::Reverse(self.devices[*i].free()), *i);
+        if take < healthy.len() {
+            healthy.select_nth_unstable_by_key(take, key);
+            healthy.truncate(take);
+        }
+        healthy.sort_unstable_by_key(key);
+        healthy
     }
 
     /// Parallel-timed variant of [`write_shards`](Self::write_shards):
@@ -150,7 +163,7 @@ impl StoragePool {
     /// The shared clock is not advanced.
     pub fn write_shards_at(
         &self,
-        shards: &[Vec<u8>],
+        shards: &[Bytes],
         now: common::clock::Nanos,
     ) -> Result<(ExtentHandle, common::clock::Nanos)> {
         self.write_shards_ctx(shards, &IoCtx::new(now))
@@ -163,7 +176,7 @@ impl StoragePool {
     /// deadline. The shared clock is not advanced.
     pub fn write_shards_ctx(
         &self,
-        shards: &[Vec<u8>],
+        shards: &[Bytes],
         ctx: &IoCtx,
     ) -> Result<(ExtentHandle, common::clock::Nanos)> {
         if shards.is_empty() {
@@ -180,9 +193,7 @@ impl StoragePool {
                 healthy.len()
             )));
         }
-        let mut ranked = healthy;
-        ranked.sort_by_key(|&i| std::cmp::Reverse(self.devices[i].free()));
-        ranked.truncate(shards.len());
+        let ranked = self.rank_most_free(healthy, shards.len());
 
         let extent_id = self.next_extent.fetch_add(1, Ordering::Relaxed);
         let mut placements = Vec::with_capacity(shards.len());
@@ -190,7 +201,7 @@ impl StoragePool {
         for (shard_idx, shard) in shards.iter().enumerate() {
             let dev_idx = ranked[shard_idx];
             let dev_extent = extent_id * 1024 + shard_idx as u64;
-            match self.devices[dev_idx].write_extent_ctx(dev_extent, shard, ctx) {
+            match self.devices[dev_idx].write_extent_ctx(dev_extent, shard.clone(), ctx) {
                 Ok(t) => {
                     finish = finish.max(t.finish);
                     placements.push((dev_idx, dev_extent));
@@ -214,7 +225,7 @@ impl StoragePool {
         &self,
         handle: &ExtentHandle,
         ctx: &IoCtx,
-    ) -> Result<(Vec<Option<Vec<u8>>>, common::clock::Nanos)> {
+    ) -> Result<(Vec<Option<Bytes>>, common::clock::Nanos)> {
         let mut finish = ctx.now;
         let mut shards = Vec::with_capacity(handle.shards.len());
         for &(dev_idx, dev_extent) in &handle.shards {
@@ -241,7 +252,7 @@ impl StoragePool {
         &self,
         handle: &ExtentHandle,
         now: common::clock::Nanos,
-    ) -> (Vec<Option<Vec<u8>>>, common::clock::Nanos) {
+    ) -> (Vec<Option<Bytes>>, common::clock::Nanos) {
         let mut finish = now;
         let shards = handle
             .shards
@@ -260,7 +271,7 @@ impl StoragePool {
 
     /// Read every shard of an extent; failed or missing shards come back as
     /// `None` so the redundancy layer can reconstruct.
-    pub fn read_shards(&self, handle: &ExtentHandle) -> Vec<Option<Vec<u8>>> {
+    pub fn read_shards(&self, handle: &ExtentHandle) -> Vec<Option<Bytes>> {
         handle
             .shards
             .iter()
@@ -273,7 +284,7 @@ impl StoragePool {
     }
 
     /// Read a single-shard extent, failing if the shard is gone.
-    pub fn read_extent(&self, handle: &ExtentHandle) -> Result<Vec<u8>> {
+    pub fn read_extent(&self, handle: &ExtentHandle) -> Result<Bytes> {
         let (dev_idx, dev_extent) = *handle
             .shards
             .first()
@@ -318,7 +329,7 @@ mod tests {
     #[test]
     fn shards_land_on_distinct_devices() {
         let p = pool(4);
-        let shards = vec![vec![1u8; 100]; 3];
+        let shards = vec![Bytes::from_vec(vec![1u8; 100]); 3];
         let h = p.write_shards(&shards).unwrap();
         let devices: std::collections::HashSet<usize> =
             h.shards.iter().map(|&(d, _)| d).collect();
@@ -328,7 +339,7 @@ mod tests {
     #[test]
     fn too_many_shards_for_pool_rejected() {
         let p = pool(2);
-        let shards = vec![vec![0u8; 10]; 3];
+        let shards = vec![Bytes::from_vec(vec![0u8; 10]); 3];
         assert!(matches!(
             p.write_shards(&shards),
             Err(Error::CapacityExhausted(_))
@@ -338,7 +349,7 @@ mod tests {
     #[test]
     fn read_returns_none_for_failed_device() {
         let p = pool(3);
-        let shards = vec![vec![7u8; 64]; 3];
+        let shards = vec![Bytes::from_vec(vec![7u8; 64]); 3];
         let h = p.write_shards(&shards).unwrap();
         let victim = h.shards[1].0;
         p.device(victim).fail();
@@ -376,7 +387,7 @@ mod tests {
         // Device capacity 16 MiB; second shard exceeds free space on its device.
         let clock = SimClock::new();
         let p = StoragePool::new("tiny", MediaKind::Scm, 2, 1024, clock);
-        let shards = vec![vec![0u8; 512], vec![0u8; 2048]];
+        let shards = vec![Bytes::from_vec(vec![0u8; 512]), Bytes::from_vec(vec![0u8; 2048])];
         assert!(p.write_shards(&shards).is_err());
         assert_eq!(p.used(), 0, "partial write must be rolled back");
     }
@@ -384,7 +395,7 @@ mod tests {
     #[test]
     fn timed_shard_write_overlaps_devices() {
         let p = pool(4);
-        let shards = vec![vec![0u8; 1024 * 1024]; 3];
+        let shards = vec![Bytes::from_vec(vec![0u8; 1024 * 1024]); 3];
         let (h, finish) = p.write_shards_at(&shards, 0).unwrap();
         // All three shards start at t=0 on distinct devices, so completion is
         // one device's service time, not three.

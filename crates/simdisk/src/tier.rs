@@ -11,7 +11,7 @@
 
 use crate::pool::{ExtentHandle, StoragePool};
 use common::clock::Nanos;
-use common::{Error, Result, SimClock};
+use common::{Bytes, Error, Result, SimClock};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -77,7 +77,7 @@ impl TieringService {
     }
 
     /// Write sharded data under `key`; new data always lands hot.
-    pub fn write(&self, key: u64, shards: &[Vec<u8>]) -> Result<()> {
+    pub fn write(&self, key: u64, shards: &[Bytes]) -> Result<()> {
         let handle = self.hot.write_shards(shards)?;
         let bytes = shards.iter().map(|s| s.len() as u64).sum();
         let mut map = self.extents.lock();
@@ -92,7 +92,7 @@ impl TieringService {
     }
 
     /// Read all shards of `key`, refreshing its access time.
-    pub fn read(&self, key: u64) -> Result<Vec<Option<Vec<u8>>>> {
+    pub fn read(&self, key: u64) -> Result<Vec<Option<Bytes>>> {
         let mut map = self.extents.lock();
         let ext = map
             .get_mut(&key)
@@ -166,7 +166,9 @@ impl TieringService {
         }
     }
 
-    fn all_present(shards: &[Option<Vec<u8>>]) -> Option<Vec<Vec<u8>>> {
+    /// All shard handles, or `None` if any is missing. Clones are
+    /// refcounted, so promotion/demotion rewrites move handles, not bytes.
+    fn all_present(shards: &[Option<Bytes>]) -> Option<Vec<Bytes>> {
         shards.iter().cloned().collect()
     }
 }
@@ -203,16 +205,16 @@ mod tests {
     #[test]
     fn fresh_writes_are_hot() {
         let (t, _) = service(false);
-        t.write(1, &[b"abc".to_vec()]).unwrap();
+        t.write(1, &[Bytes::from_vec(b"abc".to_vec())]).unwrap();
         assert_eq!(t.tier_of(1), Some(Tier::Hot));
     }
 
     #[test]
     fn idle_extents_demote_and_recent_ones_stay() {
         let (t, clock) = service(false);
-        t.write(1, &[b"old".to_vec()]).unwrap();
+        t.write(1, &[Bytes::from_vec(b"old".to_vec())]).unwrap();
         clock.advance(secs(120));
-        t.write(2, &[b"new".to_vec()]).unwrap();
+        t.write(2, &[Bytes::from_vec(b"new".to_vec())]).unwrap();
         let report = t.run_policy();
         assert_eq!(report.demoted, 1);
         assert_eq!(t.tier_of(1), Some(Tier::Cold));
@@ -222,7 +224,7 @@ mod tests {
     #[test]
     fn demoted_data_still_readable() {
         let (t, clock) = service(false);
-        t.write(1, &[b"payload".to_vec()]).unwrap();
+        t.write(1, &[Bytes::from_vec(b"payload".to_vec())]).unwrap();
         clock.advance(secs(120));
         t.run_policy();
         let shards = t.read(1).unwrap();
@@ -233,7 +235,7 @@ mod tests {
     #[test]
     fn cold_read_promotes_when_enabled() {
         let (t, clock) = service(true);
-        t.write(1, &[b"hotagain".to_vec()]).unwrap();
+        t.write(1, &[Bytes::from_vec(b"hotagain".to_vec())]).unwrap();
         clock.advance(secs(120));
         t.run_policy();
         assert_eq!(t.tier_of(1), Some(Tier::Cold));
@@ -244,7 +246,7 @@ mod tests {
     #[test]
     fn recent_access_defers_demotion() {
         let (t, clock) = service(false);
-        t.write(1, &[b"busy".to_vec()]).unwrap();
+        t.write(1, &[Bytes::from_vec(b"busy".to_vec())]).unwrap();
         clock.advance(secs(50));
         t.read(1).unwrap(); // refresh access time
         clock.advance(secs(50));
@@ -254,7 +256,7 @@ mod tests {
     #[test]
     fn tiering_reduces_storage_cost() {
         let (t, clock) = service(false);
-        t.write(1, &[vec![0u8; 1024]]).unwrap();
+        t.write(1, &[Bytes::from_vec(vec![0u8; 1024])]).unwrap();
         let hot_cost = t.storage_cost();
         clock.advance(secs(120));
         t.run_policy();
@@ -267,7 +269,7 @@ mod tests {
     #[test]
     fn delete_removes_from_either_tier() {
         let (t, clock) = service(false);
-        t.write(1, &[b"x".to_vec()]).unwrap();
+        t.write(1, &[Bytes::from_vec(b"x".to_vec())]).unwrap();
         clock.advance(secs(120));
         t.run_policy();
         t.delete(1);
@@ -278,8 +280,8 @@ mod tests {
     #[test]
     fn overwrite_frees_previous_copy() {
         let (t, _) = service(false);
-        t.write(1, &[vec![0u8; 4096]]).unwrap();
-        t.write(1, &[vec![0u8; 16]]).unwrap();
+        t.write(1, &[Bytes::from_vec(vec![0u8; 4096])]).unwrap();
+        t.write(1, &[Bytes::from_vec(vec![0u8; 16])]).unwrap();
         let shards = t.read(1).unwrap();
         assert_eq!(shards[0].as_ref().unwrap().len(), 16);
     }

@@ -108,13 +108,14 @@ impl ArchiveService {
         } else {
             format::compress::compress(&Record::encode_slice(&payload))
         };
-        let handle = self.pool.write_extent(&encoded)?;
+        let stored_bytes = encoded.len() as u64;
+        let handle = self.pool.write_extent(encoded)?;
         let entry = ArchiveEntry {
             object: object.id(),
             base_offset,
             count: end_offset - base_offset,
             columnar: config.row_2_col,
-            stored_bytes: encoded.len() as u64,
+            stored_bytes,
             handle,
         };
         object.truncate_before(end_offset);
@@ -126,7 +127,7 @@ impl ArchiveService {
     pub fn read_entry(&self, entry: &ArchiveEntry) -> Result<Vec<Record>> {
         let bytes = self.pool.read_extent(&entry.handle)?;
         if entry.columnar {
-            let reader = LakeFileReader::open(bytes)?;
+            let reader = LakeFileReader::open(bytes.to_vec())?;
             let rows = reader.scan(&format::Expr::True, None)?;
             rows.into_iter()
                 .map(|row| {

@@ -10,3 +10,7 @@ cargo run -p slint
 # Latency-attribution smoke: a tiny Fig 14-style run; fails if any span
 # phase (queue/device/wan/meta) records zero samples.
 cargo run --release -p bench --bin phase_smoke
+# Wall-clock perf baseline: measure the hot kernels and validate the
+# trajectory file — a missing or malformed BENCH_PERF.json fails the gate.
+cargo run --release -p bench --bin perf_baseline
+cargo run --release -p bench --bin perf_baseline -- --check

@@ -114,7 +114,7 @@ fn tiering_demotes_cold_stream_slices_and_reads_still_work() {
     let tiering = sl.tiering();
     // stage ten extents hot, age half of them past the demotion threshold
     for key in 0..10u64 {
-        tiering.write(key, &[vec![key as u8; 4096]]).unwrap();
+        tiering.write(key, &[common::Bytes::from_vec(vec![key as u8; 4096])]).unwrap();
     }
     sl.clock().advance(secs(7200)); // past tier_demote_after (3600 s)
     for key in 0..5u64 {
