@@ -11,7 +11,11 @@
 //! * `degraded_read` — reads of the EC store with `m` devices failed, i.e.
 //!   every read pays Reed–Solomon reconstruction, MB/s;
 //! * `gf256_mul_acc` — the `gf256::mul_acc_slice` fused multiply-add that
-//!   dominates RS encode/reconstruct, MB/s over a 1 MiB buffer.
+//!   dominates RS encode/reconstruct, MB/s over a 1 MiB buffer;
+//! * `checksummed_append` — 3-way replicated appends including the per-shard
+//!   CRC32 computed into the index entry, MB/s;
+//! * `verified_read` — replicated reads with every touched shard
+//!   checksum-verified against the index CRCs, MB/s.
 //!
 //! Each bench runs [`SAMPLES`] timed passes over a fresh store and reports
 //! the best pass (least interference from the host). Results land in
@@ -169,6 +173,41 @@ fn bench_gf256() -> BenchResult {
     })
 }
 
+fn bench_checksummed_append() -> BenchResult {
+    // Dedicated row for the checksummed write path (one CRC32 pass per
+    // payload feeding the index entry), tracked separately so integrity
+    // regressions are visible even if the generic append row drifts.
+    let record = payload(6, RECORD_BYTES);
+    best_of("checksummed_append", || {
+        let s = store(Redundancy::Replicate { copies: 3 }, 8);
+        for i in 0..RECORDS {
+            let key = (i as u64).to_be_bytes();
+            s.append(&key, &record[..]).expect("perf append");
+        }
+        (RECORDS * RECORD_BYTES) as u64
+    })
+}
+
+fn bench_verified_read() -> BenchResult {
+    // Replicated reads where every shard touched is verified against the
+    // index CRC32s — the integrity tax on the read path.
+    let record = payload(7, RECORD_BYTES);
+    let s = store(Redundancy::Replicate { copies: 3 }, 8);
+    let mut addrs = Vec::with_capacity(RECORDS);
+    for i in 0..RECORDS {
+        let key = (i as u64).to_be_bytes();
+        addrs.push(s.append(&key, &record[..]).expect("perf append"));
+    }
+    best_of("verified_read", || {
+        let mut total = 0u64;
+        for addr in &addrs {
+            let data = s.read(addr).expect("verified read");
+            total += data.len() as u64;
+        }
+        total
+    })
+}
+
 fn output_path() -> std::path::PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; the trajectory lives at the root.
     let manifest = std::env::var_os("CARGO_MANIFEST_DIR")
@@ -182,8 +221,14 @@ fn output_path() -> std::path::PathBuf {
         .join("BENCH_PERF.json")
 }
 
-const REQUIRED_BENCHES: [&str; 4] =
-    ["replicate_append", "ec_append", "degraded_read", "gf256_mul_acc"];
+const REQUIRED_BENCHES: [&str; 6] = [
+    "replicate_append",
+    "ec_append",
+    "degraded_read",
+    "gf256_mul_acc",
+    "checksummed_append",
+    "verified_read",
+];
 
 /// Validate an existing BENCH_PERF.json; returns a human-readable error.
 fn check_file(path: &std::path::Path) -> Result<(), String> {
@@ -227,6 +272,8 @@ fn main() {
         bench_ec_append(),
         bench_degraded_read(),
         bench_gf256(),
+        bench_checksummed_append(),
+        bench_verified_read(),
     ];
     for r in &results {
         println!("{:<20} {:>10.1} MB/s  ({} bytes in {} ns)", r.name, r.mb_per_s(), r.bytes, r.nanos);

@@ -212,6 +212,14 @@ impl IoCtx {
         self
     }
 
+    /// Same request, with any deadline cleared. Used when a layer spawns
+    /// best-effort follow-up work (e.g. writing back a healed shard) that
+    /// must not inherit the caller's latency budget.
+    pub fn without_deadline(mut self) -> Self {
+        self.deadline = None;
+        self
+    }
+
     /// Same request, recording spans into `sink`.
     pub fn with_sink(mut self, sink: Arc<SpanSink>) -> Self {
         self.sink = Some(sink);

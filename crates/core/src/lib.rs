@@ -39,4 +39,4 @@ pub mod system;
 pub use access::{AccessController, Permission, Principal};
 pub use pipeline::{PipelineReport, StreamLakePipeline};
 pub use query::{Aggregate, Query, QueryEngine, QueryOutput};
-pub use system::{StreamLake, StreamLakeConfig};
+pub use system::{PoolHealthReport, StreamLake, StreamLakeConfig};

@@ -6,8 +6,8 @@ use common::size::{GIB, MIB};
 use common::{Result, SimClock};
 use ec::Redundancy;
 use lake::TableStore;
-use plog::{PlogConfig, PlogStore};
-use simdisk::{MediaKind, StoragePool, TieringService, Transport};
+use plog::{PlogConfig, PlogStore, ScrubService};
+use simdisk::{DeviceHealth, MediaKind, StoragePool, TieringService, Transport};
 use stream::archive::ArchiveService;
 use stream::service::{StreamService, StreamServiceOptions};
 use stream::{Consumer, Producer};
@@ -100,7 +100,12 @@ pub struct StreamLake {
     tables: Arc<TableStore>,
     archive: ArchiveService,
     tiering: TieringService,
+    scrubber: ScrubService,
 }
+
+/// Device health across a deployment's pools, for operator dashboards and
+/// tests: `(pool name, per-device health)`.
+pub type PoolHealthReport = Vec<(&'static str, Vec<DeviceHealth>)>;
 
 impl StreamLake {
     /// Bring up a deployment.
@@ -132,8 +137,10 @@ impl StreamLake {
                 },
             )
             // slint:allow(R4): config is validated by SystemConfig construction before this point
-            .expect("valid plog config"),
+            .expect("valid plog config")
+            .with_metrics(metrics.clone()),
         );
+        let scrubber = ScrubService::new(plog.clone());
         let stream = StreamService::new(
             plog.clone(),
             clock.clone(),
@@ -153,7 +160,19 @@ impl StreamLake {
             common::clock::secs(config.tier_demote_after_secs),
             true,
         );
-        StreamLake { clock, metrics, sink, ssd, hdd, plog, stream, tables, archive, tiering }
+        StreamLake {
+            clock,
+            metrics,
+            sink,
+            ssd,
+            hdd,
+            plog,
+            stream,
+            tables,
+            archive,
+            tiering,
+            scrubber,
+        }
     }
 
     /// The shared virtual clock.
@@ -202,6 +221,17 @@ impl StreamLake {
     /// The SSD↔HDD tiering service.
     pub fn tiering(&self) -> &TieringService {
         &self.tiering
+    }
+
+    /// The background integrity scrubber over the PLog store.
+    pub fn scrubber(&self) -> &ScrubService {
+        &self.scrubber
+    }
+
+    /// Per-device health (error, slow-I/O and corruption counters) for
+    /// every pool in the deployment.
+    pub fn health_report(&self) -> PoolHealthReport {
+        vec![("ssd-pool", self.ssd.health()), ("hdd-pool", self.hdd.health())]
     }
 
     /// The hot (SSD) pool.

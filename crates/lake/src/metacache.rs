@@ -306,14 +306,14 @@ impl MetadataCache {
         let key = addr_key_for(commit_key(table, commit_id).as_bytes());
         if let Some(bytes) = self.kv.get(&key) {
             if let Ok(addr) = decode_addr(&bytes) {
-                self.plog.delete(&addr);
+                let _ = self.plog.delete(&addr);
             }
             self.kv.delete(key);
         }
         let skey = addr_key_for(snapshot_key(table, commit_id).as_bytes());
         if let Some(bytes) = self.kv.get(&skey) {
             if let Ok(addr) = decode_addr(&bytes) {
-                self.plog.delete(&addr);
+                let _ = self.plog.delete(&addr);
             }
             self.kv.delete(skey);
         }
@@ -324,7 +324,7 @@ impl MetadataCache {
         let akey = addr_key_for(key.as_bytes());
         if let Some(bytes) = self.kv.get(&akey) {
             if let Ok(addr) = decode_addr(&bytes) {
-                self.plog.delete(&addr);
+                let _ = self.plog.delete(&addr);
             }
             self.kv.delete(akey);
         }

@@ -324,7 +324,7 @@ impl TableStore {
             )?;
             for f in files {
                 if let Some(addr) = self.file_addr(&f.path) {
-                    self.plog.delete(&addr);
+                    let _ = self.plog.delete(&addr);
                 }
                 self.files.delete(file_key(name, &f.path));
             }
@@ -458,7 +458,7 @@ impl TableStore {
         }
         for (path, meta) in &drop_candidates {
             if let Some(addr) = self.file_addr(path) {
-                self.plog.delete(&addr);
+                let _ = self.plog.delete(&addr);
             }
             self.files.delete(file_key(name, path));
             self.files.delete(path.clone());

@@ -11,12 +11,17 @@
 //! * [`placement`] — the hash placement that spreads slices over shards;
 //! * [`store`] — the [`PlogStore`]: per-shard append-only address spaces,
 //!   replication/erasure-coded writes into a [`simdisk::StoragePool`], a KV
-//!   index from addresses to physical extents, degraded reads and repair.
+//!   index from addresses to physical extents with per-shard CRC32s,
+//!   checksum-verified degraded reads, and race-safe repair;
+//! * [`scrub`] — the [`ScrubService`]: Maintenance-QoS background cycles
+//!   that verify every stored shard and restore full redundancy.
 
 pub mod placement;
 pub mod replication;
+pub mod scrub;
 pub mod store;
 
 pub use placement::shard_for;
 pub use replication::RemoteReplicator;
-pub use store::{PlogAddress, PlogConfig, PlogStore};
+pub use scrub::{ScrubReport, ScrubService};
+pub use store::{PlogAddress, PlogConfig, PlogStore, RecordHealth};

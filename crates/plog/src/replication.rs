@@ -314,6 +314,56 @@ mod tests {
     }
 
     #[test]
+    fn recovery_survives_a_corrupted_remote_replica() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        let payload = b"last line of defence".to_vec();
+        let addr = primary.append(b"k", &payload).unwrap();
+        let rep = RemoteReplicator::new(primary.clone(), remote.clone());
+        rep.run(&IoCtx::new(0)).unwrap();
+        // Primary burns down AND the remote copy itself has rotted on one
+        // device: recovery must verify, fall back to the clean replica, and
+        // still return the exact bytes.
+        for i in 0..4 {
+            primary_pool_fail(&primary, i);
+        }
+        let raddr = *rep.mapping.lock().get(&addr).unwrap();
+        let entry_dev = {
+            let survivors = remote.pool_for_tests();
+            // rot the first stored extent of whichever device holds one
+            (0..4).find(|&d| survivors.device(d).corrupt_stored_byte(0, 3, 0x08).is_some()).unwrap()
+        };
+        let (back, _) = rep.recover(&addr, &IoCtx::new(0)).unwrap();
+        assert_eq!(back, payload);
+        assert!(remote.metrics().counter("plog.corruptions_detected") >= 1);
+        // The recovery read healed the rotten remote replica in passing.
+        let again = remote.read(&raddr).unwrap();
+        assert_eq!(again, payload);
+        let _ = entry_dev;
+    }
+
+    #[test]
+    fn recovery_fails_loudly_when_every_remote_replica_is_rotten() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        let addr = primary.append(b"k", b"doomed twice over").unwrap();
+        let rep = RemoteReplicator::new(primary.clone(), remote.clone());
+        rep.run(&IoCtx::new(0)).unwrap();
+        for i in 0..4 {
+            primary_pool_fail(&primary, i);
+        }
+        // Corrupt every remote device's stored extent: both replicas rot.
+        for d in 0..4 {
+            let _ = remote.pool_for_tests().device(d).corrupt_stored_byte(0, 1, 0x01);
+        }
+        let err = rep.recover(&addr, &IoCtx::new(0));
+        assert!(
+            matches!(err, Err(Error::Corruption(_))),
+            "corrupt bytes must never be returned as recovered data: {err:?}"
+        );
+    }
+
+    #[test]
     fn transient_remote_fault_is_retried_until_it_heals() {
         let primary = site("primary", 4);
         let remote = site("remote", 4);

@@ -1,7 +1,17 @@
 //! The PLog store: sharded, redundancy-encoded, index-backed appends.
+//!
+//! Integrity: every stored shard is covered by a CRC32 kept in the KV
+//! index entry (not inlined into the shard, so the zero-copy write path
+//! stays copy-free). Reads verify each shard they touch, demote
+//! checksum-failed shards to redundancy fallback, surface unrecoverable
+//! damage as [`Error::Corruption`], and write healed content back over
+//! rotten shards on live devices.
 
 use crate::placement::shard_for;
-use common::ctx::IoCtx;
+use common::checksum::crc32;
+use common::clock::Nanos;
+use common::ctx::{IoCtx, QosClass};
+use common::metrics::Metrics;
 use common::{Bytes, Error, Result};
 use ec::{Redundancy, Stripe};
 use kvstore::SharedKv;
@@ -57,6 +67,39 @@ struct ShardState {
     next_offset: u64,
 }
 
+/// A decoded index entry: where the record's shards live plus the CRC32 of
+/// each stored shard. `crcs` is empty for entries written before checksums
+/// existed; verification is skipped for those.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    handle: ExtentHandle,
+    crcs: Vec<u32>,
+}
+
+/// What a scrub pass found (and fixed) for one record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordHealth {
+    /// Total shard slots of the record.
+    pub shards: u64,
+    /// Shards unreadable (failed/unreachable device).
+    pub missing: u64,
+    /// Shards read but checksum-failed.
+    pub corrupt: u64,
+    /// Corrupt shards rewritten in place on their live device.
+    pub healed_in_place: u64,
+    /// Whether the whole record was re-encoded onto healthy devices.
+    pub reencoded: bool,
+    /// Virtual completion time of the pass.
+    pub finish: Nanos,
+}
+
+impl RecordHealth {
+    /// Nothing missing, nothing rotten.
+    pub fn is_clean(&self) -> bool {
+        self.missing == 0 && self.corrupt == 0
+    }
+}
+
 /// The sharded persistence-log store.
 ///
 /// Every append is routed by key to a shard, encoded under the configured
@@ -69,6 +112,7 @@ pub struct PlogStore {
     config: PlogConfig,
     shards: Vec<Mutex<ShardState>>,
     index: SharedKv,
+    metrics: Metrics,
 }
 
 impl PlogStore {
@@ -80,7 +124,19 @@ impl PlogStore {
         let shards = (0..config.shard_count)
             .map(|_| Mutex::new(ShardState::default()))
             .collect();
-        Ok(PlogStore { pool, config, shards, index: SharedKv::new() })
+        Ok(PlogStore { pool, config, shards, index: SharedKv::new(), metrics: Metrics::new() })
+    }
+
+    /// Record integrity counters (`plog.*`) into `metrics` instead of a
+    /// private registry (used by the deployment to share one registry).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics registry integrity counters are recorded into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The store configuration.
@@ -117,12 +173,14 @@ impl PlogStore {
             st.next_offset += record.len() as u64;
             addr
         };
-        let written = Stripe::encode(record, self.config.redundancy)
-            .and_then(|stripe| self.pool.write_shards(&stripe.shards));
+        let written = Stripe::encode(record, self.config.redundancy).and_then(|stripe| {
+            let crcs = shard_crcs(&stripe);
+            self.pool.write_shards(&stripe.shards).map(|handle| (handle, crcs))
+        });
         match written {
-            Ok(handle) => {
+            Ok((handle, crcs)) => {
                 self.index
-                    .put(addr.index_key(), encode_handle_with_len(&handle, addr.len));
+                    .put(addr.index_key(), encode_entry(&handle, addr.len, &crcs));
                 Ok(addr)
             }
             Err(e) => {
@@ -167,12 +225,16 @@ impl PlogStore {
             st.next_offset += record.len() as u64;
             addr
         };
-        let written = Stripe::encode(record, self.config.redundancy)
-            .and_then(|stripe| self.pool.write_shards_ctx(&stripe.shards, ctx));
+        let written = Stripe::encode(record, self.config.redundancy).and_then(|stripe| {
+            let crcs = shard_crcs(&stripe);
+            self.pool
+                .write_shards_ctx(&stripe.shards, ctx)
+                .map(|(handle, finish)| (handle, finish, crcs))
+        });
         match written {
-            Ok((handle, finish)) => {
+            Ok((handle, finish, crcs)) => {
                 self.index
-                    .put(addr.index_key(), encode_handle_with_len(&handle, addr.len));
+                    .put(addr.index_key(), encode_entry(&handle, addr.len, &crcs));
                 Ok((addr, finish))
             }
             Err(e) => {
@@ -187,45 +249,214 @@ impl PlogStore {
 
     /// Parallel-timed read; returns the record and the completion time.
     /// A blown `ctx` deadline surfaces as [`Error::DeadlineExceeded`];
-    /// individual shard faults degrade to redundancy reconstruction.
-    pub fn read_at(
-        &self,
-        addr: &PlogAddress,
-        ctx: &IoCtx,
-    ) -> Result<(Bytes, common::clock::Nanos)> {
-        let handle = self.lookup_handle(addr)?;
-        let (survivors, finish) = self.pool.read_shards_ctx(&handle, ctx)?;
-        let data = Stripe::decode(self.config.redundancy, addr.len as usize, &survivors)?;
+    /// individual shard faults and checksum failures degrade to redundancy
+    /// reconstruction (unrecoverable checksum damage is
+    /// [`Error::Corruption`]). Checksum-failed shards on live devices are
+    /// healed in the background of the read: the write-back runs at
+    /// Maintenance QoS with the reader's deadline cleared.
+    pub fn read_at(&self, addr: &PlogAddress, ctx: &IoCtx) -> Result<(Bytes, Nanos)> {
+        let entry = self.lookup_entry(addr)?;
+        let (mut survivors, finish) = self.pool.read_shards_ctx(&entry.handle, ctx)?;
+        let corrupt = self.verify_shards(&entry, &mut survivors);
+        let missing = survivors.iter().filter(|s| s.is_none()).count();
+        let data = Stripe::decode(self.config.redundancy, addr.len as usize, &survivors)
+            .map_err(|e| corruption_or(e, &corrupt))?;
+        if missing > 0 {
+            self.metrics.incr("plog.fallback_reads", 1);
+        }
+        if !corrupt.is_empty() {
+            let heal_ctx = ctx.at(finish).with_qos(QosClass::Maintenance).without_deadline();
+            self.heal_in_place(&entry, &corrupt, &data, Some(&heal_ctx));
+        }
         Ok((data, finish))
     }
 
     /// Read the record at `addr`, reconstructing from surviving redundancy
-    /// shards when devices have failed.
+    /// shards when devices have failed or stored bytes have rotted. Every
+    /// shard read is checksum-verified; corrupt shards never reach the
+    /// caller, and verified content is written back over them (best
+    /// effort) so one read heals the damage it found.
     pub fn read(&self, addr: &PlogAddress) -> Result<Bytes> {
-        let handle = self.lookup_handle(addr)?;
-        let survivors = self.pool.read_shards(&handle);
-        Stripe::decode(self.config.redundancy, addr.len as usize, &survivors)
+        let entry = self.lookup_entry(addr)?;
+        let mut survivors = self.pool.read_shards(&entry.handle);
+        let corrupt = self.verify_shards(&entry, &mut survivors);
+        let missing = survivors.iter().filter(|s| s.is_none()).count();
+        let data = Stripe::decode(self.config.redundancy, addr.len as usize, &survivors)
+            .map_err(|e| corruption_or(e, &corrupt))?;
+        if missing > 0 {
+            self.metrics.incr("plog.fallback_reads", 1);
+        }
+        if !corrupt.is_empty() {
+            self.heal_in_place(&entry, &corrupt, &data, None);
+        }
+        Ok(data)
     }
 
-    /// Delete the record at `addr` (idempotent).
-    pub fn delete(&self, addr: &PlogAddress) {
-        if let Ok(handle) = self.lookup_handle(addr) {
-            self.pool.delete(&handle);
-            self.index.delete(addr.index_key());
-        }
+    /// Delete the record at `addr`, returning the physical bytes freed.
+    ///
+    /// Idempotent: deleting an absent record is `Ok(0)`. An index entry
+    /// that is *present but undecodable* is corruption, not absence — the
+    /// garbage entry is dropped (its extents cannot be located and may leak
+    /// until pool GC) and [`Error::Corruption`] is returned so callers can
+    /// tell the two apart.
+    pub fn delete(&self, addr: &PlogAddress) -> Result<u64> {
+        let _shard_guard = self.shards[addr.shard as usize].lock();
+        let Some(bytes) = self.index.get(&addr.index_key()) else {
+            return Ok(0);
+        };
+        let (handle, len, _crcs) = match decode_entry(&bytes) {
+            Ok(entry) => entry,
+            Err(e) => {
+                self.index.delete(addr.index_key());
+                self.metrics.incr("plog.corrupt_index_entries", 1);
+                return Err(Error::Corruption(format!(
+                    "plog index entry for {addr:?} undecodable ({e}); extents may leak"
+                )));
+            }
+        };
+        self.pool.delete(&handle);
+        self.index.delete(addr.index_key());
+        Ok(self.config.redundancy.stored_bytes(len))
     }
 
     /// Re-encode and rewrite the record at `addr` onto healthy devices,
     /// restoring full redundancy after a device failure.
+    ///
+    /// Safe against a concurrent [`delete`](Self::delete): the new index
+    /// entry is committed under the shard lock only if the record still
+    /// exists; when it vanished mid-repair the freshly written extent is
+    /// rolled back instead of resurrecting the record.
     pub fn repair(&self, addr: &PlogAddress) -> Result<()> {
+        self.repair_with_hook(addr, || {})
+    }
+
+    /// `repair` with a test hook running between the new extent's write and
+    /// the index commit — the window the old implementation lost the race
+    /// with `delete` in.
+    fn repair_with_hook(&self, addr: &PlogAddress, between: impl FnOnce()) -> Result<()> {
         let data = self.read(addr)?;
-        let old = self.lookup_handle(addr)?;
+        let old = self.lookup_entry(addr)?;
         let stripe = Stripe::encode(data, self.config.redundancy)?;
+        let crcs = shard_crcs(&stripe);
         let new_handle = self.pool.write_shards(&stripe.shards)?;
-        self.pool.delete(&old);
-        self.index
-            .put(addr.index_key(), encode_handle_with_len(&new_handle, addr.len));
+        between();
+        if self.commit_reindex(addr, &new_handle, &crcs) {
+            self.pool.delete(&old.handle);
+            self.metrics.incr("plog.records_reencoded", 1);
+        } else {
+            self.pool.delete(&new_handle);
+        }
         Ok(())
+    }
+
+    /// Verify every shard of `addr` and restore full redundancy (the scrub
+    /// work unit, Maintenance QoS expected on `ctx`).
+    ///
+    /// Checksum-failed shards on live devices are rewritten in place;
+    /// missing shards (failed/unreachable devices) force a full re-encode
+    /// onto healthy devices, committed with the same delete-race guard as
+    /// [`repair`](Self::repair).
+    pub fn verify_and_heal(&self, addr: &PlogAddress, ctx: &IoCtx) -> Result<RecordHealth> {
+        let entry = self.lookup_entry(addr)?;
+        let (mut survivors, finish) = self.pool.read_shards_ctx(&entry.handle, ctx)?;
+        let corrupt = self.verify_shards(&entry, &mut survivors);
+        let none_count = survivors.iter().filter(|s| s.is_none()).count() as u64;
+        let mut health = RecordHealth {
+            shards: survivors.len() as u64,
+            corrupt: corrupt.len() as u64,
+            missing: none_count - corrupt.len() as u64,
+            finish,
+            ..Default::default()
+        };
+        if health.is_clean() {
+            return Ok(health);
+        }
+        let data = Stripe::decode(self.config.redundancy, addr.len as usize, &survivors)
+            .map_err(|e| corruption_or(e, &corrupt))?;
+        let stripe = Stripe::encode(data, self.config.redundancy)?;
+        if health.missing > 0 {
+            // Shards are gone, not just rotten: re-place the whole record.
+            let crcs = shard_crcs(&stripe);
+            let (new_handle, wfinish) =
+                self.pool.write_shards_ctx(&stripe.shards, &ctx.at(health.finish))?;
+            health.finish = wfinish;
+            if self.commit_reindex(addr, &new_handle, &crcs) {
+                self.pool.delete(&entry.handle);
+                self.metrics.incr("plog.records_reencoded", 1);
+                health.reencoded = true;
+            } else {
+                self.pool.delete(&new_handle);
+            }
+        } else {
+            let mut t = health.finish;
+            for &i in &corrupt {
+                let Some(shard) = stripe.shards.get(i) else { continue };
+                match self.pool.rewrite_shard_ctx(&entry.handle, i, shard.clone(), &ctx.at(health.finish)) {
+                    Ok(wfinish) => {
+                        t = t.max(wfinish);
+                        health.healed_in_place += 1;
+                        self.metrics.incr("plog.shards_healed", 1);
+                    }
+                    Err(_) => self.metrics.incr("plog.heal_failures", 1),
+                }
+            }
+            health.finish = t;
+        }
+        Ok(health)
+    }
+
+    /// Swap `addr`'s index entry to `new_handle` iff the record still
+    /// exists; `false` means a concurrent delete won and nothing was put.
+    fn commit_reindex(&self, addr: &PlogAddress, new_handle: &ExtentHandle, crcs: &[u32]) -> bool {
+        let _shard_guard = self.shards[addr.shard as usize].lock();
+        if self.index.get(&addr.index_key()).is_none() {
+            return false;
+        }
+        self.index.put(addr.index_key(), encode_entry(new_handle, addr.len, crcs));
+        true
+    }
+
+    /// Verify surviving shards against the entry's CRCs; checksum-failed
+    /// shards are demoted to `None` (attributed to their device, counted)
+    /// and their indices returned. Entries without stored CRCs skip
+    /// verification.
+    fn verify_shards(&self, entry: &IndexEntry, survivors: &mut [Option<Bytes>]) -> Vec<usize> {
+        if entry.crcs.len() != survivors.len() {
+            return Vec::new();
+        }
+        let mut corrupt = Vec::new();
+        for (i, slot) in survivors.iter_mut().enumerate() {
+            let Some(data) = slot else { continue };
+            self.metrics.incr("plog.shards_verified", 1);
+            if crc32(data.as_slice()) != entry.crcs[i] {
+                self.metrics.incr("plog.corruptions_detected", 1);
+                self.pool.note_corruption(&entry.handle, i);
+                corrupt.push(i);
+                *slot = None;
+            }
+        }
+        corrupt
+    }
+
+    /// Write verified content back over checksum-failed shards sitting on
+    /// live devices. Best effort: a failed heal is counted, never surfaced
+    /// — the reader already has its data and the scrubber will retry.
+    fn heal_in_place(&self, entry: &IndexEntry, corrupt: &[usize], data: &Bytes, ctx: Option<&IoCtx>) {
+        let Ok(stripe) = Stripe::encode(data.clone(), self.config.redundancy) else {
+            return;
+        };
+        for &i in corrupt {
+            let Some(shard) = stripe.shards.get(i) else { continue };
+            let healed = match ctx {
+                Some(ctx) => self.pool.rewrite_shard_ctx(&entry.handle, i, shard.clone(), ctx).is_ok(),
+                None => self.pool.rewrite_shard(&entry.handle, i, shard.clone()).is_ok(),
+            };
+            if healed {
+                self.metrics.incr("plog.shards_healed", 1);
+            } else {
+                self.metrics.incr("plog.heal_failures", 1);
+            }
+        }
     }
 
     /// The backing storage pool (fault injection in tests).
@@ -272,7 +503,7 @@ impl PlogStore {
                 // key layout: "plog/" + shard be-bytes + '/' + offset be-bytes
                 let shard_bytes: [u8; 4] = k.get(5..9)?.try_into().ok()?;
                 let offset_bytes: [u8; 8] = k.get(10..18)?.try_into().ok()?;
-                let (_handle, len) = decode_handle_with_len(&v).ok()?;
+                let (_handle, len, _crcs) = decode_entry(&v).ok()?;
                 Some(PlogAddress {
                     shard: u32::from_be_bytes(shard_bytes),
                     offset: u64::from_be_bytes(offset_bytes),
@@ -287,25 +518,82 @@ impl PlogStore {
         self.pool.used()
     }
 
-    fn lookup_handle(&self, addr: &PlogAddress) -> Result<ExtentHandle> {
+    fn lookup_entry(&self, addr: &PlogAddress) -> Result<IndexEntry> {
         let bytes = self
             .index
             .get(&addr.index_key())
             .ok_or_else(|| Error::NotFound(format!("plog address {addr:?}")))?;
-        Ok(decode_handle_with_len(&bytes)?.0)
+        let (handle, _len, crcs) = decode_entry(&bytes)?;
+        Ok(IndexEntry { handle, crcs })
     }
 }
 
-fn encode_handle_with_len(h: &ExtentHandle, logical_len: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12 + h.shards.len() * 12);
+/// Per-shard CRC32s of an encoded stripe. Replication clones one handle
+/// `copies` times, so the payload is hashed once and the digest reused;
+/// erasure coding hashes each distinct shard.
+fn shard_crcs(stripe: &Stripe) -> Vec<u32> {
+    match stripe.shards.first() {
+        None => Vec::new(),
+        Some(first) => {
+            let c0 = crc32(first.as_slice());
+            let p0 = first.as_slice().as_ptr();
+            if stripe.shards.iter().skip(1).all(|s| s.as_slice().as_ptr() == p0) {
+                vec![c0; stripe.shards.len()]
+            } else {
+                std::iter::once(c0)
+                    .chain(stripe.shards.iter().skip(1).map(|s| crc32(s.as_slice())))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Attribute an unrecoverable decode to checksum damage when verification
+/// demoted shards: the caller should see [`Error::Corruption`], not a
+/// generic redundancy failure.
+fn corruption_or(e: Error, corrupt: &[usize]) -> Error {
+    match e {
+        Error::Unrecoverable(msg) if !corrupt.is_empty() => Error::Corruption(format!(
+            "{msg}; {} shard(s) failed checksum verification: {corrupt:?}",
+            corrupt.len()
+        )),
+        other => other,
+    }
+}
+
+/// Index entry frame: `varint(logical_len) ++ handle ++ crc32[shards] (4-byte
+/// LE each)`. Zero trailing bytes marks a pre-checksum (legacy) entry; any
+/// other trailing length that is not exactly `4 * shard_count` is corruption.
+fn encode_entry(h: &ExtentHandle, logical_len: u64, crcs: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + h.shards.len() * 12 + crcs.len() * 4);
     common::varint::encode_u64(logical_len, &mut out);
     out.extend_from_slice(&encode_handle(h));
+    for &c in crcs {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
     out
 }
 
-fn decode_handle_with_len(buf: &[u8]) -> Result<(ExtentHandle, u64)> {
+fn decode_entry(buf: &[u8]) -> Result<(ExtentHandle, u64, Vec<u32>)> {
     let (len, n) = common::varint::decode_u64(buf)?;
-    Ok((decode_handle(&buf[n..])?, len))
+    let (handle, consumed) = decode_handle_inner(&buf[n..])?;
+    let rest = &buf[n + consumed..];
+    if rest.is_empty() {
+        return Ok((handle, len, Vec::new()));
+    }
+    if rest.len() != handle.shards.len() * 4 {
+        return Err(Error::Corruption(format!(
+            "index entry checksum block is {} bytes, want {} for {} shards",
+            rest.len(),
+            handle.shards.len() * 4,
+            handle.shards.len()
+        )));
+    }
+    let crcs = rest
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok((handle, len, crcs))
 }
 
 fn encode_handle(h: &ExtentHandle) -> Vec<u8> {
@@ -319,7 +607,12 @@ fn encode_handle(h: &ExtentHandle) -> Vec<u8> {
     out
 }
 
+#[cfg(test)]
 fn decode_handle(buf: &[u8]) -> Result<ExtentHandle> {
+    Ok(decode_handle_inner(buf)?.0)
+}
+
+fn decode_handle_inner(buf: &[u8]) -> Result<(ExtentHandle, usize)> {
     let mut off = 0;
     let (id, n) = common::varint::decode_u64(buf)?;
     off += n;
@@ -333,7 +626,7 @@ fn decode_handle(buf: &[u8]) -> Result<ExtentHandle> {
         off += n;
         shards.push((dev as usize, ext));
     }
-    Ok(ExtentHandle { id, shards })
+    Ok((ExtentHandle { id, shards }, off))
 }
 
 #[cfg(test)]
@@ -473,14 +766,147 @@ mod tests {
     }
 
     #[test]
-    fn delete_is_idempotent() {
+    fn delete_is_idempotent_and_reports_freed_bytes() {
         let s = store(Redundancy::Replicate { copies: 2 }, 3);
         let addr = s.append(b"k", b"bye").unwrap();
-        s.delete(&addr);
+        assert_eq!(s.delete(&addr).unwrap(), 2 * 3); // two copies of "bye"
         assert_eq!(s.record_count(), 0);
         assert_eq!(s.physical_bytes(), 0);
-        s.delete(&addr); // second delete is a no-op
+        assert_eq!(s.delete(&addr).unwrap(), 0); // second delete: absent, Ok(0)
         assert!(matches!(s.read(&addr), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn delete_distinguishes_absent_from_undecodable() {
+        let s = store(Redundancy::Replicate { copies: 2 }, 3);
+        let addr = s.append(b"k", b"mangle me").unwrap();
+        // Smash the index entry: present but undecodable is corruption, not
+        // absence.
+        s.index.put(addr.index_key(), vec![0xff; 3]);
+        assert!(matches!(s.delete(&addr), Err(Error::Corruption(_))));
+        assert_eq!(s.metrics.counter("plog.corrupt_index_entries"), 1);
+        // The garbage entry was dropped, so the retry is a clean no-op.
+        assert_eq!(s.delete(&addr).unwrap(), 0);
+    }
+
+    /// Flip one byte of one stored replica via the same path the fault
+    /// injector uses, returning which (device, extent) was hit.
+    fn rot_one_replica(s: &PlogStore, addr: &PlogAddress) -> (usize, u64) {
+        let entry = s.lookup_entry(addr).unwrap();
+        let (dev, ext) = entry.handle.shards[0];
+        s.pool.device(dev).corrupt_stored_byte(0, 2, 0x40).unwrap();
+        (dev, ext)
+    }
+
+    #[test]
+    fn read_detects_bit_rot_falls_back_and_heals() {
+        let s = store(Redundancy::Replicate { copies: 3 }, 4);
+        let addr = s.append(b"k", b"precious payload").unwrap();
+        let (dev, ext) = rot_one_replica(&s, &addr);
+        // The read never returns the rotten bytes: it falls back to a clean
+        // replica and writes the verified content back over the damage.
+        assert_eq!(s.read(&addr).unwrap(), b"precious payload");
+        assert_eq!(s.metrics.counter("plog.corruptions_detected"), 1);
+        assert_eq!(s.metrics.counter("plog.fallback_reads"), 1);
+        assert_eq!(s.metrics.counter("plog.shards_healed"), 1);
+        // Healed in place: the same extent now verifies clean.
+        let (raw, _) = s.pool.device(dev).read_extent(ext).unwrap();
+        assert_eq!(raw.as_slice(), b"precious payload");
+        let before = s.metrics.counter("plog.corruptions_detected");
+        assert_eq!(s.read(&addr).unwrap(), b"precious payload");
+        assert_eq!(s.metrics.counter("plog.corruptions_detected"), before);
+    }
+
+    #[test]
+    fn healed_replicated_read_stays_zero_copy_for_the_caller() {
+        let s = store(Redundancy::Replicate { copies: 3 }, 4);
+        let addr = s.append(b"k", vec![5u8; 16 * 1024]).unwrap();
+        rot_one_replica(&s, &addr);
+        let before = common::bytes::payload_copies();
+        let back = s.read(&addr).unwrap();
+        assert_eq!(
+            common::bytes::payload_copies(),
+            before,
+            "verification and heal must not copy the payload"
+        );
+        assert_eq!(back.len(), 16 * 1024);
+    }
+
+    #[test]
+    fn unrecoverable_checksum_damage_is_corruption() {
+        let s = store(Redundancy::Replicate { copies: 2 }, 3);
+        let addr = s.append(b"k", b"doomed bits").unwrap();
+        let entry = s.lookup_entry(&addr).unwrap();
+        for &(dev, _) in &entry.handle.shards {
+            s.pool.device(dev).corrupt_stored_byte(0, 5, 0x01).unwrap();
+        }
+        // Every replica checksum-fails: the caller must see Corruption, and
+        // must never see the damaged bytes.
+        assert!(matches!(s.read(&addr), Err(Error::Corruption(_))));
+        assert_eq!(s.metrics.counter("plog.corruptions_detected"), 2);
+    }
+
+    #[test]
+    fn ec_read_detects_bit_rot_in_a_data_shard() {
+        let s = store(Redundancy::ErasureCode { k: 3, m: 2 }, 6);
+        let record: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+        let addr = s.append(b"k", &record).unwrap();
+        let entry = s.lookup_entry(&addr).unwrap();
+        let (dev, _) = entry.handle.shards[1];
+        s.pool.device(dev).corrupt_stored_byte(0, 7, 0x80).unwrap();
+        assert_eq!(s.read(&addr).unwrap(), record, "EC must reconstruct around rot");
+        assert!(s.metrics.counter("plog.corruptions_detected") >= 1);
+    }
+
+    #[test]
+    fn verify_and_heal_reports_and_repairs() {
+        let s = store(Redundancy::Replicate { copies: 3 }, 4);
+        let addr = s.append(b"k", b"scrub target").unwrap();
+        let clean = s.verify_and_heal(&addr, &IoCtx::new(0)).unwrap();
+        assert!(clean.is_clean());
+        assert_eq!(clean.shards, 3);
+        rot_one_replica(&s, &addr);
+        let found = s.verify_and_heal(&addr, &IoCtx::new(clean.finish)).unwrap();
+        assert_eq!(found.corrupt, 1);
+        assert_eq!(found.healed_in_place, 1);
+        assert!(!found.reencoded);
+        let again = s.verify_and_heal(&addr, &IoCtx::new(found.finish)).unwrap();
+        assert!(again.is_clean(), "heal must converge: {again:?}");
+    }
+
+    #[test]
+    fn verify_and_heal_reencodes_around_a_dead_device() {
+        let s = store(Redundancy::ErasureCode { k: 2, m: 1 }, 5);
+        let addr = s.append(b"k", b"re-place me").unwrap();
+        let entry = s.lookup_entry(&addr).unwrap();
+        s.pool.device(entry.handle.shards[0].0).fail();
+        let h = s.verify_and_heal(&addr, &IoCtx::new(0)).unwrap();
+        assert_eq!(h.missing, 1);
+        assert!(h.reencoded);
+        // Full redundancy restored on healthy devices: any later single
+        // failure among them is survivable.
+        let now = s.lookup_entry(&addr).unwrap();
+        s.pool.device(now.handle.shards[0].0).fail();
+        assert_eq!(s.read(&addr).unwrap(), b"re-place me");
+    }
+
+    #[test]
+    fn repair_loses_gracefully_to_a_concurrent_delete() {
+        // Deterministic interleaving of the historical race: delete lands in
+        // the window between repair's new-extent write and its index commit.
+        let s = store(Redundancy::ErasureCode { k: 2, m: 1 }, 5);
+        let addr = s.append(b"k", b"going away").unwrap();
+        s.pool.device(0).fail();
+        s.repair_with_hook(&addr, || {
+            s.delete(&addr).unwrap();
+        })
+        .unwrap();
+        // The record must stay deleted — repair must not resurrect it — and
+        // the repair's own extent must be rolled back, not leaked.
+        assert!(matches!(s.read(&addr), Err(Error::NotFound(_))));
+        assert_eq!(s.record_count(), 0);
+        assert_eq!(s.physical_bytes(), 0, "repair leaked its rolled-back extent");
+        assert_eq!(s.metrics.counter("plog.records_reencoded"), 0);
     }
 
     #[test]

@@ -72,6 +72,46 @@ impl OpTiming {
     }
 }
 
+/// Error/corruption count past which placement treats a device as suspect.
+pub const SUSPECT_FAULT_THRESHOLD: u64 = 3;
+
+/// Slow-I/O count past which placement treats a device as suspect (gray
+/// failure: the device answers, but consistently late).
+pub const SUSPECT_SLOW_IO_THRESHOLD: u64 = 32;
+
+/// Point-in-time health snapshot of one device.
+///
+/// Counters accumulate from the device's own observations (`io_errors`,
+/// `slow_ios`) and from the integrity layer calling
+/// [`Device::note_corruption`] when a checksum fails on a shard this device
+/// served. [`Device::heal`] resets all of them, as after a disk replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceHealth {
+    /// Device id within its pool.
+    pub device: u64,
+    /// Permanently failed (data lost) until healed.
+    pub failed: bool,
+    /// I/O attempts rejected by a fault window or permanent failure.
+    pub io_errors: u64,
+    /// Ops served at degraded (gray-failure) speed.
+    pub slow_ios: u64,
+    /// Checksum failures attributed to this device by the integrity layer.
+    pub corruptions: u64,
+    /// Writes silently truncated by an injected torn-write window. The
+    /// device never reports these to callers — the counter exists so chaos
+    /// harnesses can correlate injected faults with detected ones.
+    pub torn_writes: u64,
+}
+
+impl DeviceHealth {
+    /// Whether placement should avoid this device when it has the choice.
+    pub fn is_suspect(&self) -> bool {
+        self.failed
+            || self.io_errors + self.corruptions >= SUSPECT_FAULT_THRESHOLD
+            || self.slow_ios >= SUSPECT_SLOW_IO_THRESHOLD
+    }
+}
+
 #[derive(Debug, Default)]
 struct DeviceState {
     /// Extent id → bytes. A `BTreeMap` so device dumps/iteration never
@@ -92,8 +132,19 @@ struct DeviceState {
     /// Transient fault window: I/O issued before this virtual time fails
     /// with `Error::Io` but stored data survives (unlike [`Device::fail`]).
     failed_until: Nanos,
+    /// Torn-write window: writes issued before this virtual time are
+    /// acknowledged in full but store only a prefix of the payload.
+    torn_until: Nanos,
+    /// Gray-failure window: ops *starting* before this virtual time take
+    /// `degrade_factor`× their normal service time.
+    degraded_until: Nanos,
+    degrade_factor: u64,
     reads: u64,
     writes: u64,
+    io_errors: u64,
+    slow_ios: u64,
+    corruptions: u64,
+    torn_writes: u64,
 }
 
 /// A simulated disk.
@@ -159,11 +210,88 @@ impl Device {
         self.state.lock().failed_until = until;
     }
 
+    /// Inject a gray failure: ops starting before `until` take `factor`×
+    /// their normal service time and count as slow I/Os. An integer
+    /// multiplier, so degraded timings stay exact in virtual time.
+    pub fn degrade_until(&self, until: Nanos, factor: u64) {
+        let mut st = self.state.lock();
+        st.degraded_until = until;
+        st.degrade_factor = factor.max(1);
+    }
+
+    /// Inject torn writes: a write issued before `until` is acknowledged as
+    /// complete but stores only a prefix of the payload (power-loss-style
+    /// partial write). The device stays silent about it — detection is the
+    /// integrity layer's job.
+    pub fn tear_writes_until(&self, until: Nanos) {
+        self.state.lock().torn_until = until;
+    }
+
+    /// Silently flip bits in one stored extent (media decay / bit-rot).
+    ///
+    /// Picks the `pick % extent_count`-th extent in id order, XORs the byte
+    /// at `offset_pick % len` with `mask`, and returns the `(extent_id,
+    /// offset)` actually hit — or `None` when the device stores nothing, the
+    /// chosen extent is empty, or `mask` is zero. The stored handle may be
+    /// aliased by live readers and sibling replicas, so corruption is
+    /// applied copy-on-write; the rewrite is simulated media decay, not a
+    /// data-path copy, so it deliberately bypasses the payload-copy counter.
+    pub fn corrupt_stored_byte(&self, pick: u64, offset_pick: u64, mask: u8) -> Option<(u64, usize)> {
+        let mut st = self.state.lock();
+        if st.extents.is_empty() || mask == 0 {
+            return None;
+        }
+        let nth = (pick % st.extents.len() as u64) as usize;
+        let extent_id = *st.extents.keys().nth(nth)?;
+        let data = st.extents.get(&extent_id)?;
+        if data.is_empty() {
+            return None;
+        }
+        let offset = (offset_pick % data.len() as u64) as usize;
+        let mut rotted = data.as_slice().to_vec();
+        rotted[offset] ^= mask;
+        st.extents.insert(extent_id, Bytes::from_vec(rotted));
+        Some((extent_id, offset))
+    }
+
+    /// Record a checksum failure attributed to this device by the integrity
+    /// layer (the device itself cannot see silent corruption).
+    pub fn note_corruption(&self) {
+        self.state.lock().corruptions += 1;
+    }
+
+    /// Point-in-time health snapshot.
+    pub fn health(&self) -> DeviceHealth {
+        let st = self.state.lock();
+        DeviceHealth {
+            device: self.id,
+            failed: st.failed,
+            io_errors: st.io_errors,
+            slow_ios: st.slow_ios,
+            corruptions: st.corruptions,
+            torn_writes: st.torn_writes,
+        }
+    }
+
+    /// Whether placement should avoid this device when it has the choice.
+    pub fn is_suspect(&self) -> bool {
+        self.health().is_suspect()
+    }
+
     /// Clear the failure flag (the device returns empty, as after replacement).
+    /// Also clears injected fault windows and health counters — a replaced
+    /// disk starts with a clean record.
     pub fn heal(&self) {
         let mut st = self.state.lock();
         st.failed = false;
         st.failed_until = 0;
+        st.torn_until = 0;
+        st.degraded_until = 0;
+        st.degrade_factor = 1;
+        st.io_errors = 0;
+        st.slow_ios = 0;
+        st.corruptions = 0;
+        st.torn_writes = 0;
     }
 
     /// Whether the device is currently failed.
@@ -185,10 +313,10 @@ impl Device {
     ) -> Result<OpTiming> {
         let data: Bytes = data.into();
         let mut st = self.state.lock();
-        self.check_live(&st, now)?;
+        self.check_live(&mut st, now)?;
         let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
-        let new_used = st.used - old + data.len() as u64;
-        if new_used > self.capacity {
+        let len = data.len() as u64;
+        if st.used - old + len > self.capacity {
             return Err(Error::CapacityExhausted(format!(
                 "device {}: {} + {} > {}",
                 self.id,
@@ -197,8 +325,8 @@ impl Device {
                 self.capacity
             )));
         }
-        st.used = new_used;
-        let len = data.len() as u64;
+        let data = self.maybe_tear(&mut st, data, now);
+        st.used = st.used - old + data.len() as u64;
         st.extents.insert(extent_id, data);
         st.writes += 1;
         Ok(self.charge_at(&mut st, len, now))
@@ -208,7 +336,7 @@ impl Device {
     /// advancing the shared clock.
     pub fn read_extent_at(&self, extent_id: u64, now: Nanos) -> Result<(Bytes, OpTiming)> {
         let mut st = self.state.lock();
-        self.check_live(&st, now)?;
+        self.check_live(&mut st, now)?;
         let data = st
             .extents
             .get(&extent_id)
@@ -223,10 +351,11 @@ impl Device {
     pub fn write_extent(&self, extent_id: u64, data: impl Into<Bytes>) -> Result<OpTiming> {
         let data: Bytes = data.into();
         let mut st = self.state.lock();
-        self.check_live(&st, self.clock.now())?;
+        let now = self.clock.now();
+        self.check_live(&mut st, now)?;
         let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
-        let new_used = st.used - old + data.len() as u64;
-        if new_used > self.capacity {
+        let len = data.len() as u64;
+        if st.used - old + len > self.capacity {
             return Err(Error::CapacityExhausted(format!(
                 "device {}: {} + {} > {}",
                 self.id,
@@ -235,8 +364,8 @@ impl Device {
                 self.capacity
             )));
         }
-        st.used = new_used;
-        let len = data.len() as u64;
+        let data = self.maybe_tear(&mut st, data, now);
+        st.used = st.used - old + data.len() as u64;
         st.extents.insert(extent_id, data);
         st.writes += 1;
         Ok(self.charge(&mut st, len))
@@ -245,7 +374,7 @@ impl Device {
     /// Read back extent `extent_id`.
     pub fn read_extent(&self, extent_id: u64) -> Result<(Bytes, OpTiming)> {
         let mut st = self.state.lock();
-        self.check_live(&st, self.clock.now())?;
+        self.check_live(&mut st, self.clock.now())?;
         let data = st
             .extents
             .get(&extent_id)
@@ -295,10 +424,9 @@ impl Device {
     ) -> Result<OpTiming> {
         let data: Bytes = data.into();
         let mut st = self.state.lock();
-        self.check_live(&st, ctx.now)?;
+        self.check_live_ctx(&mut st, ctx)?;
         let old = st.extents.get(&extent_id).map_or(0, |e| e.len() as u64);
-        let new_used = st.used - old + data.len() as u64;
-        if new_used > self.capacity {
+        if st.used - old + data.len() as u64 > self.capacity {
             return Err(Error::CapacityExhausted(format!(
                 "device {}: {} + {} > {}",
                 self.id,
@@ -308,7 +436,8 @@ impl Device {
             )));
         }
         let timing = self.charge_ctx(&mut st, data.len() as u64, ctx)?;
-        st.used = new_used;
+        let data = self.maybe_tear(&mut st, data, ctx.now);
+        st.used = st.used - old + data.len() as u64;
         st.extents.insert(extent_id, data);
         st.writes += 1;
         Ok(timing)
@@ -319,7 +448,7 @@ impl Device {
     /// [`write_extent_ctx`](Self::write_extent_ctx).
     pub fn read_extent_ctx(&self, extent_id: u64, ctx: &IoCtx) -> Result<(Bytes, OpTiming)> {
         let mut st = self.state.lock();
-        self.check_live(&st, ctx.now)?;
+        self.check_live_ctx(&mut st, ctx)?;
         let data = st
             .extents
             .get(&extent_id)
@@ -352,6 +481,17 @@ impl Device {
         }
     }
 
+    /// Service time of an op starting at `start`: the media model, times
+    /// the gray-failure degradation factor while that window is open.
+    fn service_time_at(&self, st: &DeviceState, start: Nanos, bytes: u64) -> Nanos {
+        let base = self.kind.service_time(bytes);
+        if start < st.degraded_until {
+            base.saturating_mul(st.degrade_factor.max(1))
+        } else {
+            base
+        }
+    }
+
     /// Accept an op: advance the queue state and return its timing.
     fn commit_charge(
         &self,
@@ -360,7 +500,10 @@ impl Device {
         bytes: u64,
         qos: QosClass,
     ) -> OpTiming {
-        let finish = start + self.kind.service_time(bytes);
+        if start < st.degraded_until {
+            st.slow_ios += 1;
+        }
+        let finish = start + self.service_time_at(st, start, bytes);
         if qos.is_foreground() {
             st.fg_busy_until = finish;
         }
@@ -374,7 +517,7 @@ impl Device {
     /// charge the queue and close the `queue`/`device` spans.
     fn charge_ctx(&self, st: &mut DeviceState, bytes: u64, ctx: &IoCtx) -> Result<OpTiming> {
         let start = self.queue_start(st, ctx.now, ctx.qos);
-        let finish = start + self.kind.service_time(bytes);
+        let finish = start + self.service_time_at(st, start, bytes);
         ctx.check_deadline(finish)?;
         let timing = self.commit_charge(st, start, bytes, ctx.qos);
         ctx.record(Phase::Queue, ctx.now, start.saturating_sub(ctx.now));
@@ -382,17 +525,52 @@ impl Device {
         Ok(timing)
     }
 
-    fn check_live(&self, st: &DeviceState, at: Nanos) -> Result<()> {
+    /// Apply the torn-write window: a write issued inside it is acknowledged
+    /// but only a prefix of the payload reaches the media. The truncation is
+    /// simulated media damage, not a data-path copy, so it bypasses the
+    /// payload-copy counter (like [`corrupt_stored_byte`](Self::corrupt_stored_byte)).
+    fn maybe_tear(&self, st: &mut DeviceState, data: Bytes, now: Nanos) -> Bytes {
+        if now >= st.torn_until || data.len() < 2 {
+            return data;
+        }
+        st.torn_writes += 1;
+        let keep = data.len() / 2 + 1;
+        Bytes::from_vec(data.as_slice()[..keep].to_vec())
+    }
+
+    fn check_live(&self, st: &mut DeviceState, at: Nanos) -> Result<()> {
         if st.failed {
+            st.io_errors += 1;
             return Err(Error::Io(format!("device {} failed", self.id)));
         }
         if at < st.failed_until {
+            st.io_errors += 1;
             return Err(Error::Io(format!(
                 "device {} transiently unavailable until {}",
                 self.id, st.failed_until
             )));
         }
         Ok(())
+    }
+
+    /// Fault/deadline precedence for context-carrying ops, kept consistent
+    /// across all of them: a budget already exhausted at issue time
+    /// (`ctx.now` past the deadline) beats fault state and returns
+    /// `Error::DeadlineExceeded`; otherwise an active fault beats deadline
+    /// math and returns retryable `Error::Io` — even when the deadline also
+    /// lands inside the fault window — so redundancy fallback and
+    /// virtual-time retry loops see the fault, and the retry loop converts
+    /// it to `DeadlineExceeded` exactly when the budget runs out.
+    fn check_live_ctx(&self, st: &mut DeviceState, ctx: &IoCtx) -> Result<()> {
+        if let Some(d) = ctx.deadline {
+            if ctx.now > d {
+                return Err(Error::DeadlineExceeded(format!(
+                    "op issued at {} on device {} past deadline {d} (trace {})",
+                    ctx.now, self.id, ctx.trace
+                )));
+            }
+        }
+        self.check_live(st, ctx.now)
     }
 }
 
@@ -550,6 +728,108 @@ mod tests {
         d.fail_until(millis(20));
         d.heal();
         d.read_extent_ctx(1, &IoCtx::new(millis(15))).unwrap();
+    }
+
+    #[test]
+    fn open_budget_inside_fault_window_is_io_not_deadline() {
+        // Precedence contract: the budget is still open at issue time, so
+        // the active fault wins and surfaces as retryable Io — even though
+        // the deadline lands inside the fault window. Pool fallback and
+        // replication retry loops depend on seeing the fault, not a
+        // premature DeadlineExceeded.
+        let (d, _) = dev(MediaKind::NvmeSsd);
+        d.write_extent_ctx(1, b"x", &IoCtx::new(0)).unwrap();
+        d.fail_until(millis(10));
+        let ctx = IoCtx::new(millis(2)).with_deadline(millis(5));
+        let err = d.read_extent_ctx(1, &ctx);
+        assert!(matches!(err, Err(Error::Io(_))), "{err:?}");
+        let werr = d.write_extent_ctx(2, b"y", &ctx);
+        assert!(matches!(werr, Err(Error::Io(_))), "{werr:?}");
+    }
+
+    #[test]
+    fn exhausted_budget_wins_over_an_active_fault() {
+        // The other half of the contract: issued past the deadline, the op
+        // is DeadlineExceeded regardless of the device's fault state.
+        let (d, _) = dev(MediaKind::NvmeSsd);
+        d.write_extent_ctx(1, b"x", &IoCtx::new(0)).unwrap();
+        d.fail_until(millis(10));
+        let ctx = IoCtx::new(millis(6)).with_deadline(millis(5));
+        let err = d.read_extent_ctx(1, &ctx);
+        assert!(matches!(err, Err(Error::DeadlineExceeded(_))), "{err:?}");
+        // And once the fault window closes, the same late ctx still loses.
+        let late = IoCtx::new(millis(12)).with_deadline(millis(5));
+        let err2 = d.read_extent_ctx(1, &late);
+        assert!(matches!(err2, Err(Error::DeadlineExceeded(_))), "{err2:?}");
+        // A fresh budget after the window succeeds.
+        let ok = d.read_extent_ctx(1, &IoCtx::new(millis(12)).with_deadline(millis(30)));
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn health_counts_faulted_io_and_suspect_trips() {
+        let (d, _) = dev(MediaKind::NvmeSsd);
+        d.write_extent(1, b"x").unwrap();
+        d.fail_until(millis(10));
+        assert!(!d.is_suspect());
+        for t in 0..SUSPECT_FAULT_THRESHOLD {
+            let _ = d.read_extent_ctx(1, &IoCtx::new(millis(t)));
+        }
+        let h = d.health();
+        assert_eq!(h.io_errors, SUSPECT_FAULT_THRESHOLD);
+        assert!(d.is_suspect());
+        d.heal();
+        assert_eq!(d.health().io_errors, 0, "heal resets the counters");
+        assert!(!d.is_suspect());
+    }
+
+    #[test]
+    fn bit_rot_flips_exactly_one_stored_byte() {
+        let (d, _) = dev(MediaKind::NvmeSsd);
+        d.write_extent(5, vec![0u8; 64]).unwrap();
+        let (ext, off) = d.corrupt_stored_byte(0, 9, 0x04).unwrap();
+        assert_eq!((ext, off), (5, 9));
+        let (data, _) = d.read_extent(5).unwrap();
+        let flipped: Vec<usize> =
+            data.as_slice().iter().enumerate().filter(|(_, &b)| b != 0).map(|(i, _)| i).collect();
+        assert_eq!(flipped, vec![9 % 64]);
+        assert_eq!(data.as_slice()[9], 0x04);
+        assert_eq!(d.health().corruptions, 0, "rot is silent until detected");
+        // Rot on an empty device is a no-op, not an error.
+        let (e, _) = dev(MediaKind::NvmeSsd);
+        assert_eq!(e.corrupt_stored_byte(0, 0, 0xff), None);
+    }
+
+    #[test]
+    fn torn_window_stores_a_prefix_but_acks_and_charges_fully() {
+        let (d, _) = dev(MediaKind::NvmeSsd);
+        d.tear_writes_until(millis(10));
+        let t = d.write_extent_at(1, vec![7u8; 1000], millis(1)).unwrap();
+        let full = MediaKind::NvmeSsd.service_time(1000);
+        assert_eq!(t.finish - t.start, full, "torn write still charges full length");
+        let (data, _) = d.read_extent_at(1, t.finish).unwrap();
+        assert_eq!(data.len(), 501, "only the prefix hit the media");
+        assert_eq!(d.health().torn_writes, 1);
+        // Outside the window writes are whole again.
+        let t2 = d.write_extent_at(2, vec![7u8; 1000], millis(10)).unwrap();
+        let (data2, _) = d.read_extent_at(2, t2.finish).unwrap();
+        assert_eq!(data2.len(), 1000);
+    }
+
+    #[test]
+    fn gray_degradation_multiplies_service_time_and_counts_slow_ios() {
+        let (d, _) = dev(MediaKind::SasHdd);
+        let base = d.write_extent_at(1, vec![0u8; 4096], 0).unwrap();
+        d.degrade_until(millis(100), 4);
+        let slow = d.write_extent_at(2, vec![0u8; 4096], base.finish).unwrap();
+        assert_eq!(
+            slow.finish - slow.start,
+            (base.finish - base.start) * 4,
+            "gray window must multiply service time"
+        );
+        assert_eq!(d.health().slow_ios, 1);
+        let after = d.write_extent_at(3, vec![0u8; 4096], millis(100) + slow.finish).unwrap();
+        assert_eq!(after.finish - after.start, base.finish - base.start);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   from the data-service layer;
 //! * [`bus::Bus`] — the data exchange and interworking bus, with RDMA and
 //!   TCP transports;
-//! * [`cache::LruCache`] — the SCM cache used by stream-object clients.
+//! * [`cache::LruCache`] — the SCM cache used by stream-object clients;
+//! * [`fault::FaultInjector`] — seeded, virtual-time chaos schedules
+//!   (outages, death, silent bit-rot, torn writes, gray degradation).
 //!
 //! All latency is charged against a [`common::SimClock`], so experiments are
 //! deterministic and independent of the host machine.
@@ -22,11 +24,13 @@
 pub mod bus;
 pub mod cache;
 pub mod device;
+pub mod fault;
 pub mod pool;
 pub mod tier;
 
 pub use bus::{Bus, Transport};
 pub use cache::LruCache;
-pub use device::{Device, MediaKind};
+pub use device::{Device, DeviceHealth, MediaKind};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, InjectionLog};
 pub use pool::{ExtentHandle, StoragePool};
 pub use tier::TieringService;

@@ -8,7 +8,8 @@
 //! balanced utilization), and records the placement in an [`ExtentHandle`]
 //! the caller keeps for reads and GC.
 
-use crate::device::{Device, MediaKind};
+use crate::device::{Device, DeviceHealth, MediaKind};
+use common::clock::Nanos;
 use common::ctx::IoCtx;
 use common::{Bytes, Error, Result, SimClock};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,17 +105,7 @@ impl StoragePool {
         if shards.is_empty() {
             return Err(Error::InvalidArgument("no shards to write".into()));
         }
-        let healthy: Vec<usize> = (0..self.devices.len())
-            .filter(|&i| !self.devices[i].is_failed())
-            .collect();
-        if shards.len() > healthy.len() {
-            return Err(Error::CapacityExhausted(format!(
-                "pool {}: {} shards but only {} healthy devices",
-                self.name,
-                shards.len(),
-                healthy.len()
-            )));
-        }
+        let healthy = self.placement_candidates(shards.len())?;
         let ranked = self.rank_most_free(healthy, shards.len());
 
         let extent_id = self.next_extent.fetch_add(1, Ordering::Relaxed);
@@ -140,6 +131,81 @@ impl StoragePool {
     pub fn write_extent(&self, data: impl Into<Bytes>) -> Result<ExtentHandle> {
         let data: Bytes = data.into();
         self.write_shards(std::slice::from_ref(&data))
+    }
+
+    /// Placement candidates for a `take`-shard write: every non-failed
+    /// device, narrowed to the non-suspect ones (clean error/corruption
+    /// record, see [`DeviceHealth::is_suspect`]) whenever enough of those
+    /// remain to hold every shard on a distinct device. With a fault-free
+    /// pool the candidate set is exactly the old healthy set, so placement
+    /// — and every virtual timing downstream — is unchanged.
+    fn placement_candidates(&self, take: usize) -> Result<Vec<usize>> {
+        let healthy: Vec<usize> = (0..self.devices.len())
+            .filter(|&i| !self.devices[i].is_failed())
+            .collect();
+        if take > healthy.len() {
+            return Err(Error::CapacityExhausted(format!(
+                "pool {}: {} shards but only {} healthy devices",
+                self.name,
+                take,
+                healthy.len()
+            )));
+        }
+        let clean: Vec<usize> =
+            healthy.iter().copied().filter(|&i| !self.devices[i].is_suspect()).collect();
+        Ok(if clean.len() >= take { clean } else { healthy })
+    }
+
+    /// Per-device health snapshots, in device order.
+    pub fn health(&self) -> Vec<DeviceHealth> {
+        self.devices.iter().map(|d| d.health()).collect()
+    }
+
+    /// Record a checksum failure against the device that served shard
+    /// `shard_idx` of `handle` (no-op for out-of-range handles, which can
+    /// come from a corrupt index entry).
+    pub fn note_corruption(&self, handle: &ExtentHandle, shard_idx: usize) {
+        if let Some(&(dev_idx, _)) = handle.shards.get(shard_idx) {
+            if let Some(d) = self.devices.get(dev_idx) {
+                d.note_corruption();
+            }
+        }
+    }
+
+    /// Rewrite shard `shard_idx` of an existing extent in place (healing a
+    /// corrupt copy on a live device). Fails if the placement is unknown or
+    /// the device rejects the write.
+    pub fn rewrite_shard(&self, handle: &ExtentHandle, shard_idx: usize, data: Bytes) -> Result<()> {
+        let &(dev_idx, dev_extent) = handle
+            .shards
+            .get(shard_idx)
+            .ok_or_else(|| Error::InvalidArgument(format!("no shard {shard_idx} in handle")))?;
+        let dev = self
+            .devices
+            .get(dev_idx)
+            .ok_or_else(|| Error::NotFound(format!("device {dev_idx}")))?;
+        dev.write_extent(dev_extent, data)?;
+        Ok(())
+    }
+
+    /// Context-carrying variant of [`rewrite_shard`](Self::rewrite_shard);
+    /// returns the completion time, without advancing the shared clock.
+    pub fn rewrite_shard_ctx(
+        &self,
+        handle: &ExtentHandle,
+        shard_idx: usize,
+        data: Bytes,
+        ctx: &IoCtx,
+    ) -> Result<Nanos> {
+        let &(dev_idx, dev_extent) = handle
+            .shards
+            .get(shard_idx)
+            .ok_or_else(|| Error::InvalidArgument(format!("no shard {shard_idx} in handle")))?;
+        let dev = self
+            .devices
+            .get(dev_idx)
+            .ok_or_else(|| Error::NotFound(format!("device {dev_idx}")))?;
+        Ok(dev.write_extent_ctx(dev_extent, data, ctx)?.finish)
     }
 
     /// Pick the `take` most-free healthy devices. An O(n) selection plus an
@@ -182,17 +248,7 @@ impl StoragePool {
         if shards.is_empty() {
             return Err(Error::InvalidArgument("no shards to write".into()));
         }
-        let healthy: Vec<usize> = (0..self.devices.len())
-            .filter(|&i| !self.devices[i].is_failed())
-            .collect();
-        if shards.len() > healthy.len() {
-            return Err(Error::CapacityExhausted(format!(
-                "pool {}: {} shards but only {} healthy devices",
-                self.name,
-                shards.len(),
-                healthy.len()
-            )));
-        }
+        let healthy = self.placement_candidates(shards.len())?;
         let ranked = self.rank_most_free(healthy, shards.len());
 
         let extent_id = self.next_extent.fetch_add(1, Ordering::Relaxed);

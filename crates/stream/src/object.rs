@@ -321,7 +321,7 @@ impl StreamObject {
         let mut freed = 0u64;
         st.slices.retain(|s| {
             if s.base_offset + s.count <= offset {
-                self.plog.delete(&s.addr);
+                let _ = self.plog.delete(&s.addr);
                 freed += s.count;
                 false
             } else {
@@ -411,7 +411,7 @@ impl StreamObjectStore {
         let mut st = obj.state.lock();
         st.destroyed = true;
         for s in &st.slices {
-            obj.plog.delete(&s.addr);
+            let _ = obj.plog.delete(&s.addr);
         }
         st.slices.clear();
         st.buffer.clear();

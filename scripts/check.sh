@@ -6,6 +6,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Chaos suite: seeded fault schedules (bit-rot, deaths, torn writes, gray
+# failure) against the PLog stack — detection, scrub convergence, replay
+# determinism and the zero-copy healed-read guard. Includes the 8-seed sweep
+# (`seed_sweep_never_returns_corrupt_bytes`). Already part of `cargo test -q`
+# above; re-run explicitly so a chaos regression is named in the gate output.
+cargo test -q --test chaos
 cargo run -p slint
 # Latency-attribution smoke: a tiny Fig 14-style run; fails if any span
 # phase (queue/device/wan/meta) records zero samples.
