@@ -17,6 +17,12 @@
 //! * `verified_read` — replicated reads with every touched shard
 //!   checksum-verified against the index CRCs, MB/s.
 //!
+//! One additional row is measured in *virtual* time rather than host time:
+//! `maintenance_interference`, the foreground append p99 with every
+//! maintenance chore active between sends vs fully quiesced, written as
+//! `p99_active_ns` / `p99_quiesced_ns` / `ratio`. Being deterministic, the
+//! ratio is an exact regression signal for chore-scheduler changes.
+//!
 //! Each bench runs [`SAMPLES`] timed passes over a fresh store and reports
 //! the best pass (least interference from the host). Results land in
 //! `BENCH_PERF.json` at the workspace root; `scripts/check.sh` re-runs this
@@ -208,6 +214,42 @@ fn bench_verified_read() -> BenchResult {
     })
 }
 
+/// Foreground interference of the maintenance runtime, in *virtual* time:
+/// append p99 with every chore active between sends vs fully quiesced.
+/// Unlike the MB/s rows this is deterministic (no host clock), so the ratio
+/// is an exact regression signal for scheduler/backpressure changes.
+struct InterferenceResult {
+    p99_active: u64,
+    p99_quiesced: u64,
+}
+
+impl InterferenceResult {
+    fn ratio(&self) -> f64 {
+        if self.p99_quiesced == 0 {
+            return 0.0;
+        }
+        self.p99_active as f64 / self.p99_quiesced as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("p99_active_ns", Json::Num(self.p99_active as f64)),
+            ("p99_quiesced_ns", Json::Num(self.p99_quiesced as f64)),
+            ("ratio", Json::Num(self.ratio())),
+        ])
+    }
+}
+
+/// Appends measured for the interference row.
+const INTERFERENCE_APPENDS: usize = 64;
+
+fn bench_maintenance_interference() -> InterferenceResult {
+    InterferenceResult {
+        p99_active: bench::chores::append_p99(true, INTERFERENCE_APPENDS),
+        p99_quiesced: bench::chores::append_p99(false, INTERFERENCE_APPENDS),
+    }
+}
+
 fn output_path() -> std::path::PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; the trajectory lives at the root.
     let manifest = std::env::var_os("CARGO_MANIFEST_DIR")
@@ -249,6 +291,18 @@ fn check_file(path: &std::path::Path) -> Result<(), String> {
             return Err(format!("bench `{name}` reports non-positive rate {rate}"));
         }
     }
+    let interference = json
+        .get("maintenance_interference")
+        .ok_or("missing `maintenance_interference` object")?;
+    for field in ["p99_active_ns", "p99_quiesced_ns", "ratio"] {
+        let v = interference
+            .get(field)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("maintenance_interference has no numeric {field}"))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("maintenance_interference reports non-positive {field} {v}"));
+        }
+    }
     Ok(())
 }
 
@@ -278,6 +332,14 @@ fn main() {
     for r in &results {
         println!("{:<20} {:>10.1} MB/s  ({} bytes in {} ns)", r.name, r.mb_per_s(), r.bytes, r.nanos);
     }
+    let interference = bench_maintenance_interference();
+    println!(
+        "{:<20} {:>9.2}x   (append p99 {} ns active vs {} ns quiesced)",
+        "maint_interference",
+        interference.ratio(),
+        interference.p99_active,
+        interference.p99_quiesced
+    );
     let json = Json::object([
         ("schema", Json::Num(1.0)),
         (
@@ -291,6 +353,7 @@ fn main() {
             ]),
         ),
         ("benches", Json::Object(results.iter().map(|r| { let (k, v) = r.to_json(); (k.to_string(), v) }).collect())),
+        ("maintenance_interference", interference.to_json()),
     ]);
     if let Err(e) = std::fs::write(&path, json.to_pretty() + "\n") {
         eprintln!("perf_baseline: FAILED to write {}: {e}", path.display());

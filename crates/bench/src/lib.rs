@@ -11,6 +11,7 @@
 //! systems always run on identical simulated hardware — so the shapes
 //! (who wins, by what factor, where crossovers fall) carry over.
 
+pub mod chores;
 pub mod fig1;
 pub mod fig14;
 pub mod fig15;

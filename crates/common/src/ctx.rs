@@ -42,6 +42,12 @@ use std::sync::Arc;
 /// Histogram-name prefix under which span phases are recorded.
 pub const PHASE_PREFIX: &str = "phase.";
 
+/// Histogram-name prefix for the QoS-split phase view: each span is also
+/// recorded under `qos.<class>.<phase>`, so the maintenance runtime can
+/// watch *foreground* queue/device latency in isolation from its own
+/// Maintenance-class traffic.
+pub const QOS_PREFIX: &str = "qos.";
+
 /// How many closed spans the sink retains for trail inspection. Phase
 /// histograms are unaffected by this bound; only the replayable trail is.
 pub const TRAIL_CAPACITY: usize = 4096;
@@ -118,6 +124,8 @@ pub struct SpanRecord {
     pub span: u64,
     /// Phase the time is attributed to.
     pub phase: Phase,
+    /// Service class of the owning request.
+    pub qos: QosClass,
     /// Virtual start of the phase.
     pub start: Nanos,
     /// Virtual duration of the phase.
@@ -146,6 +154,10 @@ impl SpanSink {
     /// Record one closed span.
     pub fn record(&self, rec: SpanRecord) {
         self.metrics.observe(&rec.phase.histogram(), rec.duration);
+        self.metrics.observe(
+            &format!("{QOS_PREFIX}{}.{}", rec.qos.name(), rec.phase.name()),
+            rec.duration,
+        );
         let mut trail = self.trail.lock();
         if trail.len() == TRAIL_CAPACITY {
             trail.pop_front();
@@ -263,6 +275,7 @@ impl IoCtx {
                 trace: self.trace,
                 span: self.span,
                 phase,
+                qos: self.qos,
                 start,
                 duration,
             });
@@ -322,6 +335,23 @@ mod tests {
     }
 
     #[test]
+    fn spans_split_by_qos_class() {
+        let sink = Arc::new(SpanSink::new(Metrics::new()));
+        let fg = IoCtx::new(0).with_sink(sink.clone());
+        let mx = IoCtx::new(0).with_qos(QosClass::Maintenance).with_sink(sink.clone());
+        fg.record(Phase::Queue, 0, 10);
+        fg.record(Phase::Queue, 10, 30);
+        mx.record(Phase::Queue, 0, 9_000);
+        let fg_q = sink.metrics().histogram("qos.foreground.queue").unwrap();
+        assert_eq!(fg_q.count, 2);
+        assert_eq!(fg_q.max, 30, "maintenance latency must not leak into the foreground view");
+        let mx_q = sink.metrics().histogram("qos.maintenance.queue").unwrap();
+        assert_eq!(mx_q.count, 1);
+        // The combined phase histogram still sees everything.
+        assert_eq!(sink.metrics().histogram("phase.queue").unwrap().count, 3);
+    }
+
+    #[test]
     fn trail_is_bounded() {
         let sink = SpanSink::new(Metrics::new());
         for i in 0..(TRAIL_CAPACITY as u64 + 10) {
@@ -329,6 +359,7 @@ mod tests {
                 trace: 1,
                 span: 0,
                 phase: Phase::Meta,
+                qos: QosClass::Foreground,
                 start: i,
                 duration: 1,
             });

@@ -14,10 +14,13 @@
 //!   columnar file format;
 //! * a tiny [`metrics`] registry used by the benchmark harness;
 //! * [`IoCtx`] — the per-request context (deadline, QoS class, trace span)
-//!   threaded through every layer of the storage stack.
+//!   threaded through every layer of the storage stack;
+//! * [`Chore`] — the budgeted-tick contract every background service
+//!   implements so `core::chore` can schedule them deterministically.
 
 pub mod bytes;
 pub mod checksum;
+pub mod chore;
 pub mod ctx;
 pub mod clock;
 pub mod error;
@@ -28,6 +31,7 @@ pub mod size;
 pub mod varint;
 
 pub use bytes::Bytes;
+pub use chore::{Chore, ChoreBudget, TickReport};
 pub use clock::SimClock;
 pub use ctx::{IoCtx, Phase, QosClass, SpanRecord, SpanSink};
 pub use error::{Error, Result};

@@ -83,6 +83,35 @@ impl Metrics {
         })
     }
 
+    /// Summarize only the most recent `window` samples of histogram `name`;
+    /// `None` if it has no samples. Histograms accumulate forever, so the
+    /// full-history summary can never "recover" once a burst has inflated
+    /// its tail — the maintenance runtime's backpressure sampling uses this
+    /// windowed view so pressure clears when recent latency does.
+    pub fn histogram_tail(&self, name: &str, window: usize) -> Option<HistogramSummary> {
+        let inner = self.inner.lock();
+        let samples = inner.histograms.get(name)?;
+        if samples.is_empty() || window == 0 {
+            return None;
+        }
+        let tail = &samples[samples.len().saturating_sub(window)..];
+        let mut sorted = tail.to_vec();
+        drop(inner);
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let nearest = |q: f64| -> u64 {
+            let rank = ((q * count as f64).ceil() as usize).clamp(1, count);
+            sorted[rank - 1]
+        };
+        Some(HistogramSummary {
+            count,
+            mean: sorted.iter().sum::<u64>() as f64 / count as f64,
+            p50: nearest(0.50),
+            p99: nearest(0.99),
+            max: *sorted.last().unwrap(),
+        })
+    }
+
     /// Summaries of every histogram whose name starts with `prefix`, keyed
     /// by the name with the prefix stripped, sorted by that key. This is
     /// the per-phase view: `histograms_with_prefix("phase.")` yields one
@@ -149,6 +178,27 @@ mod tests {
         assert_eq!(s.p99, 99);
         assert_eq!(s.max, 100);
         assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_view_forgets_old_bursts() {
+        let m = Metrics::new();
+        for _ in 0..50 {
+            m.observe("lat", 1_000_000); // the burst
+        }
+        for _ in 0..50 {
+            m.observe("lat", 10); // calm again
+        }
+        // Full history still remembers the burst at p99…
+        assert_eq!(m.histogram("lat").unwrap().p99, 1_000_000);
+        // …but the recent window has recovered.
+        let tail = m.histogram_tail("lat", 32).unwrap();
+        assert_eq!(tail.count, 32);
+        assert_eq!(tail.p99, 10);
+        // A window larger than the history is just the full history.
+        assert_eq!(m.histogram_tail("lat", 1_000).unwrap().count, 100);
+        assert!(m.histogram_tail("lat", 0).is_none());
+        assert!(m.histogram_tail("nope", 8).is_none());
     }
 
     #[test]

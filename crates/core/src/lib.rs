@@ -32,11 +32,15 @@
 //! ```
 
 pub mod access;
+pub mod chore;
 pub mod pipeline;
 pub mod query;
 pub mod system;
 
 pub use access::{AccessController, Permission, Principal};
+pub use chore::{
+    BackpressureConfig, ChoreConfig, ChoreRuntime, ChoreStatus, TickEvent, TickOutcome,
+};
 pub use pipeline::{PipelineReport, StreamLakePipeline};
 pub use query::{Aggregate, Query, QueryEngine, QueryOutput};
 pub use system::{PoolHealthReport, StreamLake, StreamLakeConfig};

@@ -1,14 +1,16 @@
 //! The [`StreamLake`] system handle.
 
+use crate::chore::{BackpressureConfig, ChoreConfig, ChoreRuntime, ChoreStatus, TickEvent};
+use common::clock::{secs, Nanos};
 use common::ctx::{IoCtx, QosClass, SpanSink};
 use common::metrics::Metrics;
 use common::size::{GIB, MIB};
 use common::{Result, SimClock};
 use ec::Redundancy;
-use lake::TableStore;
-use plog::{PlogConfig, PlogStore, ScrubService};
+use lake::{CompactionChore, IntervalTrigger, MetaFlushChore, TableStore};
+use plog::{PlogConfig, PlogStore, RemoteReplicator, ScrubService};
 use simdisk::{DeviceHealth, MediaKind, StoragePool, TieringService, Transport};
-use stream::archive::ArchiveService;
+use stream::archive::{ArchiveChore, ArchiveService};
 use stream::service::{StreamService, StreamServiceOptions};
 use stream::{Consumer, Producer};
 use std::sync::Arc;
@@ -38,6 +40,12 @@ pub struct StreamLakeConfig {
     pub transport: Transport,
     /// Tiering: demote data idle longer than this many virtual seconds.
     pub tier_demote_after_secs: u64,
+    /// Seed for the maintenance runtime's deterministic retry jitter.
+    pub maintenance_seed: u64,
+    /// Backpressure policy for maintenance admission.
+    pub backpressure: BackpressureConfig,
+    /// Target output file size for the compaction chore.
+    pub compaction_target_bytes: u64,
 }
 
 impl Default for StreamLakeConfig {
@@ -56,6 +64,9 @@ impl Default for StreamLakeConfig {
             meta_flush_threshold: 64,
             transport: Transport::Rdma,
             tier_demote_after_secs: 3600,
+            maintenance_seed: 42,
+            backpressure: BackpressureConfig::default(),
+            compaction_target_bytes: 64 * MIB,
         }
     }
 }
@@ -87,7 +98,8 @@ impl StreamLakeConfig {
     }
 }
 
-/// One StreamLake deployment: pools, PLogs, streaming, lakehouse, archive.
+/// One StreamLake deployment: pools, PLogs, streaming, lakehouse, archive,
+/// and the maintenance runtime all six background services run under.
 #[derive(Debug)]
 pub struct StreamLake {
     clock: SimClock,
@@ -96,11 +108,15 @@ pub struct StreamLake {
     ssd: Arc<StoragePool>,
     hdd: Arc<StoragePool>,
     plog: Arc<PlogStore>,
+    replica: Arc<PlogStore>,
     stream: Arc<StreamService>,
     tables: Arc<TableStore>,
-    archive: ArchiveService,
-    tiering: TieringService,
-    scrubber: ScrubService,
+    archive: Arc<ArchiveService>,
+    tiering: Arc<TieringService>,
+    scrubber: Arc<ScrubService>,
+    replicator: Arc<RemoteReplicator>,
+    compaction: Arc<CompactionChore>,
+    chores: ChoreRuntime,
 }
 
 /// Device health across a deployment's pools, for operator dashboards and
@@ -140,7 +156,7 @@ impl StreamLake {
             .expect("valid plog config")
             .with_metrics(metrics.clone()),
         );
-        let scrubber = ScrubService::new(plog.clone());
+        let scrubber = Arc::new(ScrubService::new(plog.clone()));
         let stream = StreamService::new(
             plog.clone(),
             clock.clone(),
@@ -152,14 +168,54 @@ impl StreamLake {
             },
         );
         let tables = Arc::new(TableStore::new(plog.clone(), config.meta_flush_threshold));
-        let archive = ArchiveService::new(hdd.clone());
-        let tiering = TieringService::new(
+        let archive = Arc::new(ArchiveService::new(hdd.clone()));
+        let tiering = Arc::new(TieringService::new(
             ssd.clone(),
             hdd.clone(),
             clock.clone(),
             common::clock::secs(config.tier_demote_after_secs),
             true,
+        ));
+        // The remote replica site (paper §IV geo-replication): a second
+        // PLog store on the cold pool the replicator chore ships into.
+        let replica = Arc::new(
+            PlogStore::new(
+                hdd.clone(),
+                PlogConfig {
+                    shard_count: config.shard_count,
+                    redundancy: Redundancy::Replicate { copies: 2 },
+                    shard_capacity: config.hdd_capacity,
+                },
+            )
+            // slint:allow(R4): same validated shape as the primary config
+            .expect("valid replica plog config"),
         );
+        let replicator = Arc::new(RemoteReplicator::new(plog.clone(), replica.clone()));
+        let compaction = Arc::new(CompactionChore::new(
+            tables.clone(),
+            config.compaction_target_bytes,
+            Box::new(IntervalTrigger::every_30s()),
+        ));
+
+        // The maintenance runtime owns every background service. Periods
+        // are part of the deterministic schedule: registration order
+        // breaks same-instant ties, so this order is a contract too.
+        let chores = ChoreRuntime::new(
+            metrics.clone(),
+            sink.clone(),
+            config.maintenance_seed,
+            config.backpressure,
+        );
+        chores.register(scrubber.clone(), ChoreConfig::every(secs(30)));
+        chores.register(tiering.clone(), ChoreConfig::every(secs(60)));
+        chores.register(replicator.clone(), ChoreConfig::every(secs(10)));
+        chores.register(
+            Arc::new(ArchiveChore::new(stream.clone(), archive.clone())),
+            ChoreConfig::every(secs(10)),
+        );
+        chores.register(Arc::new(MetaFlushChore::new(tables.clone())), ChoreConfig::every(secs(5)));
+        chores.register(compaction.clone(), ChoreConfig::every(secs(30)));
+
         StreamLake {
             clock,
             metrics,
@@ -167,11 +223,15 @@ impl StreamLake {
             ssd,
             hdd,
             plog,
+            replica,
             stream,
             tables,
             archive,
             tiering,
             scrubber,
+            replicator,
+            compaction,
+            chores,
         }
     }
 
@@ -226,6 +286,41 @@ impl StreamLake {
     /// The background integrity scrubber over the PLog store.
     pub fn scrubber(&self) -> &ScrubService {
         &self.scrubber
+    }
+
+    /// The remote replication service shipping PLog records to the
+    /// replica site.
+    pub fn replicator(&self) -> &Arc<RemoteReplicator> {
+        &self.replicator
+    }
+
+    /// The remote replica PLog store (the replication chore's target).
+    pub fn replica_plog(&self) -> &Arc<PlogStore> {
+        &self.replica
+    }
+
+    /// The compaction chore (swap its trigger to put LakeBrain's DQN in
+    /// charge instead of the interval baseline).
+    pub fn compaction(&self) -> &Arc<CompactionChore> {
+        &self.compaction
+    }
+
+    /// The maintenance runtime all six background services run under.
+    pub fn maintenance(&self) -> &ChoreRuntime {
+        &self.chores
+    }
+
+    /// Drive maintenance: run every due chore tick up to virtual time
+    /// `until`, in deterministic due-time order. Returns the tick journal
+    /// of this call.
+    pub fn run_maintenance_until(&self, until: Nanos) -> Vec<TickEvent> {
+        self.chores.run_until(until)
+    }
+
+    /// Per-chore status: last tick, cumulative work, failure streaks and
+    /// current (backpressure-scaled) budgets.
+    pub fn chore_status(&self) -> Vec<ChoreStatus> {
+        self.chores.status()
     }
 
     /// Per-device health (error, slow-I/O and corruption counters) for

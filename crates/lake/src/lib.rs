@@ -28,6 +28,9 @@ pub mod metacache;
 pub mod table;
 
 pub use catalog::{Catalog, PartitionSpec, PartitionTransform, TableProfile};
+pub use maintenance::{
+    CompactionChore, CompactionTrigger, Compactor, IntervalTrigger, MetaFlushChore,
+};
 pub use meta::{Commit, DataFileMeta, Snapshot};
 pub use metacache::{MetadataCache, MetadataMode};
 pub use table::{ScanOptions, ScanResult, TableStore};

@@ -9,11 +9,14 @@
 
 use crate::meta::DataFileMeta;
 use crate::table::{CommitInfo, TableStore};
+use common::chore::{Chore, ChoreBudget, TickReport};
 use common::clock::Nanos;
 use common::ctx::{IoCtx, QosClass};
 use common::size::div_ceil;
 use common::{Error, Result};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Storage block size used for utilization accounting (paper's `K`).
 pub const BLOCK_SIZE: u64 = 4 * 1024 * 1024;
@@ -197,6 +200,203 @@ impl Compactor {
     }
 }
 
+/// A per-partition compaction decision source for the maintenance chore.
+///
+/// The state vector uses the same 9-feature layout as LakeBrain's
+/// `CompactionEnv::state` (index 3 = global block utilization, index 6 =
+/// partition block utilization, index 7 = small-file count / 50), so the
+/// trained DQN agent can drive the chore through a thin adapter while the
+/// interval baseline ignores the features entirely.
+pub trait CompactionTrigger: Send {
+    /// Decide whether to compact one partition of `table` now.
+    fn should_compact(&mut self, table: &str, state: &[f64], now: Nanos) -> bool;
+
+    /// Trigger name for status reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The static baseline: compact every partition once per `interval` of
+/// virtual time (the paper's "Default-compaction" 30-second timer).
+#[derive(Debug)]
+pub struct IntervalTrigger {
+    interval: Nanos,
+    last: Nanos,
+}
+
+impl IntervalTrigger {
+    /// A trigger firing every `interval` nanoseconds.
+    pub fn new(interval: Nanos) -> Self {
+        IntervalTrigger { interval, last: 0 }
+    }
+
+    /// The paper's default 30-second timer.
+    pub fn every_30s() -> Self {
+        IntervalTrigger::new(common::clock::secs(30))
+    }
+}
+
+impl CompactionTrigger for IntervalTrigger {
+    fn should_compact(&mut self, _table: &str, _state: &[f64], now: Nanos) -> bool {
+        if now.saturating_sub(self.last) >= self.interval {
+            self.last = now;
+            true
+        } else {
+            // every partition asked within the firing round compacts, not
+            // just the first one
+            now == self.last
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "interval"
+    }
+}
+
+/// The compaction maintenance chore: sweeps every catalog table, builds
+/// each partition's feature vector from live metadata, asks the trigger,
+/// and compacts where it says so. Conflicts on individual partitions are
+/// tolerated (they are the trigger's risk, exactly as in `compact_all`).
+pub struct CompactionChore {
+    store: Arc<TableStore>,
+    compactor: Compactor,
+    trigger: Mutex<Box<dyn CompactionTrigger>>,
+}
+
+impl std::fmt::Debug for CompactionChore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompactionChore")
+            .field("trigger", &self.trigger.lock().name())
+            .finish()
+    }
+}
+
+impl CompactionChore {
+    /// A chore compacting toward `target_bytes` files when `trigger` fires.
+    pub fn new(
+        store: Arc<TableStore>,
+        target_bytes: u64,
+        trigger: Box<dyn CompactionTrigger>,
+    ) -> Self {
+        CompactionChore { store, compactor: Compactor::new(target_bytes), trigger: Mutex::new(trigger) }
+    }
+
+    /// The active trigger's name (for status reports).
+    pub fn trigger_name(&self) -> &'static str {
+        self.trigger.lock().name()
+    }
+
+    /// Swap the trigger — e.g. replace the interval baseline with a
+    /// trained LakeBrain policy adapter. Takes effect at the next tick.
+    pub fn set_trigger(&self, trigger: Box<dyn CompactionTrigger>) {
+        *self.trigger.lock() = trigger;
+    }
+}
+
+impl Chore for CompactionChore {
+    fn name(&self) -> &'static str {
+        "compaction"
+    }
+
+    fn tick(&self, ctx: &IoCtx, mut budget: ChoreBudget) -> Result<TickReport> {
+        let mut report = TickReport::idle(ctx.now);
+        let mut trigger = self.trigger.lock();
+        for table in self.store.catalog().list() {
+            let partitions = match self.compactor.partitions(&self.store, &table, ctx) {
+                Ok(p) => p,
+                // table dropped between list() and the scan: skip it
+                Err(Error::NotFound(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let global_util = {
+                let sizes: Vec<u64> = partitions
+                    .values()
+                    .flat_map(|fs| fs.iter().map(|f| f.bytes))
+                    .collect();
+                block_utilization(&sizes, BLOCK_SIZE)
+            };
+            for (partition, files) in &partitions {
+                let sizes: Vec<u64> = files.iter().map(|f| f.bytes).collect();
+                let util = block_utilization(&sizes, BLOCK_SIZE);
+                let small = files
+                    .iter()
+                    .filter(|f| f.bytes < self.compactor.target_bytes)
+                    .count();
+                // mirror CompactionEnv::state's layout (unknowable
+                // workload features pinned at their 0.5 midpoint)
+                let state = vec![
+                    (self.compactor.target_bytes as f64 / (64.0 * 1024.0 * 1024.0)).min(1.0),
+                    0.5,
+                    0.5,
+                    global_util,
+                    0.5,
+                    0.5,
+                    util,
+                    (small as f64 / 50.0).min(1.0),
+                    0.5,
+                ];
+                if !trigger.should_compact(&table, &state, ctx.now) {
+                    continue;
+                }
+                if budget.exhausted() {
+                    report.backlog_hint += 1;
+                    continue;
+                }
+                match self.compactor.compact_partition(&self.store, &table, partition, ctx) {
+                    Ok(o) => {
+                        report.work_done += o.files_compacted;
+                        if let Some(commit) = &o.commit {
+                            report.finished_at = report.finished_at.max(commit.finished_at);
+                        }
+                        budget.ops = budget.ops.saturating_sub(1);
+                        budget.bytes = budget.bytes.saturating_sub(sizes.iter().sum());
+                    }
+                    Err(Error::Conflict(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// The MetaFresher as a chore: a due-time flush of every table's pending
+/// metadata-cache entries, replacing "flush only when the per-table buffer
+/// fills" with "flush whatever is pending when the tick comes due". The
+/// threshold auto-flush inside `put_commit` still backstops hot tables
+/// between ticks.
+#[derive(Debug)]
+pub struct MetaFlushChore {
+    store: Arc<TableStore>,
+}
+
+impl MetaFlushChore {
+    /// A chore flushing `store`'s metadata cache.
+    pub fn new(store: Arc<TableStore>) -> Self {
+        MetaFlushChore { store }
+    }
+}
+
+impl Chore for MetaFlushChore {
+    fn name(&self) -> &'static str {
+        "meta-flush"
+    }
+
+    fn tick(&self, ctx: &IoCtx, mut budget: ChoreBudget) -> Result<TickReport> {
+        let mut report = TickReport::idle(ctx.now);
+        for (table, pending) in self.store.meta().pending_tables() {
+            if budget.exhausted() {
+                report.backlog_hint += pending;
+                continue;
+            }
+            let t = self.store.meta().flush(&table, ctx)?;
+            report.work_done += pending;
+            report.finished_at = report.finished_at.max(t);
+            budget.ops = budget.ops.saturating_sub(1);
+        }
+        Ok(report)
+    }
+}
+
 /// Result of a snapshot-expiration run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExpiryReport {
@@ -338,6 +538,82 @@ mod tests {
         let outcomes = compactor.compact_all(&store, "t", &IoCtx::new(0)).unwrap();
         assert_eq!(outcomes.len(), 3);
         assert_eq!(store.live_files("t", &IoCtx::new(0)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn compaction_chore_respects_budget_and_reports_backlog() {
+        let store = Arc::new(test_store());
+        store
+            .create_table(
+                "t",
+                log_schema(),
+                Some(crate::catalog::PartitionSpec::hourly("start_time")),
+                100_000,
+                &IoCtx::new(0),
+            )
+            .unwrap();
+        for h in 0..3i64 {
+            for _ in 0..5 {
+                store
+                    .insert("t", &log_rows(10, 1_656_806_400 + h * 3600), &IoCtx::new(0))
+                    .unwrap();
+            }
+        }
+        let chore = CompactionChore::new(
+            store.clone(),
+            64 * 1024 * 1024,
+            Box::new(IntervalTrigger::new(0)), // always fires
+        );
+        assert_eq!(chore.trigger_name(), "interval");
+        // ops budget 1: one of three eligible partitions compacts, the
+        // other two are deferred, not dropped
+        let r = chore
+            .tick(&IoCtx::new(common::clock::secs(100)), ChoreBudget::new(u64::MAX, 1))
+            .unwrap();
+        assert_eq!(r.work_done, 5, "one partition's five files merged");
+        assert_eq!(r.backlog_hint, 2, "two partitions deferred by the budget");
+        assert!(r.finished_at > common::clock::secs(100), "compaction cost charged");
+        // an unbudgeted follow-up drains the backlog
+        let r2 = chore
+            .tick(&IoCtx::new(common::clock::secs(200)), ChoreBudget::UNLIMITED)
+            .unwrap();
+        assert_eq!(r2.work_done, 10);
+        assert_eq!(r2.backlog_hint, 0);
+        assert_eq!(store.live_files("t", &IoCtx::new(common::clock::secs(300))).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn meta_flush_chore_flushes_pending_tables_in_order() {
+        let store = Arc::new(test_store());
+        store.create_table("b", log_schema(), None, 100_000, &IoCtx::new(0)).unwrap();
+        store.create_table("a", log_schema(), None, 100_000, &IoCtx::new(0)).unwrap();
+        store.insert("b", &log_rows(5, 0), &IoCtx::new(0)).unwrap();
+        store.insert("a", &log_rows(5, 0), &IoCtx::new(0)).unwrap();
+        store.insert("a", &log_rows(5, 100), &IoCtx::new(0)).unwrap();
+        let pending = store.meta().pending_tables();
+        assert_eq!(
+            pending,
+            vec![("a".to_string(), 2), ("b".to_string(), 1)],
+            "pending view is sorted by table name"
+        );
+        let chore = MetaFlushChore::new(store.clone());
+        // ops budget 1: only "a" (first in order) flushes this tick
+        let r = chore
+            .tick(&IoCtx::new(common::clock::secs(1)), ChoreBudget::new(u64::MAX, 1))
+            .unwrap();
+        assert_eq!(r.work_done, 2, "table a's two pending entries flushed");
+        assert_eq!(r.backlog_hint, 1, "table b's entry deferred");
+        assert_eq!(store.meta().pending_tables(), vec![("b".to_string(), 1)]);
+        // unbudgeted tick drains the rest; a further tick is a no-op
+        let r2 = chore
+            .tick(&IoCtx::new(common::clock::secs(2)), ChoreBudget::UNLIMITED)
+            .unwrap();
+        assert_eq!(r2.work_done, 1);
+        assert!(store.meta().pending_tables().is_empty());
+        let r3 = chore
+            .tick(&IoCtx::new(common::clock::secs(3)), ChoreBudget::UNLIMITED)
+            .unwrap();
+        assert_eq!(r3, TickReport::idle(common::clock::secs(3)));
     }
 
     #[test]

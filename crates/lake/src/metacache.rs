@@ -26,7 +26,7 @@ use common::{Error, Result};
 use kvstore::SharedKv;
 use parking_lot::Mutex;
 use plog::{PlogAddress, PlogStore};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Which metadata path a read uses.
@@ -51,7 +51,7 @@ pub struct MetadataCache {
     plog: Arc<PlogStore>,
     kv: SharedKv,
     /// Pending (unflushed) commit/snapshot cache entries per table.
-    pending: Mutex<HashMap<String, u64>>,
+    pending: Mutex<BTreeMap<String, u64>>,
     /// MetaFresher flush threshold (pending entries per table).
     flush_threshold: u64,
 }
@@ -63,7 +63,7 @@ impl MetadataCache {
         MetadataCache {
             plog,
             kv: SharedKv::new(),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new(BTreeMap::new()),
             flush_threshold: flush_threshold.max(1),
         }
     }
@@ -138,6 +138,18 @@ impl MetadataCache {
         }
         self.pending.lock().insert(table.to_string(), 0);
         Ok(finish)
+    }
+
+    /// Tables with unflushed metadata entries and their pending counts, in
+    /// name order (the backing map is ordered), so maintenance sweeps are
+    /// deterministic.
+    pub fn pending_tables(&self) -> Vec<(String, u64)> {
+        self.pending
+            .lock()
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|(t, &n)| (t.clone(), n))
+            .collect()
     }
 
     /// Fetch a snapshot under the given mode; returns it plus the virtual
@@ -233,7 +245,7 @@ impl MetadataCache {
                 Ok((out, finish))
             }
             MetadataMode::FileBased => {
-                let mut live: HashMap<String, DataFileMeta> = HashMap::new();
+                let mut live: BTreeMap<String, DataFileMeta> = BTreeMap::new();
                 let mut t = ctx.now;
                 for &cid in &snapshot.commit_ids {
                     let (commit, tc) =
@@ -268,7 +280,7 @@ impl MetadataCache {
         partitions: Option<&[String]>,
         ctx: &IoCtx,
     ) -> Result<(Vec<DataFileMeta>, Nanos)> {
-        let mut live: HashMap<String, DataFileMeta> = HashMap::new();
+        let mut live: BTreeMap<String, DataFileMeta> = BTreeMap::new();
         let mut t = ctx.now;
         for &cid in &snapshot.commit_ids {
             let (commit, tc) =

@@ -190,6 +190,30 @@ pub fn evaluate_policy(
     (cost_sum / steps as f64, util_sum / steps as f64, conflicts)
 }
 
+/// Adapts any [`CompactionPolicy`] — including the trained DQN — to the
+/// lake-side [`lake::maintenance::CompactionTrigger`] contract, so the
+/// maintenance chore runtime can swap brains without knowing about RL.
+pub struct PolicyTrigger {
+    policy: Box<dyn CompactionPolicy + Send>,
+}
+
+impl PolicyTrigger {
+    /// Wrap a policy as a chore trigger.
+    pub fn new(policy: Box<dyn CompactionPolicy + Send>) -> Self {
+        PolicyTrigger { policy }
+    }
+}
+
+impl lake::maintenance::CompactionTrigger for PolicyTrigger {
+    fn should_compact(&mut self, _table: &str, state: &[f64], now: Nanos) -> bool {
+        self.policy.decide(state, now)
+    }
+
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
 /// Drives a policy against a real [`TableStore`].
 pub struct AutoCompactor {
     compactor: Compactor,

@@ -28,7 +28,9 @@ pub mod partitioning;
 pub mod qdtree;
 pub mod spn;
 
-pub use compaction::{AutoCompactor, CompactionPolicy, DqnPolicy, GreedyPolicy, IntervalPolicy};
+pub use compaction::{
+    AutoCompactor, CompactionPolicy, DqnPolicy, GreedyPolicy, IntervalPolicy, PolicyTrigger,
+};
 pub use dqn::DqnAgent;
 pub use env::{CompactionEnv, EnvConfig, PartitionObs};
 pub use qdtree::QdTree;

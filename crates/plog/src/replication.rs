@@ -15,6 +15,7 @@
 //! after [`MAX_RETRY_ATTEMPTS`] tries and lets a later cycle pick it up.
 
 use crate::store::{PlogAddress, PlogStore};
+use common::chore::{Chore, ChoreBudget, TickReport};
 use common::clock::{millis, Nanos};
 use common::ctx::{IoCtx, Phase};
 use common::{Error, Result};
@@ -91,6 +92,14 @@ impl RemoteReplicator {
     /// shipping time is attributed to [`Phase::Wan`]; retry backoff waits
     /// to [`Phase::Queue`].
     pub fn run(&self, ctx: &IoCtx) -> Result<ReplicationReport> {
+        self.run_bounded(ctx, ChoreBudget::UNLIMITED)
+    }
+
+    /// [`run`](Self::run) with a tick budget: stop shipping once `budget`
+    /// records (`ops`) or logical bytes are spent. Unshipped work stays in
+    /// the pending set for the next cycle, so a budgeted cycle forfeits
+    /// nothing — it just ships less now.
+    pub fn run_bounded(&self, ctx: &IoCtx, mut budget: ChoreBudget) -> Result<ReplicationReport> {
         let mut report = ReplicationReport { finished_at: ctx.now, ..Default::default() };
         let mut mapping = self.mapping.lock();
         let mut cursor = self.cursor.lock();
@@ -116,6 +125,9 @@ impl RemoteReplicator {
                 cursor.pending.remove(&addr);
                 continue;
             }
+            if budget.exhausted() {
+                break; // the rest stays pending for the next cycle
+            }
             let (data, t_read) = match self.primary.read_at(&addr, &ctx.at(t)) {
                 Ok(v) => v,
                 Err(e @ Error::DeadlineExceeded(_)) => return Err(e),
@@ -130,6 +142,8 @@ impl RemoteReplicator {
                     t = t_write;
                     report.records_copied += 1;
                     report.bytes_shipped += data.len() as u64;
+                    budget.ops = budget.ops.saturating_sub(1);
+                    budget.bytes = budget.bytes.saturating_sub(data.len() as u64);
                 }
                 None => report.records_abandoned += 1,
             }
@@ -187,6 +201,11 @@ impl RemoteReplicator {
         self.mapping.lock().len()
     }
 
+    /// Records owed to the remote site right now (scanned but unshipped).
+    pub fn pending_count(&self) -> usize {
+        self.cursor.lock().pending.len()
+    }
+
     /// Recover the record at `addr` from the remote site (disaster
     /// recovery: the primary lost it beyond its redundancy margin).
     pub fn recover(&self, addr: &PlogAddress, ctx: &IoCtx) -> Result<(common::Bytes, Nanos)> {
@@ -198,6 +217,25 @@ impl RemoteReplicator {
         let wan = data.len() as u64 * 1_000_000_000 / WAN_BYTES_PER_SEC;
         ctx.record(Phase::Wan, t_read, wan);
         Ok((data, t_read + wan))
+    }
+}
+
+impl Chore for RemoteReplicator {
+    fn name(&self) -> &'static str {
+        "replication"
+    }
+
+    /// One budgeted shipping cycle. `work_done` counts records copied;
+    /// `backlog_hint` is the pending set left for the next cycle (records
+    /// the budget cut off plus any abandoned after retry exhaustion).
+    fn tick(&self, ctx: &IoCtx, budget: ChoreBudget) -> Result<TickReport> {
+        let report = self.run_bounded(ctx, budget)?;
+        Ok(TickReport {
+            work_done: report.records_copied,
+            backlog_hint: self.pending_count() as u64,
+            next_due: None,
+            finished_at: report.finished_at,
+        })
     }
 }
 
@@ -284,6 +322,25 @@ mod tests {
         let r3 = rep.run(&IoCtx::new(r2.finished_at)).unwrap();
         assert_eq!(r3.records_scanned, 1);
         assert_eq!(r3.records_copied, 1);
+    }
+
+    #[test]
+    fn budgeted_cycles_ship_incrementally_without_losing_work() {
+        let primary = site("primary", 4);
+        let remote = site("remote", 4);
+        for i in 0..10 {
+            primary.append(format!("k{i}").as_bytes(), vec![i as u8; 400]).unwrap();
+        }
+        let rep = RemoteReplicator::new(primary, remote);
+        let r1 = rep.tick(&IoCtx::new(0), ChoreBudget::new(u64::MAX, 3)).unwrap();
+        assert_eq!(r1.work_done, 3);
+        assert_eq!(r1.backlog_hint, 7, "budget cut the cycle short, work stays pending");
+        let r2 = rep
+            .tick(&IoCtx::new(r1.finished_at), ChoreBudget::UNLIMITED)
+            .unwrap();
+        assert_eq!(r2.work_done, 7, "next tick drains the pending set");
+        assert_eq!(r2.backlog_hint, 0);
+        assert_eq!(rep.replicated_count(), 10);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! virtual-time slices instead of one monolithic pass.
 
 use crate::store::{PlogAddress, PlogStore, RecordHealth};
+use common::chore::{Chore, ChoreBudget, TickReport};
 use common::clock::Nanos;
 use common::ctx::{IoCtx, QosClass};
 use common::metrics::Metrics;
@@ -88,12 +89,19 @@ impl ScrubService {
     /// Maintenance regardless of what the caller's `ctx` carries: scrub
     /// I/O must never contend in a foreground lane.
     pub fn run_cycle(&self, ctx: &IoCtx) -> Result<ScrubReport> {
+        self.run_cycle_bounded(ctx, self.cycle_budget)
+    }
+
+    /// [`run_cycle`](Self::run_cycle) with the record cap further tightened
+    /// to `max_records` (the chore runtime's per-tick op budget).
+    fn run_cycle_bounded(&self, ctx: &IoCtx, max_records: usize) -> Result<ScrubReport> {
+        let limit = self.cycle_budget.min(max_records).max(1);
         let ctx = ctx.clone().with_qos(QosClass::Maintenance).without_deadline();
         let addrs = self.scan_order();
         let mut report = ScrubReport { finished_at: ctx.now, ..Default::default() };
         let mut next_cursor = None;
         for (scanned, addr) in addrs.iter().enumerate() {
-            if scanned >= self.cycle_budget {
+            if scanned >= limit {
                 next_cursor = Some((addr.shard, addr.offset));
                 break;
             }
@@ -148,6 +156,32 @@ impl ScrubService {
             addrs.rotate_left(at);
         }
         addrs
+    }
+}
+
+impl Chore for ScrubService {
+    fn name(&self) -> &'static str {
+        "scrub"
+    }
+
+    /// One bounded scrub cycle: `budget.ops` caps the records scanned (on
+    /// top of the service's own `cycle_budget`). `backlog_hint` is the
+    /// index remainder when the cursor parked mid-pass, so the runtime can
+    /// tell a finished sweep from a starved one.
+    fn tick(&self, ctx: &IoCtx, budget: ChoreBudget) -> Result<TickReport> {
+        let cap = usize::try_from(budget.ops).unwrap_or(usize::MAX);
+        let report = self.run_cycle_bounded(ctx, cap)?;
+        let backlog = if self.cursor.lock().is_some() {
+            (self.store.record_count() as u64).saturating_sub(report.records_scanned)
+        } else {
+            0
+        };
+        Ok(TickReport {
+            work_done: report.records_scanned,
+            backlog_hint: backlog,
+            next_due: None,
+            finished_at: report.finished_at,
+        })
     }
 }
 
@@ -249,6 +283,23 @@ mod tests {
         }
         assert_eq!(scanned, 9 + 3, "three budget-4 cycles wrap past 9 records");
         assert_eq!(s.metrics().counter("scrub.cycles"), 3);
+    }
+
+    #[test]
+    fn chore_tick_respects_the_op_budget_and_reports_backlog() {
+        let s = store(Redundancy::Replicate { copies: 2 }, 3);
+        for i in 0..10u32 {
+            s.append(&i.to_be_bytes(), format!("r{i}").into_bytes()).unwrap();
+        }
+        let scrub = ScrubService::new(Arc::clone(&s));
+        let r = scrub.tick(&IoCtx::new(0), ChoreBudget::new(u64::MAX, 4)).unwrap();
+        assert_eq!(r.work_done, 4);
+        assert_eq!(r.backlog_hint, 6, "cursor parked with six records to go");
+        let r2 = scrub
+            .tick(&IoCtx::new(r.finished_at), ChoreBudget::UNLIMITED)
+            .unwrap();
+        assert_eq!(r2.work_done, 10, "full cycle resumes at the cursor and wraps the index");
+        assert_eq!(r2.backlog_hint, 0);
     }
 
     #[test]

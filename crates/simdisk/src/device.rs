@@ -385,17 +385,20 @@ impl Device {
         Ok((data, timing))
     }
 
-    /// Delete extent `extent_id`, freeing its space. Missing extents are a
-    /// no-op (idempotent GC).
-    pub fn delete_extent(&self, extent_id: u64) -> Result<()> {
+    /// Delete extent `extent_id`, freeing its space and returning the byte
+    /// count reclaimed. Missing extents are a no-op (idempotent GC) that
+    /// frees 0 bytes.
+    pub fn delete_extent(&self, extent_id: u64) -> Result<u64> {
         let mut st = self.state.lock();
         if st.failed {
             return Err(Error::Io(format!("device {} failed", self.id)));
         }
-        if let Some(e) = st.extents.remove(&extent_id) {
-            st.used -= e.len() as u64;
-        }
-        Ok(())
+        let freed = match st.extents.remove(&extent_id) {
+            Some(e) => e.len() as u64,
+            None => 0,
+        };
+        st.used -= freed;
+        Ok(freed)
     }
 
     /// Whether the device currently stores `extent_id`.

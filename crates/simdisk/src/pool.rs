@@ -352,13 +352,17 @@ impl StoragePool {
         Ok(dev.read_extent(dev_extent)?.0)
     }
 
-    /// Delete all shards of an extent (garbage collection).
-    pub fn delete(&self, handle: &ExtentHandle) {
+    /// Delete all shards of an extent (garbage collection). Returns the
+    /// physical bytes reclaimed across devices; shards on failed devices
+    /// contribute 0 (their space is gone with the device either way).
+    pub fn delete(&self, handle: &ExtentHandle) -> u64 {
+        let mut freed = 0;
         for &(dev_idx, dev_extent) in &handle.shards {
             if let Some(d) = self.devices.get(dev_idx) {
-                let _ = d.delete_extent(dev_extent);
+                freed += d.delete_extent(dev_extent).unwrap_or(0);
             }
         }
+        freed
     }
 
     /// Standard deviation of per-device utilization — the load-balance metric.

@@ -28,6 +28,11 @@
 //!   must not call `SimClock::advance` / `advance_to` directly: upper
 //!   layers receive time through `common::ctx::IoCtx` and the `_at`
 //!   methods; only the device layer may move the shared clock.
+//! * **R8** — background-service entry points (`run_policy`, `run_cycle`,
+//!   `run_to_convergence`, `maybe_archive`, `compact_all`) may only be
+//!   called from the owning service's own crate; everywhere else the work
+//!   must be driven through the `core::chore` maintenance runtime, so one
+//!   scheduler owns budgets, backpressure and deterministic retry.
 //!
 //! Findings can be waived inline with `// slint:allow(R4): reason` (the
 //! reason is mandatory; a reasonless waiver is itself a finding, rule W1)
@@ -60,14 +65,25 @@ pub enum Rule {
     R6,
     /// Direct clock advancement above the device layer.
     R7,
+    /// Ad-hoc background-service calls outside the chore runtime.
+    R8,
     /// Waiver comment without a reason.
     W1,
 }
 
 impl Rule {
     /// All enforceable rules, in order.
-    pub const ALL: [Rule; 8] =
-        [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6, Rule::R7, Rule::W1];
+    pub const ALL: [Rule; 9] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+        Rule::W1,
+    ];
 
     /// Code as written in waivers and the baseline file.
     pub fn code(self) -> &'static str {
@@ -79,6 +95,7 @@ impl Rule {
             Rule::R5 => "R5",
             Rule::R6 => "R6",
             Rule::R7 => "R7",
+            Rule::R8 => "R8",
             Rule::W1 => "W1",
         }
     }
@@ -145,7 +162,9 @@ fn rule_applies(rule: Rule, path: &str) -> bool {
                 && !path.starts_with("crates/common/")
                 && !path.starts_with("crates/simdisk/")
         }
-        Rule::R6 | Rule::W1 => true,
+        // R8's per-token owner-crate exemptions live in
+        // `check_chore_entry_points`; the rule itself applies everywhere.
+        Rule::R6 | Rule::R8 | Rule::W1 => true,
     }
 }
 
@@ -295,6 +314,10 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
         findings.extend(check_unsafe_blocks(rel_path, &cleaned, &waivers));
     }
 
+    if rule_applies(Rule::R8, rel_path) {
+        findings.extend(check_chore_entry_points(rel_path, &cleaned, &waivers));
+    }
+
     findings.sort();
     findings
 }
@@ -423,6 +446,51 @@ fn check_unsafe_blocks(
             rule: Rule::R6,
             message: "`unsafe` without a `// SAFETY:` comment".to_string(),
         });
+    }
+    findings
+}
+
+/// R8: `(method-call token, owning crate prefix)`. Calling one of these
+/// outside the owner means bypassing the maintenance runtime's budgets,
+/// backpressure and deterministic scheduling.
+const CHORE_ENTRY_POINTS: [(&str, &str); 5] = [
+    (".run_policy(", "crates/simdisk/"),
+    (".run_cycle(", "crates/plog/"),
+    (".run_to_convergence(", "crates/plog/"),
+    (".maybe_archive(", "crates/stream/"),
+    (".compact_all(", "crates/lake/"),
+];
+
+/// R8: background-service entry points may only be driven through the
+/// chore runtime outside the owning service's crate (the owner's own
+/// code, tests and benches drive itself freely).
+fn check_chore_entry_points(
+    rel_path: &str,
+    cleaned: &CleanedSource,
+    waivers: &Waivers,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (token, owner) in CHORE_ENTRY_POINTS {
+        if rel_path.starts_with(owner) {
+            continue;
+        }
+        for (idx, line) in cleaned.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            for _ in find_token(&line.code, token) {
+                if waivers.allows(lineno, Rule::R8) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: lineno,
+                    rule: Rule::R8,
+                    message: format!(
+                        "`{token}`: ad-hoc background-service call; drive it through the \
+                         core::chore maintenance runtime"
+                    ),
+                });
+            }
+        }
     }
     findings
 }

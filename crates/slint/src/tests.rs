@@ -211,6 +211,47 @@ fn r7_skips_test_code() {
     assert!(rules_fired("crates/lake/src/x.rs", src).is_empty());
 }
 
+// ---- R8: ad-hoc background-service calls ---------------------------------
+
+#[test]
+fn r8_flags_service_entry_points_outside_the_owner_crate() {
+    let src = "pub fn f(s: &ScrubService) { let _ = s.run_cycle(&ctx, 4); }\n";
+    assert_eq!(rules_fired("crates/core/src/system.rs", src), vec![Rule::R8]);
+    // root integration tests are not exempt: they drive deployments and
+    // must use the runtime (or carry an explicit waiver).
+    assert_eq!(rules_fired("tests/chaos.rs", src), vec![Rule::R8]);
+}
+
+#[test]
+fn r8_exempts_each_entry_point_in_its_own_crate_only() {
+    let scrub = "pub fn f(s: &ScrubService) { let _ = s.run_cycle(&ctx, 4); }\n";
+    assert!(rules_fired("crates/plog/src/scrub.rs", scrub).is_empty());
+    let tier = "pub fn f(t: &TieringService) { let _ = t.run_policy(); }\n";
+    assert!(rules_fired("crates/simdisk/src/tier.rs", tier).is_empty());
+    // the exemption is per token, not blanket: plog calling the tiering
+    // entry point still flags.
+    assert_eq!(rules_fired("crates/plog/src/x.rs", tier), vec![Rule::R8]);
+}
+
+#[test]
+fn r8_applies_even_inside_test_modules() {
+    // Unlike R4/R5/R7, test code is in scope: tests are exactly where
+    // ad-hoc service loops accumulate, so they need an explicit waiver.
+    let src = "pub fn ok() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   fn t(c: &Compactor) { let _ = c.compact_all(&s, &ctx); }\n\
+               }\n";
+    assert_eq!(rules_fired("crates/stream/src/x.rs", src), vec![Rule::R8]);
+}
+
+#[test]
+fn r8_waiver_suppresses_with_a_reason() {
+    let src = "// slint:allow(R8): this test asserts run-to-convergence semantics directly\n\
+               fn t(s: &ScrubService) { let _ = s.run_to_convergence(&ctx, 8); }\n";
+    assert!(rules_fired("tests/chaos.rs", src).is_empty());
+}
+
 // ---- waivers -------------------------------------------------------------
 
 #[test]

@@ -15,6 +15,8 @@
 use crate::config::ArchiveConfig;
 use crate::object::{ReadCtrl, StreamObject};
 use crate::record::Record;
+use crate::service::StreamService;
+use common::chore::{Chore, ChoreBudget, TickReport};
 use common::ctx::IoCtx;
 use common::{Error, ObjectId, Result};
 use format::{DataType, Field, LakeFileReader, LakeFileWriter, Schema, Value};
@@ -151,6 +153,68 @@ impl ArchiveService {
     /// Total physical bytes in the archive pool.
     pub fn stored_bytes(&self) -> u64 {
         self.entries.lock().iter().map(|e| e.stored_bytes).sum()
+    }
+}
+
+/// The archive sweep as a maintenance chore: walks every archive-enabled
+/// topic's streams (topics sorted, streams in stream order — deterministic)
+/// and archives each object that crossed its `archive_size` threshold.
+#[derive(Debug)]
+pub struct ArchiveChore {
+    service: Arc<StreamService>,
+    archive: Arc<ArchiveService>,
+}
+
+impl ArchiveChore {
+    /// A sweep over `service`'s topics writing into `archive`.
+    pub fn new(service: Arc<StreamService>, archive: Arc<ArchiveService>) -> Self {
+        ArchiveChore { service, archive }
+    }
+}
+
+impl Chore for ArchiveChore {
+    fn name(&self) -> &'static str {
+        "archive"
+    }
+
+    /// One sweep. `budget.ops` caps batches archived and `budget.bytes`
+    /// caps archive-pool bytes written; objects still over threshold when
+    /// the budget runs out are counted in `backlog_hint` and picked up next
+    /// tick.
+    fn tick(&self, ctx: &IoCtx, mut budget: ChoreBudget) -> Result<TickReport> {
+        let dispatcher = self.service.dispatcher();
+        let mut report = TickReport::idle(ctx.now);
+        for topic in dispatcher.topics() {
+            let config = match dispatcher.topic_config(&topic) {
+                Ok(c) => c,
+                Err(_) => continue, // deleted mid-sweep
+            };
+            if !config.archive.enabled {
+                continue;
+            }
+            let threshold = config.archive.archive_size * 1024 * 1024;
+            for route in dispatcher.topic_routes(&topic)? {
+                let object = match dispatcher.object_of(&route) {
+                    Ok(o) => o,
+                    Err(_) => continue,
+                };
+                if object.persisted_bytes() < threshold {
+                    continue;
+                }
+                if budget.exhausted() {
+                    report.backlog_hint += 1;
+                    continue;
+                }
+                if let Some(entry) =
+                    self.archive.maybe_archive(&object, &config.archive, ctx)?
+                {
+                    report.work_done += 1;
+                    budget.ops = budget.ops.saturating_sub(1);
+                    budget.bytes = budget.bytes.saturating_sub(entry.stored_bytes);
+                }
+            }
+        }
+        Ok(report)
     }
 }
 

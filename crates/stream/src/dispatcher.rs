@@ -239,6 +239,12 @@ impl StreamDispatcher {
             .ok_or_else(|| Error::NotFound(format!("topic {topic}")))
     }
 
+    /// All topic names, sorted (deterministic enumeration for maintenance
+    /// sweeps).
+    pub fn topics(&self) -> Vec<String> {
+        self.topo.lock().topics.keys().cloned().collect()
+    }
+
     /// The configuration of `topic`.
     pub fn topic_config(&self, topic: &str) -> Result<TopicConfig> {
         self.topo

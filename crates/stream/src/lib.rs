@@ -42,6 +42,7 @@ pub fn placement_key(key: &[u8], n: usize) -> usize {
     plog::placement::shard_for(key, n)
 }
 
+pub use archive::{ArchiveChore, ArchiveEntry, ArchiveService};
 pub use config::TopicConfig;
 pub use consumer::Consumer;
 pub use dispatcher::StreamDispatcher;

@@ -13,6 +13,7 @@ use common::ctx::{IoCtx, Phase};
 use common::{Result, WorkerId};
 use parking_lot::Mutex;
 use simdisk::{Bus, LruCache};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A stream worker with its stream-object client cache.
@@ -22,8 +23,10 @@ pub struct StreamWorker {
     bus: Arc<Bus>,
     /// Consumption cache: (object id, base offset) → encoded record batch.
     cache: Mutex<LruCache<(u64, u64)>>,
-    produced: Mutex<u64>,
-    fetched: Mutex<u64>,
+    /// Hot-path counters: atomics, not mutexes — produce/fetch bump these
+    /// on every request and never need cross-counter consistency.
+    produced: AtomicU64,
+    fetched: AtomicU64,
 }
 
 impl StreamWorker {
@@ -33,8 +36,8 @@ impl StreamWorker {
             id,
             bus,
             cache: Mutex::new(LruCache::new(cache_bytes)),
-            produced: Mutex::new(0),
-            fetched: Mutex::new(0),
+            produced: AtomicU64::new(0),
+            fetched: AtomicU64::new(0),
         }
     }
 
@@ -62,7 +65,7 @@ impl StreamWorker {
         ctx.record(Phase::Wan, ctx.now, transfer);
         let ack = object.append_at(records, &ctx.at(ctx.now + transfer))?;
         let durable = object.flush_at(&ctx.at(ack.ack_time))?;
-        *self.produced.lock() += records.len() as u64;
+        self.produced.fetch_add(records.len() as u64, Ordering::Relaxed);
         Ok(AppendAck { base_offset: ack.base_offset, ack_time: durable.max(ack.ack_time) })
     }
 
@@ -92,7 +95,7 @@ impl StreamWorker {
                     .collect();
                 // A cached batch that already reaches the end is complete.
                 if out.last().map(|(o, _)| o + 1) == Some(end) || out.len() >= ctrl.max_records {
-                    *self.fetched.lock() += out.len() as u64;
+                    self.fetched.fetch_add(out.len() as u64, Ordering::Relaxed);
                     return Ok((out, ctx.now));
                 }
             }
@@ -120,13 +123,13 @@ impl StreamWorker {
             .transport()
             .transfer_time(records.iter().map(|(_, r)| r.size_bytes() as u64).sum());
         ctx.record(Phase::Wan, finish, transfer);
-        *self.fetched.lock() += records.len() as u64;
+        self.fetched.fetch_add(records.len() as u64, Ordering::Relaxed);
         Ok((records, finish + transfer))
     }
 
     /// `(records produced, records fetched)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.produced.lock(), *self.fetched.lock())
+        (self.produced.load(Ordering::Relaxed), self.fetched.load(Ordering::Relaxed))
     }
 
     /// `(hits, misses)` of the consumption cache.

@@ -16,6 +16,9 @@ cargo run -p slint
 # Latency-attribution smoke: a tiny Fig 14-style run; fails if any span
 # phase (queue/device/wan/meta) records zero samples.
 cargo run --release -p bench --bin phase_smoke
+# Maintenance-runtime soak: four virtual hours with every chore registered;
+# fails if any chore never ticks, is stuck in backoff, or starves.
+cargo run --release -p bench --bin chore_soak
 # Wall-clock perf baseline: measure the hot kernels and validate the
 # trajectory file — a missing or malformed BENCH_PERF.json fails the gate.
 cargo run --release -p bench --bin perf_baseline

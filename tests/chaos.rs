@@ -102,6 +102,7 @@ fn run_chaos(
 
     // Invariant 2: scrub converges and restores full redundancy.
     let scrub = ScrubService::new(Arc::clone(&store));
+    // slint:allow(R8): chaos drives the scrubber directly to test run-to-convergence semantics
     let reports = scrub.run_to_convergence(&IoCtx::new(t_read), 16).unwrap();
     let last = *reports.last().unwrap();
     assert!(last.is_clean(), "scrub failed to converge: {last:?}");
@@ -224,6 +225,7 @@ fn full_stack_deployment_detects_heals_and_reports() {
     // Scrub the deployment: the damage is found, repaired, and attributed
     // to its device in the health report.
     let scrub_ctx = sl.root_ctx(QosClass::Maintenance);
+    // slint:allow(R8): chaos drives the scrubber directly to assert convergence after injected rot
     let reports = sl.scrubber().run_to_convergence(&scrub_ctx, 8).unwrap();
     let detected: u64 = reports.iter().map(|r| r.corruptions_detected).sum();
     assert_eq!(detected, 1, "scrub must find exactly the injected rot");

@@ -133,8 +133,14 @@ fn compaction_preserves_query_results_end_to_end() {
     };
     let before = QueryEngine::new().execute(sl.tables(), &q, &IoCtx::new(0)).unwrap();
 
-    let compactor = lake::maintenance::Compactor::new(64 * 1024 * 1024);
-    compactor.compact_all(sl.tables(), "logs", &IoCtx::new(0)).unwrap();
+    // compaction runs as a maintenance chore on the runtime, not as an
+    // ad-hoc call (the interval trigger first fires at 30 virtual seconds)
+    let events = sl.run_maintenance_until(common::clock::secs(30));
+    assert!(
+        events.iter().any(|e| e.chore == "compaction"
+            && matches!(e.outcome, streamlake::TickOutcome::Ticked(r) if r.work_done > 0)),
+        "the compaction chore must have merged files"
+    );
     assert_eq!(sl.tables().live_files("logs", &IoCtx::new(0)).unwrap().len(), 1);
 
     let after = QueryEngine::new().execute(sl.tables(), &q, &IoCtx::new(0)).unwrap();
@@ -172,33 +178,41 @@ fn drop_soft_restore_then_hard_drop() {
 #[test]
 fn archive_then_playback_preserves_messages() {
     let sl = StreamLake::new(StreamLakeConfig::small());
-    let obj = sl
-        .stream()
-        .objects()
-        .create(stream::object::CreateOptions { slice_capacity: 64, ..Default::default() })
-        .unwrap();
-    let mut gen = PacketGen::new(11, T0, 500);
-    let records: Vec<Record> = gen
-        .batch(256)
-        .iter()
-        .map(|p| Record::new(p.key(), p.to_wire(), p.start_time))
-        .collect();
-    obj.append_at(&records, &IoCtx::new(0)).unwrap();
-    obj.flush_at(&IoCtx::new(0)).unwrap();
-
-    let cfg = stream::config::ArchiveConfig {
-        external_archive_url: None,
-        archive_size: 0,
-        row_2_col: false,
-        enabled: true,
+    let cfg = stream::TopicConfig {
+        archive: stream::config::ArchiveConfig {
+            external_archive_url: None,
+            archive_size: 0, // archive as soon as anything is persisted
+            row_2_col: false,
+            enabled: true,
+        },
+        ..stream::TopicConfig::with_streams(1)
     };
-    let entry = sl.archive().maybe_archive(&obj, &cfg, &IoCtx::new(0)).unwrap().unwrap();
-    assert_eq!(entry.count, 256);
+    sl.stream().create_topic("t", cfg).unwrap();
+    let mut gen = PacketGen::new(11, T0, 500);
+    let packets = gen.batch(256);
+    let mut producer = sl.producer();
+    for p in &packets {
+        producer.send("t", p.key(), p.to_wire(), &IoCtx::new(0)).unwrap();
+    }
+    producer.flush(&IoCtx::new(0)).unwrap();
+
+    // archival runs as a maintenance chore on the runtime
+    let events = sl.run_maintenance_until(common::clock::secs(10));
+    assert!(
+        events.iter().any(|e| e.chore == "archive"
+            && matches!(e.outcome, streamlake::TickOutcome::Ticked(r) if r.work_done > 0)),
+        "the archive chore must have shipped the persisted slices"
+    );
+    let entries = sl.archive().entries();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].count, 256);
+    let route = &sl.stream().dispatcher().topic_routes("t").unwrap()[0];
+    let obj = sl.stream().dispatcher().object_of(route).unwrap();
     assert_eq!(obj.slice_count(), 0, "archived slices truncated from hot tier");
     assert!(sl.hdd_pool().used() > 0, "archive lives in the cold pool");
 
-    let back = sl.archive().read_entry(&entry).unwrap();
+    let back = sl.archive().read_entry(&entries[0]).unwrap();
     assert_eq!(back.len(), 256);
-    assert_eq!(back[0].key, records[0].key);
-    assert_eq!(back[255].value, records[255].value);
+    assert_eq!(back[0].key, packets[0].key());
+    assert_eq!(back[255].value, packets[255].to_wire());
 }

@@ -33,11 +33,14 @@ fn retention_policy_bounds_history_but_keeps_current_data() {
         stamps.push(snap.timestamp);
         t = snap.timestamp + secs(1);
     }
+    // compact first (through the maintenance runtime) so old versions hold
+    // exclusive files, then expire
+    let events = sl.run_maintenance_until(t.max(secs(30)));
+    assert!(
+        events.iter().any(|e| e.chore == "compaction"),
+        "the compaction chore must have come due"
+    );
     let before = sl.physical_bytes();
-    // compact first so old versions hold exclusive files, then expire
-    lake::maintenance::Compactor::new(64 * 1024 * 1024)
-        .compact_all(sl.tables(), "t", &IoCtx::new(t))
-        .unwrap();
     let report =
         lake::maintenance::expire_snapshots(sl.tables(), "t", t, &IoCtx::new(t + secs(1))).unwrap();
     assert!(report.snapshots_expired >= 5);
@@ -120,8 +123,11 @@ fn tiering_demotes_cold_stream_slices_and_reads_still_work() {
     for key in 0..5u64 {
         tiering.read(key).unwrap(); // keep the first half hot
     }
-    let report = tiering.run_policy();
-    assert_eq!(report.demoted, 5, "only untouched extents demote");
+    // demotion runs as a maintenance chore on the runtime
+    sl.run_maintenance_until(secs(7200));
+    let status = sl.chore_status();
+    let tiering_status = status.iter().find(|s| s.name == "tiering").unwrap();
+    assert_eq!(tiering_status.work_done, 5, "only untouched extents demote");
     for key in 0..10u64 {
         let shards = tiering.read(key).unwrap();
         assert_eq!(shards[0].as_ref().unwrap()[0], key as u8);
