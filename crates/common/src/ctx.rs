@@ -34,10 +34,10 @@
 use crate::clock::Nanos;
 use crate::error::{Error, Result};
 use crate::metrics::Metrics;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use crate::lockwitness::TrackedMutex;
 
 /// Histogram-name prefix under which span phases are recorded.
 pub const PHASE_PREFIX: &str = "phase.";
@@ -134,16 +134,22 @@ pub struct SpanRecord {
 
 /// Destination for closed spans: feeds the per-phase histograms and keeps
 /// a bounded trail of recent records for debugging and tests.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SpanSink {
     metrics: Metrics,
-    trail: Mutex<VecDeque<SpanRecord>>,
+    trail: TrackedMutex<VecDeque<SpanRecord>>,
+}
+
+impl Default for SpanSink {
+    fn default() -> Self {
+        SpanSink::new(Metrics::default())
+    }
 }
 
 impl SpanSink {
     /// A sink recording into `metrics`.
     pub fn new(metrics: Metrics) -> Self {
-        SpanSink { metrics, trail: Mutex::new(VecDeque::new()) }
+        SpanSink { metrics, trail: TrackedMutex::new("common.span.trail", VecDeque::new()) }
     }
 
     /// The metrics registry phases are recorded into.

@@ -16,7 +16,9 @@
 //! * [`IoCtx`] — the per-request context (deadline, QoS class, trace span)
 //!   threaded through every layer of the storage stack;
 //! * [`Chore`] — the budgeted-tick contract every background service
-//!   implements so `core::chore` can schedule them deterministically.
+//!   implements so `core::chore` can schedule them deterministically;
+//! * [`lockwitness`] — the debug-only runtime lock-order sanitizer that
+//!   corroborates the canonical hierarchy slint R9 checks statically.
 
 pub mod bytes;
 pub mod checksum;
@@ -26,6 +28,7 @@ pub mod clock;
 pub mod error;
 pub mod id;
 pub mod json;
+pub mod lockwitness;
 pub mod metrics;
 pub mod size;
 pub mod varint;

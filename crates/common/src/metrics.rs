@@ -6,14 +6,20 @@
 //! experiment scales here are small enough that exact percentiles are cheaper
 //! than maintaining sketch datastructures.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use crate::lockwitness::TrackedMutex;
 
 /// Shared registry of named counters and histograms.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Metrics {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<TrackedMutex<Inner>>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics { inner: Arc::new(TrackedMutex::new("common.metrics", Inner::default())) }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -10,8 +10,8 @@
 //! prefix (`table/`) covers everything under it.
 
 use common::{Error, Result};
-use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
+use common::lockwitness::TrackedRwLock;
 
 /// What an ACL entry permits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,9 +29,15 @@ pub enum Permission {
 pub struct Principal(pub String);
 
 /// Authentication + ACL checks for the access layer.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AccessController {
-    inner: RwLock<Inner>,
+    inner: TrackedRwLock<Inner>,
+}
+
+impl Default for AccessController {
+    fn default() -> Self {
+        AccessController { inner: TrackedRwLock::new("core.access.grants", Inner::default()) }
+    }
 }
 
 #[derive(Debug, Default)]

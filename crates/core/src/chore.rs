@@ -25,8 +25,8 @@ use common::chore::{Chore, ChoreBudget, TickReport};
 use common::clock::{millis, secs, Nanos};
 use common::ctx::{IoCtx, QosClass, SpanSink, QOS_PREFIX};
 use common::metrics::Metrics;
-use parking_lot::Mutex;
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// Backpressure policy: when the foreground tail exceeds the threshold,
 /// maintenance budgets shrink; when it clears, they recover.
@@ -158,7 +158,7 @@ pub struct ChoreRuntime {
     sink: Arc<SpanSink>,
     seed: u64,
     backpressure: BackpressureConfig,
-    inner: Mutex<RuntimeInner>,
+    inner: TrackedMutex<RuntimeInner>,
 }
 
 impl std::fmt::Debug for ChoreRuntime {
@@ -186,7 +186,7 @@ impl ChoreRuntime {
             sink,
             seed,
             backpressure,
-            inner: Mutex::new(RuntimeInner {
+            inner: TrackedMutex::new("core.chore.runtime", RuntimeInner {
                 chores: Vec::new(),
                 budget_shift: 0,
                 journal: Vec::new(),

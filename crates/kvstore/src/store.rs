@@ -3,10 +3,10 @@
 use crate::batch::{Op, WriteBatch};
 use crate::wal::Wal;
 use common::Result;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::Arc;
+use common::lockwitness::TrackedRwLock;
 
 /// An ordered key-value store with write-ahead logging.
 ///
@@ -134,9 +134,15 @@ impl KvStore {
 ///
 /// Services share catalog and topology metadata through this wrapper; all
 /// methods take `&self` and lock internally.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SharedKv {
-    inner: Arc<RwLock<KvStore>>,
+    inner: Arc<TrackedRwLock<KvStore>>,
+}
+
+impl Default for SharedKv {
+    fn default() -> Self {
+        SharedKv { inner: Arc::new(TrackedRwLock::new("kv.index", KvStore::default())) }
+    }
 }
 
 impl SharedKv {

@@ -14,9 +14,9 @@ use common::clock::Nanos;
 use common::ctx::{IoCtx, QosClass};
 use common::size::div_ceil;
 use common::{Error, Result};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// Storage block size used for utilization accounting (paper's `K`).
 pub const BLOCK_SIZE: u64 = 4 * 1024 * 1024;
@@ -259,7 +259,7 @@ impl CompactionTrigger for IntervalTrigger {
 pub struct CompactionChore {
     store: Arc<TableStore>,
     compactor: Compactor,
-    trigger: Mutex<Box<dyn CompactionTrigger>>,
+    trigger: TrackedMutex<Box<dyn CompactionTrigger>>,
 }
 
 impl std::fmt::Debug for CompactionChore {
@@ -277,7 +277,7 @@ impl CompactionChore {
         target_bytes: u64,
         trigger: Box<dyn CompactionTrigger>,
     ) -> Self {
-        CompactionChore { store, compactor: Compactor::new(target_bytes), trigger: Mutex::new(trigger) }
+        CompactionChore { store, compactor: Compactor::new(target_bytes), trigger: TrackedMutex::new("lake.compaction.trigger", trigger) }
     }
 
     /// The active trigger's name (for status reports).
@@ -406,6 +406,10 @@ pub struct ExpiryReport {
     pub files_deleted: u64,
     /// Logical bytes reclaimed.
     pub bytes_reclaimed: u64,
+    /// PLog deletes that failed during reclamation. The logical expiry
+    /// still completes (metadata no longer references the file); the
+    /// orphaned extents are picked up by the scrub service.
+    pub reclaim_failures: u64,
 }
 
 /// Expire snapshots older than `retain_after` (virtual time), keeping at

@@ -24,10 +24,10 @@ use common::clock::{micros, Nanos};
 use common::ctx::{IoCtx, Phase};
 use common::{Error, Result};
 use kvstore::SharedKv;
-use parking_lot::Mutex;
 use plog::{PlogAddress, PlogStore};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// Which metadata path a read uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +51,7 @@ pub struct MetadataCache {
     plog: Arc<PlogStore>,
     kv: SharedKv,
     /// Pending (unflushed) commit/snapshot cache entries per table.
-    pending: Mutex<BTreeMap<String, u64>>,
+    pending: TrackedMutex<BTreeMap<String, u64>>,
     /// MetaFresher flush threshold (pending entries per table).
     flush_threshold: u64,
 }
@@ -63,7 +63,7 @@ impl MetadataCache {
         MetadataCache {
             plog,
             kv: SharedKv::new(),
-            pending: Mutex::new(BTreeMap::new()),
+            pending: TrackedMutex::new("lake.meta.pending", BTreeMap::new()),
             flush_threshold: flush_threshold.max(1),
         }
     }
@@ -318,6 +318,9 @@ impl MetadataCache {
         let key = addr_key_for(commit_key(table, commit_id).as_bytes());
         if let Some(bytes) = self.kv.get(&key) {
             if let Ok(addr) = decode_addr(&bytes) {
+                // Best-effort invalidation: the KV tombstone is authoritative;
+                // an orphaned PLog extent is scrub-reclaimed.
+                // slint:allow(R11): best-effort delete, orphan is scrub-reclaimed
                 let _ = self.plog.delete(&addr);
             }
             self.kv.delete(key);
@@ -325,6 +328,9 @@ impl MetadataCache {
         let skey = addr_key_for(snapshot_key(table, commit_id).as_bytes());
         if let Some(bytes) = self.kv.get(&skey) {
             if let Ok(addr) = decode_addr(&bytes) {
+                // Best-effort invalidation: the KV tombstone is authoritative;
+                // an orphaned PLog extent is scrub-reclaimed.
+                // slint:allow(R11): best-effort delete, orphan is scrub-reclaimed
                 let _ = self.plog.delete(&addr);
             }
             self.kv.delete(skey);
@@ -336,6 +342,9 @@ impl MetadataCache {
         let akey = addr_key_for(key.as_bytes());
         if let Some(bytes) = self.kv.get(&akey) {
             if let Ok(addr) = decode_addr(&bytes) {
+                // Best-effort invalidation: the KV tombstone is authoritative;
+                // an orphaned PLog extent is scrub-reclaimed.
+                // slint:allow(R11): best-effort delete, orphan is scrub-reclaimed
                 let _ = self.plog.delete(&addr);
             }
             self.kv.delete(akey);

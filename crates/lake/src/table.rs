@@ -16,11 +16,11 @@ use common::ctx::{IoCtx, Phase};
 use common::{Error, Result};
 use format::{CmpOp, ColumnStats, Expr, LakeFileReader, LakeFileWriter, Row, Schema, Value};
 use kvstore::SharedKv;
-use parking_lot::Mutex;
 use plog::{PlogAddress, PlogStore};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// Fixed coordination cost of one commit: OCC validation round, catalog
 /// compare-and-swap, snapshot publication. Real lakehouse commits on shared
@@ -120,7 +120,7 @@ pub struct TableStore {
     meta: MetadataCache,
     /// data-file path → PLog address.
     files: SharedKv,
-    commit_lock: Mutex<()>,
+    commit_lock: TrackedMutex<()>,
     next_file_id: AtomicU64,
 }
 
@@ -133,7 +133,7 @@ impl TableStore {
             plog,
             catalog: Catalog::new(),
             files: SharedKv::new(),
-            commit_lock: Mutex::new(()),
+            commit_lock: TrackedMutex::new("lake.table.commit", ()),
             next_file_id: AtomicU64::new(1),
         }
     }
@@ -324,6 +324,9 @@ impl TableStore {
             )?;
             for f in files {
                 if let Some(addr) = self.file_addr(&f.path) {
+                    // drop_table reclamation is best-effort — metadata deletion
+                    // below is what unpublishes the table.
+                    // slint:allow(R11): best-effort delete, orphan is scrub-reclaimed
                     let _ = self.plog.delete(&addr);
                 }
                 self.files.delete(file_key(name, &f.path));
@@ -458,7 +461,9 @@ impl TableStore {
         }
         for (path, meta) in &drop_candidates {
             if let Some(addr) = self.file_addr(path) {
-                let _ = self.plog.delete(&addr);
+                if self.plog.delete(&addr).is_err() {
+                    report.reclaim_failures += 1;
+                }
             }
             self.files.delete(file_key(name, path));
             self.files.delete(path.clone());

@@ -19,9 +19,9 @@ use common::chore::{Chore, ChoreBudget, TickReport};
 use common::clock::{millis, Nanos};
 use common::ctx::{IoCtx, Phase};
 use common::{Error, Result};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// WAN throughput between sites (far below the local fabric).
 pub const WAN_BYTES_PER_SEC: u64 = 100_000_000; // ~800 Mb/s
@@ -69,10 +69,10 @@ pub struct RemoteReplicator {
     primary: Arc<PlogStore>,
     remote: Arc<PlogStore>,
     /// primary address → remote address for everything already shipped.
-    mapping: Mutex<BTreeMap<PlogAddress, PlogAddress>>,
+    mapping: TrackedMutex<BTreeMap<PlogAddress, PlogAddress>>,
     /// Incremental scan state: quiet cycles are O(new records), not a full
     /// index walk.
-    cursor: Mutex<ReplicationCursor>,
+    cursor: TrackedMutex<ReplicationCursor>,
 }
 
 impl RemoteReplicator {
@@ -81,8 +81,8 @@ impl RemoteReplicator {
         RemoteReplicator {
             primary,
             remote,
-            mapping: Mutex::new(BTreeMap::new()),
-            cursor: Mutex::new(ReplicationCursor::default()),
+            mapping: TrackedMutex::new("plog.repl.mapping", BTreeMap::new()),
+            cursor: TrackedMutex::new("plog.repl.cursor", ReplicationCursor::default()),
         }
     }
 

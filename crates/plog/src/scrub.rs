@@ -18,8 +18,8 @@ use common::clock::Nanos;
 use common::ctx::{IoCtx, QosClass};
 use common::metrics::Metrics;
 use common::{Error, Result};
-use parking_lot::Mutex;
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// What one scrub cycle observed and repaired.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -68,14 +68,14 @@ pub struct ScrubService {
     metrics: Metrics,
     cycle_budget: usize,
     /// Resume point: the (shard, offset) *after* the last scanned record.
-    cursor: Mutex<Option<(u32, u64)>>,
+    cursor: TrackedMutex<Option<(u32, u64)>>,
 }
 
 impl ScrubService {
     /// A scrubber whose every cycle walks the whole index.
     pub fn new(store: Arc<PlogStore>) -> Self {
         let metrics = store.metrics().clone();
-        ScrubService { store, metrics, cycle_budget: usize::MAX, cursor: Mutex::new(None) }
+        ScrubService { store, metrics, cycle_budget: usize::MAX, cursor: TrackedMutex::new("plog.scrub.cursor", None) }
     }
 
     /// Cap each cycle at `budget` records (minimum 1); the next cycle

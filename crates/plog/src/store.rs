@@ -15,9 +15,9 @@ use common::metrics::Metrics;
 use common::{Bytes, Error, Result};
 use ec::{Redundancy, Stripe};
 use kvstore::SharedKv;
-use parking_lot::Mutex;
 use simdisk::pool::{ExtentHandle, StoragePool};
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// Configuration of a [`PlogStore`].
 #[derive(Debug, Clone, Copy)]
@@ -110,7 +110,7 @@ impl RecordHealth {
 pub struct PlogStore {
     pool: Arc<StoragePool>,
     config: PlogConfig,
-    shards: Vec<Mutex<ShardState>>,
+    shards: Vec<TrackedMutex<ShardState>>,
     index: SharedKv,
     metrics: Metrics,
 }
@@ -122,7 +122,7 @@ impl PlogStore {
             return Err(Error::InvalidArgument("shard_count must be positive".into()));
         }
         let shards = (0..config.shard_count)
-            .map(|_| Mutex::new(ShardState::default()))
+            .map(|_| TrackedMutex::new("plog.shard", ShardState::default()))
             .collect();
         Ok(PlogStore { pool, config, shards, index: SharedKv::new(), metrics: Metrics::new() })
     }
@@ -357,6 +357,19 @@ impl PlogStore {
     /// onto healthy devices, committed with the same delete-race guard as
     /// [`repair`](Self::repair).
     pub fn verify_and_heal(&self, addr: &PlogAddress, ctx: &IoCtx) -> Result<RecordHealth> {
+        self.verify_and_heal_with_hook(addr, ctx, || {})
+    }
+
+    /// `verify_and_heal` with a test hook running between the re-encoded
+    /// extent's write and the index commit — the same delete-race window
+    /// `repair_with_hook` exposes, so scrub's re-place path gets the same
+    /// deterministic interleaving coverage.
+    fn verify_and_heal_with_hook(
+        &self,
+        addr: &PlogAddress,
+        ctx: &IoCtx,
+        between: impl FnOnce(),
+    ) -> Result<RecordHealth> {
         let entry = self.lookup_entry(addr)?;
         let (mut survivors, finish) = self.pool.read_shards_ctx(&entry.handle, ctx)?;
         let corrupt = self.verify_shards(&entry, &mut survivors);
@@ -380,6 +393,7 @@ impl PlogStore {
             let (new_handle, wfinish) =
                 self.pool.write_shards_ctx(&stripe.shards, &ctx.at(health.finish))?;
             health.finish = wfinish;
+            between();
             if self.commit_reindex(addr, &new_handle, &crcs) {
                 self.pool.delete(&entry.handle);
                 self.metrics.incr("plog.records_reencoded", 1);
@@ -906,6 +920,29 @@ mod tests {
         assert!(matches!(s.read(&addr), Err(Error::NotFound(_))));
         assert_eq!(s.record_count(), 0);
         assert_eq!(s.physical_bytes(), 0, "repair leaked its rolled-back extent");
+        assert_eq!(s.metrics.counter("plog.records_reencoded"), 0);
+    }
+
+    #[test]
+    fn verify_and_heal_loses_gracefully_to_concurrent_delete() {
+        // Same historical race as `repair`, reached through scrub's
+        // re-place path: delete lands between the re-encoded extent's
+        // write and the index commit.
+        let s = store(Redundancy::ErasureCode { k: 2, m: 1 }, 5);
+        let addr = s.append(b"k", b"scrubbed away").unwrap();
+        let entry = s.lookup_entry(&addr).unwrap();
+        s.pool.device(entry.handle.shards[0].0).fail();
+        let health = s
+            .verify_and_heal_with_hook(&addr, &IoCtx::new(0), || {
+                s.delete(&addr).unwrap();
+            })
+            .unwrap();
+        assert_eq!(health.missing, 1);
+        assert!(!health.reencoded, "a lost commit must not report re-encode");
+        // The delete must win — no resurrection, no leaked extent.
+        assert!(matches!(s.read(&addr), Err(Error::NotFound(_))));
+        assert_eq!(s.record_count(), 0);
+        assert_eq!(s.physical_bytes(), 0, "heal leaked its rolled-back extent");
         assert_eq!(s.metrics.counter("plog.records_reencoded"), 0);
     }
 

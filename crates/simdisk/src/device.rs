@@ -7,8 +7,8 @@
 use common::clock::{micros, millis, Nanos};
 use common::ctx::{IoCtx, Phase, QosClass};
 use common::{Bytes, Error, Result, SimClock};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use common::lockwitness::TrackedMutex;
 
 /// The physical media class of a device, which fixes its latency model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,13 +159,13 @@ pub struct Device {
     kind: MediaKind,
     capacity: u64,
     clock: SimClock,
-    state: Mutex<DeviceState>,
+    state: TrackedMutex<DeviceState>,
 }
 
 impl Device {
     /// Create a device of `kind` with `capacity` bytes, charging time to `clock`.
     pub fn new(id: u64, kind: MediaKind, capacity: u64, clock: SimClock) -> Self {
-        Device { id, kind, capacity, clock, state: Mutex::new(DeviceState::default()) }
+        Device { id, kind, capacity, clock, state: TrackedMutex::new("simdisk.device.state", DeviceState::default()) }
     }
 
     /// Device identifier (unique within its pool).

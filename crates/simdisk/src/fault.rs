@@ -15,9 +15,9 @@
 use crate::device::Device;
 use crate::pool::StoragePool;
 use common::clock::Nanos;
-use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,7 +208,7 @@ struct InjectorState {
 #[derive(Debug)]
 pub struct FaultInjector {
     pool: Arc<StoragePool>,
-    state: Mutex<InjectorState>,
+    state: TrackedMutex<InjectorState>,
 }
 
 impl FaultInjector {
@@ -217,7 +217,7 @@ impl FaultInjector {
     pub fn new(pool: Arc<StoragePool>, plan: FaultPlan) -> Self {
         FaultInjector {
             pool,
-            state: Mutex::new(InjectorState { events: plan.events, next: 0, log: InjectionLog::default() }),
+            state: TrackedMutex::new("simdisk.fault.state", InjectorState { events: plan.events, next: 0, log: InjectionLog::default() }),
         }
     }
 

@@ -118,6 +118,9 @@ impl StoragePool {
                 Err(e) => {
                     // Roll back already-placed shards before reporting.
                     for &(di, de) in &placements {
+                        // The original write error takes precedence; a failed
+                        // rollback leaves an orphan the scrub service reclaims.
+                        // slint:allow(R11): original error takes precedence
                         let _ = self.devices[di].delete_extent(de);
                     }
                     return Err(e);
@@ -232,6 +235,9 @@ impl StoragePool {
         shards: &[Bytes],
         now: common::clock::Nanos,
     ) -> Result<(ExtentHandle, common::clock::Nanos)> {
+        // Untimed compatibility wrapper at the device boundary — callers
+        // with a context use write_shards_ctx directly.
+        // slint:allow(R10): deadline-free wrapper at the device boundary
         self.write_shards_ctx(shards, &IoCtx::new(now))
     }
 
@@ -264,6 +270,9 @@ impl StoragePool {
                 }
                 Err(e) => {
                     for &(di, de) in &placements {
+                        // The original write error takes precedence; a failed
+                        // rollback leaves an orphan the scrub service reclaims.
+                        // slint:allow(R11): original error takes precedence
                         let _ = self.devices[di].delete_extent(de);
                     }
                     return Err(e);

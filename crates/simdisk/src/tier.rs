@@ -14,9 +14,9 @@ use common::chore::{Chore, ChoreBudget, TickReport};
 use common::clock::Nanos;
 use common::ctx::IoCtx;
 use common::{Bytes, Error, Result, SimClock};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// Which pool an extent currently lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +63,7 @@ pub struct TieringService {
     promote_on_read: bool,
     /// Keyed by extent id; a `BTreeMap` so policy runs visit extents in a
     /// deterministic order (demotion order must not depend on hash state).
-    extents: Mutex<BTreeMap<u64, TieredExtent>>,
+    extents: TrackedMutex<BTreeMap<u64, TieredExtent>>,
 }
 
 impl TieringService {
@@ -81,7 +81,7 @@ impl TieringService {
             clock,
             demote_after,
             promote_on_read,
-            extents: Mutex::new(BTreeMap::new()),
+            extents: TrackedMutex::new("simdisk.tier.extents", BTreeMap::new()),
         }
     }
 

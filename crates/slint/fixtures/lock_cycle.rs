@@ -1,0 +1,35 @@
+//! Synthetic two-lock deadlock: `forward` acquires queue → index while
+//! `backward` acquires index → queue. slint R9 must flag the cycle.
+//!
+//! This file is NOT compiled into any crate (the `fixtures/` directory is
+//! excluded from workspace scans); `slint::model` tests scan it under a
+//! fake `crates/.../src/` path.
+
+use parking_lot::Mutex;
+
+pub struct LeftHalf {
+    queue: Mutex<Vec<u64>>,
+}
+
+pub struct RightHalf {
+    index: Mutex<Vec<u64>>,
+}
+
+pub struct Pair {
+    left: LeftHalf,
+    right: RightHalf,
+}
+
+impl Pair {
+    pub fn forward(&self) -> usize {
+        let q = self.left.queue.lock();
+        let i = self.right.index.lock();
+        q.len() + i.len()
+    }
+
+    pub fn backward(&self) -> usize {
+        let i = self.right.index.lock();
+        let q = self.left.queue.lock();
+        i.len() + q.len()
+    }
+}

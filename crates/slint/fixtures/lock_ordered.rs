@@ -1,0 +1,32 @@
+//! Same two-lock shape as `lock_cycle.rs`, but every function acquires in
+//! the same queue → index order. slint R9 must stay silent: a consistent
+//! order is exactly what the hierarchy asks for.
+
+use parking_lot::Mutex;
+
+pub struct LeftHalf {
+    queue: Mutex<Vec<u64>>,
+}
+
+pub struct RightHalf {
+    index: Mutex<Vec<u64>>,
+}
+
+pub struct Pair {
+    left: LeftHalf,
+    right: RightHalf,
+}
+
+impl Pair {
+    pub fn forward(&self) -> usize {
+        let q = self.left.queue.lock();
+        let i = self.right.index.lock();
+        q.len() + i.len()
+    }
+
+    pub fn forward_again(&self) -> usize {
+        let q = self.left.queue.lock();
+        let i = self.right.index.lock();
+        q.len().max(i.len())
+    }
+}

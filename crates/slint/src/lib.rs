@@ -34,6 +34,23 @@
 //!   must be driven through the `core::chore` maintenance runtime, so one
 //!   scheduler owns budgets, backpressure and deterministic retry.
 //!
+//! On top of the token rules, the [`model`] module builds workspace-wide
+//! facts (function definitions, call edges, lock-field acquisition sites,
+//! `IoCtx` parameter flow) and checks three semantic rules:
+//!
+//! * **R9** — the inter-procedural lock-acquisition graph must be acyclic
+//!   and every `held → acquired` edge must respect the canonical lock
+//!   hierarchy ([`model::LOCK_HIERARCHY`]); direct same-class nesting is
+//!   flagged as a self-deadlock.
+//! * **R10** — functions in the data-path crates that can reach a timed
+//!   device operation must receive `&IoCtx` from their caller: minting a
+//!   fresh root with `IoCtx::new(` deep in the stack (outside
+//!   [`model::ROOT_CTX_FILES`]) silently drops deadlines and tracing, and
+//!   `.without_deadline(` is only allowed in the healing/scrub services.
+//! * **R11** — swallowed `Result`s (`let _ = ..;` and trailing-statement
+//!   `.ok();`) in library code of the layered crates; failures must
+//!   propagate or carry a reasoned waiver.
+//!
 //! Findings can be waived inline with `// slint:allow(R4): reason` (the
 //! reason is mandatory; a reasonless waiver is itself a finding, rule W1)
 //! and existing debt is held in a checked-in baseline that may only
@@ -44,6 +61,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::Path;
 
+pub mod model;
 pub mod scanner;
 
 use scanner::CleanedSource;
@@ -67,13 +85,21 @@ pub enum Rule {
     R7,
     /// Ad-hoc background-service calls outside the chore runtime.
     R8,
+    /// Lock-order violations: cycles, hierarchy inversions, same-class
+    /// nesting in the inter-procedural lock graph.
+    R9,
+    /// `IoCtx` not propagated: fresh roots or `without_deadline` on the
+    /// timed data path.
+    R10,
+    /// Swallowed `Result` in library code.
+    R11,
     /// Waiver comment without a reason.
     W1,
 }
 
 impl Rule {
     /// All enforceable rules, in order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 12] = [
         Rule::R1,
         Rule::R2,
         Rule::R3,
@@ -82,6 +108,9 @@ impl Rule {
         Rule::R6,
         Rule::R7,
         Rule::R8,
+        Rule::R9,
+        Rule::R10,
+        Rule::R11,
         Rule::W1,
     ];
 
@@ -96,6 +125,9 @@ impl Rule {
             Rule::R6 => "R6",
             Rule::R7 => "R7",
             Rule::R8 => "R8",
+            Rule::R9 => "R9",
+            Rule::R10 => "R10",
+            Rule::R11 => "R11",
             Rule::W1 => "W1",
         }
     }
@@ -141,6 +173,17 @@ const NO_PANIC_CRATES: [&str; 5] = ["lake", "stream", "format", "plog", "core"];
 /// Crates where hash-container iteration order can leak into output.
 const ORDERED_ITER_CRATES: [&str; 6] = ["simdisk", "plog", "stream", "lake", "lakebrain", "format"];
 
+/// Crates where swallowed `Result`s (R11) are findings: the no-panic
+/// layers plus the storage substrate and the KV index.
+const NO_SWALLOW_CRATES: [&str; 7] =
+    ["lake", "stream", "format", "plog", "core", "simdisk", "kvstore"];
+
+/// Files allowed to strip deadlines with `.without_deadline(`: the
+/// self-healing read-repair path and the scrub service deliberately
+/// outlive the failed request that triggered them.
+const WITHOUT_DEADLINE_ALLOWLIST: [&str; 2] =
+    ["crates/plog/src/store.rs", "crates/plog/src/scrub.rs"];
+
 fn in_crate_src(path: &str, names: &[&str]) -> bool {
     names.iter().any(|c| path.starts_with(&format!("crates/{c}/src/")))
 }
@@ -162,6 +205,10 @@ fn rule_applies(rule: Rule, path: &str) -> bool {
                 && !path.starts_with("crates/common/")
                 && !path.starts_with("crates/simdisk/")
         }
+        // The lock graph spans every crate's library code.
+        Rule::R9 => path.starts_with("crates/") && path.contains("/src/"),
+        Rule::R10 => in_crate_src(path, &model::DATA_PATH_CRATES),
+        Rule::R11 => in_crate_src(path, &NO_SWALLOW_CRATES),
         // R8's per-token owner-crate exemptions live in
         // `check_chore_entry_points`; the rule itself applies everywhere.
         Rule::R6 | Rule::R8 | Rule::W1 => true,
@@ -318,7 +365,92 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
         findings.extend(check_chore_entry_points(rel_path, &cleaned, &waivers));
     }
 
+    if rule_applies(Rule::R10, rel_path)
+        && !WITHOUT_DEADLINE_ALLOWLIST.contains(&rel_path)
+    {
+        findings.extend(check_without_deadline(rel_path, &cleaned, &waivers));
+    }
+
+    if rule_applies(Rule::R11, rel_path) {
+        findings.extend(check_swallowed_results(rel_path, &cleaned, &waivers));
+    }
+
     findings.sort();
+    findings
+}
+
+/// R10 (token half): `.without_deadline(` strips the caller's deadline;
+/// outside the allowlisted healing/scrub services that silently turns a
+/// timed request into an unbounded one.
+fn check_without_deadline(
+    rel_path: &str,
+    cleaned: &CleanedSource,
+    waivers: &Waivers,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in cleaned.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test_code {
+            continue;
+        }
+        for _ in find_token(&line.code, ".without_deadline(") {
+            if waivers.allows(lineno, Rule::R10) {
+                continue;
+            }
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: Rule::R10,
+                message: "`.without_deadline(`: strips the caller's deadline on the data \
+                          path; only the healing/scrub services may outlive their trigger"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// R11: a discarded `Result` hides the failure from every layer above.
+/// Flags `let _ = ..;` and *statement-position* `.ok();` (an `.ok()` that
+/// feeds an assignment or a `return` is a legitimate Option conversion).
+fn check_swallowed_results(
+    rel_path: &str,
+    cleaned: &CleanedSource,
+    waivers: &Waivers,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (idx, line) in cleaned.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if line.in_test_code || waivers.allows(lineno, Rule::R11) {
+            continue;
+        }
+        let code = &line.code;
+        if !find_token(code, "let _ =").is_empty() {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: Rule::R11,
+                message: "`let _ =`: discards a Result in library code; propagate the \
+                          error or waive with the reason the failure is tolerable"
+                    .to_string(),
+            });
+        }
+        for start in find_token(code, ".ok();") {
+            // Assignment / return / match-arm positions use the Option.
+            let before = &code[..start];
+            if before.contains('=') || before.contains("return ") {
+                continue;
+            }
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: lineno,
+                rule: Rule::R11,
+                message: "`.ok();`: swallows a Result in statement position; propagate \
+                          the error or waive with the reason the failure is tolerable"
+                    .to_string(),
+            });
+        }
+    }
     findings
 }
 
@@ -495,20 +627,71 @@ fn check_chore_entry_points(
     findings
 }
 
-/// Walk every workspace `.rs` file under `root` and scan it.
-///
-/// `target/`, `.git/` and `shims/` are skipped: the shims are offline
-/// stand-ins for third-party crates, not simulation code.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// Scan a set of `(workspace-relative path, source)` pairs as one unit:
+/// the per-file token rules plus the cross-file model rules (R9/R10),
+/// with model findings filtered through each file's inline waivers.
+pub fn scan_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, source) in files {
+        findings.extend(scan_source(rel, source));
+    }
+    let (model_findings, _) = model::analyze(files);
+    let sources: BTreeMap<&str, &str> =
+        files.iter().map(|(p, s)| (p.as_str(), s.as_str())).collect();
+    let mut waiver_cache: BTreeMap<String, Waivers> = BTreeMap::new();
+    for mf in model_findings {
+        if !rule_applies(mf.rule, &mf.file) {
+            continue;
+        }
+        let waivers = waiver_cache.entry(mf.file.clone()).or_insert_with(|| {
+            sources
+                .get(mf.file.as_str())
+                .map(|src| collect_waivers(&scanner::clean(src)))
+                .unwrap_or_else(|| Waivers { allowed: BTreeMap::new(), malformed: Vec::new() })
+        });
+        if waivers.allows(mf.line, mf.rule) {
+            continue;
+        }
+        findings.push(Finding {
+            file: mf.file,
+            line: mf.line,
+            rule: mf.rule,
+            message: mf.message,
+        });
+    }
+    findings.sort();
+    findings
+}
+
+/// Read every workspace `.rs` file under `root` as `(relative path,
+/// source)` pairs, in stable order.
+pub fn collect_workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut out = Vec::with_capacity(files.len());
     for rel in files {
         let source = std::fs::read_to_string(root.join(&rel))?;
-        findings.extend(scan_source(&rel, &source));
+        out.push((rel, source));
     }
-    Ok(findings)
+    Ok(out)
+}
+
+/// Walk every workspace `.rs` file under `root` and scan it.
+///
+/// `target/`, `.git/`, `shims/` and `fixtures/` are skipped: the shims
+/// are offline stand-ins for third-party crates, and fixtures are
+/// deliberately-broken inputs for slint's own tests.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(scan_sources(&collect_workspace_sources(root)?))
+}
+
+/// Build the inter-procedural lock graph for the workspace under `root`
+/// (the `--graph` / `--json` views).
+pub fn lock_graph(root: &Path) -> std::io::Result<model::LockGraph> {
+    let files = collect_workspace_sources(root)?;
+    let (_, graph) = model::analyze(&files);
+    Ok(graph)
 }
 
 fn collect_rs_files(
@@ -522,7 +705,7 @@ fn collect_rs_files(
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if matches!(name.as_ref(), "target" | ".git" | "shims" | "node_modules") {
+            if matches!(name.as_ref(), "target" | ".git" | "shims" | "node_modules" | "fixtures") {
                 continue;
             }
             collect_rs_files(root, &path, out)?;

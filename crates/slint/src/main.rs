@@ -4,6 +4,8 @@
 //! cargo run -p slint                      # gate: exit 0 iff no new violations
 //! cargo run -p slint -- --list            # print every current finding
 //! cargo run -p slint -- --baseline-update # rewrite the baseline to reality
+//! cargo run -p slint -- --graph           # print the lock-acquisition graph
+//! cargo run -p slint -- --json FILE       # write findings + graph as JSON
 //! cargo run -p slint -- --root DIR --baseline FILE
 //! ```
 //!
@@ -18,11 +20,14 @@ struct Options {
     baseline: PathBuf,
     update: bool,
     list: bool,
+    graph: bool,
+    json: Option<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slint [--root DIR] [--baseline FILE] [--baseline-update] [--list]"
+        "usage: slint [--root DIR] [--baseline FILE] [--baseline-update] [--list] \
+         [--graph] [--json FILE]"
     );
     ExitCode::from(2)
 }
@@ -39,6 +44,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         baseline: PathBuf::new(),
         update: false,
         list: false,
+        graph: false,
+        json: None,
     };
     let mut baseline_arg: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -46,6 +53,11 @@ fn parse_args() -> Result<Options, ExitCode> {
         match arg.as_str() {
             "--baseline-update" => opts.update = true,
             "--list" => opts.list = true,
+            "--graph" => opts.graph = true,
+            "--json" => match args.next() {
+                Some(file) => opts.json = Some(PathBuf::from(file)),
+                None => return Err(usage()),
+            },
             "--root" => match args.next() {
                 Some(dir) => opts.root = PathBuf::from(dir),
                 None => return Err(usage()),
@@ -59,6 +71,96 @@ fn parse_args() -> Result<Options, ExitCode> {
     }
     opts.baseline = baseline_arg.unwrap_or_else(|| opts.root.join("slint.baseline"));
     Ok(opts)
+}
+
+/// Render the lock-acquisition graph in `--graph` form: the class table
+/// first (hierarchy order), then every observed `held -> acquired` edge
+/// with its provenance.
+fn print_graph(graph: &slint::model::LockGraph) {
+    println!("lock classes ({}):", graph.classes.len());
+    for c in &graph.classes {
+        match c.rank {
+            Some(r) => println!("  [{r:>3}] {:<28} {}.{}", c.name, c.owner, c.field),
+            None => println!("  [  -] {:<28} {}.{}", c.name, c.owner, c.field),
+        }
+    }
+    println!("acquisition edges ({}):", graph.edges.len());
+    for e in &graph.edges {
+        let from = &graph.classes[e.from];
+        let to = &graph.classes[e.to];
+        let via = e.via.as_deref().map(|v| format!(" via `{v}`")).unwrap_or_default();
+        println!(
+            "  {:<28} -> {:<28} {}:{}{via}",
+            from.name, to.name, e.file, e.line
+        );
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON report (slint is dependency-free by design):
+/// `{"findings": [...], "lock_graph": {"classes": [...], "edges": [...]}}`.
+fn render_json(findings: &[slint::Finding], graph: &slint::model::LockGraph) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("\n  ],\n  \"lock_graph\": {\n    \"classes\": [");
+    for (i, c) in graph.classes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rank = c.rank.map(|r| r.to_string()).unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "\n      {{\"name\": \"{}\", \"rank\": {rank}, \"owner\": \"{}\", \"field\": \"{}\"}}",
+            json_escape(&c.name),
+            json_escape(&c.owner),
+            json_escape(&c.field)
+        ));
+    }
+    out.push_str("\n    ],\n    \"edges\": [");
+    for (i, e) in graph.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let via = e
+            .via
+            .as_deref()
+            .map(|v| format!("\"{}\"", json_escape(v)))
+            .unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "\n      {{\"from\": \"{}\", \"to\": \"{}\", \"file\": \"{}\", \"line\": {}, \"via\": {via}}}",
+            json_escape(&graph.classes[e.from].name),
+            json_escape(&graph.classes[e.to].name),
+            json_escape(&e.file),
+            e.line
+        ));
+    }
+    out.push_str("\n    ]\n  }\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
@@ -80,6 +182,27 @@ fn main() -> ExitCode {
             println!("{f}");
         }
         println!("{} finding(s) total", findings.len());
+    }
+
+    if opts.graph || opts.json.is_some() {
+        let graph = match slint::lock_graph(&opts.root) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("slint: failed to build lock graph: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if opts.graph {
+            print_graph(&graph);
+        }
+        if let Some(path) = &opts.json {
+            let text = render_json(&findings, &graph);
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("slint: failed to write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("slint: wrote JSON report to {}", path.display());
+        }
     }
 
     if opts.update {

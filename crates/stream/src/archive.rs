@@ -20,9 +20,9 @@ use common::chore::{Chore, ChoreBudget, TickReport};
 use common::ctx::IoCtx;
 use common::{Error, ObjectId, Result};
 use format::{DataType, Field, LakeFileReader, LakeFileWriter, Schema, Value};
-use parking_lot::Mutex;
 use simdisk::pool::{ExtentHandle, StoragePool};
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// One archived batch.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ pub struct ArchiveEntry {
 #[derive(Debug)]
 pub struct ArchiveService {
     pool: Arc<StoragePool>,
-    entries: Mutex<Vec<ArchiveEntry>>,
+    entries: TrackedMutex<Vec<ArchiveEntry>>,
 }
 
 fn archive_schema() -> Result<Schema> {
@@ -58,7 +58,7 @@ fn archive_schema() -> Result<Schema> {
 impl ArchiveService {
     /// An archive service writing into `pool`.
     pub fn new(pool: Arc<StoragePool>) -> Self {
-        ArchiveService { pool, entries: Mutex::new(Vec::new()) }
+        ArchiveService { pool, entries: TrackedMutex::new("stream.archive.entries", Vec::new()) }
     }
 
     /// Archive `object`'s data if it exceeds `config.archive_size` (MB of

@@ -15,9 +15,9 @@ use common::clock::{micros, Nanos};
 use common::ctx::{IoCtx, Phase};
 use common::{Error, ObjectId, Result, WorkerId};
 use kvstore::SharedKv;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// Virtual cost of one metadata update (KV write + topology refresh push).
 pub const METADATA_OP_COST: Nanos = micros(500);
@@ -59,13 +59,13 @@ struct Topology {
 pub struct StreamDispatcher {
     objects: Arc<StreamObjectStore>,
     kv: SharedKv,
-    topo: Mutex<Topology>,
+    topo: TrackedMutex<Topology>,
 }
 
 impl StreamDispatcher {
     /// Create a dispatcher over the given object store.
     pub fn new(objects: Arc<StreamObjectStore>) -> Self {
-        StreamDispatcher { objects, kv: SharedKv::new(), topo: Mutex::new(Topology::default()) }
+        StreamDispatcher { objects, kv: SharedKv::new(), topo: TrackedMutex::new("stream.dispatcher.topo", Topology::default()) }
     }
 
     /// Register a stream worker; newly created streams may be assigned to it.
@@ -164,6 +164,10 @@ impl StreamDispatcher {
             .ok_or_else(|| Error::NotFound(format!("topic {name}")))?;
         topo.configs.remove(name);
         for r in &routes {
+            // Destroy during topic deletion is best-effort; NotFound from a
+            // racing destroy is tolerable and the route tombstone below is
+            // what removes the mapping.
+            // slint:allow(R11): best-effort destroy, tombstone is authoritative
             let _ = self.objects.destroy(r.object_id);
             self.kv.delete(route_key(name, r.stream_idx));
         }

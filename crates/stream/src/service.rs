@@ -19,11 +19,11 @@ use common::ctx::IoCtx;
 use common::id::IdGen;
 use common::metrics::Metrics;
 use common::{Error, Result, SimClock, WorkerId};
-use parking_lot::{Mutex, RwLock};
 use plog::PlogStore;
 use simdisk::{Bus, Transport};
 use std::collections::HashMap;
 use std::sync::Arc;
+use common::lockwitness::{TrackedMutex, TrackedRwLock};
 
 /// Construction options for [`StreamService`].
 #[derive(Debug, Clone)]
@@ -55,13 +55,13 @@ pub struct StreamService {
     clock: SimClock,
     objects: Arc<StreamObjectStore>,
     dispatcher: Arc<StreamDispatcher>,
-    workers: RwLock<HashMap<WorkerId, Arc<StreamWorker>>>,
-    quotas: Mutex<HashMap<(String, u32), QuotaLimiter>>,
+    workers: TrackedRwLock<HashMap<WorkerId, Arc<StreamWorker>>>,
+    quotas: TrackedMutex<HashMap<(String, u32), QuotaLimiter>>,
     txns: TxnManager,
     bus: Arc<Bus>,
     producer_ids: IdGen,
     metrics: Metrics,
-    next_worker_id: Mutex<u64>,
+    next_worker_id: TrackedMutex<u64>,
 }
 
 impl StreamService {
@@ -78,13 +78,13 @@ impl StreamService {
             clock,
             objects,
             dispatcher,
-            workers: RwLock::new(HashMap::new()),
-            quotas: Mutex::new(HashMap::new()),
+            workers: TrackedRwLock::new("stream.service.workers", HashMap::new()),
+            quotas: TrackedMutex::new("stream.service.quotas", HashMap::new()),
             txns: TxnManager::new(),
             bus,
             producer_ids: IdGen::new(),
             metrics: Metrics::new(),
-            next_worker_id: Mutex::new(0),
+            next_worker_id: TrackedMutex::new("stream.service.worker_ids", 0),
         });
         for _ in 0..opts.workers.max(1) {
             svc.add_worker(opts.worker_cache_bytes);

@@ -12,10 +12,10 @@
 
 use crate::object::StreamObject;
 use common::{Error, Result, TxnId};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 #[derive(Debug, Default)]
 struct TxnState {
@@ -23,16 +23,22 @@ struct TxnState {
 }
 
 /// The transaction coordinator.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TxnManager {
     next: AtomicU64,
-    active: Mutex<BTreeMap<u64, TxnState>>,
+    active: TrackedMutex<BTreeMap<u64, TxnState>>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        TxnManager::new()
+    }
 }
 
 impl TxnManager {
     /// A fresh coordinator.
     pub fn new() -> Self {
-        TxnManager { next: AtomicU64::new(1), active: Mutex::new(BTreeMap::new()) }
+        TxnManager { next: AtomicU64::new(1), active: TrackedMutex::new("stream.txn.active", BTreeMap::new()) }
     }
 
     /// Begin a transaction.

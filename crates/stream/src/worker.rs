@@ -11,10 +11,10 @@ use crate::record::Record;
 use common::clock::Nanos;
 use common::ctx::{IoCtx, Phase};
 use common::{Result, WorkerId};
-use parking_lot::Mutex;
 use simdisk::{Bus, LruCache};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use common::lockwitness::TrackedMutex;
 
 /// A stream worker with its stream-object client cache.
 #[derive(Debug)]
@@ -22,7 +22,7 @@ pub struct StreamWorker {
     id: WorkerId,
     bus: Arc<Bus>,
     /// Consumption cache: (object id, base offset) → encoded record batch.
-    cache: Mutex<LruCache<(u64, u64)>>,
+    cache: TrackedMutex<LruCache<(u64, u64)>>,
     /// Hot-path counters: atomics, not mutexes — produce/fetch bump these
     /// on every request and never need cross-counter consistency.
     produced: AtomicU64,
@@ -35,7 +35,7 @@ impl StreamWorker {
         StreamWorker {
             id,
             bus,
-            cache: Mutex::new(LruCache::new(cache_bytes)),
+            cache: TrackedMutex::new("stream.worker.cache", LruCache::new(cache_bytes)),
             produced: AtomicU64::new(0),
             fetched: AtomicU64::new(0),
         }

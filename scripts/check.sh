@@ -12,7 +12,16 @@ cargo test -q
 # (`seed_sweep_never_returns_corrupt_bytes`). Already part of `cargo test -q`
 # above; re-run explicitly so a chaos regression is named in the gate output.
 cargo test -q --test chaos
+# Runtime lock-witness sanitizer: the chaos and maintenance suites carry
+# witness-armed tests; SL_LOCKWITNESS=1 additionally arms every thread in
+# debug builds so background chores are witnessed too.
+SL_LOCKWITNESS=1 cargo test -q --test chaos --test maintenance
 cargo run -p slint
+# Cross-file analyses (slint v2): print the inter-procedural lock graph and
+# drop a machine-readable findings report next to the build artifacts.
+cargo run -p slint -- --graph
+mkdir -p target/slint
+cargo run -p slint -- --json target/slint/report.json
 # Latency-attribution smoke: a tiny Fig 14-style run; fails if any span
 # phase (queue/device/wan/meta) records zero samples.
 cargo run --release -p bench --bin phase_smoke

@@ -251,3 +251,35 @@ fn full_stack_deployment_detects_heals_and_reports() {
     want.sort();
     assert_eq!(got, want);
 }
+
+#[test]
+fn lock_witness_sees_no_inversion_under_a_seeded_storm() {
+    // Runtime half of the slint R9 contract: drive a full chaos schedule
+    // (appends, faults, scrub to convergence) with the lock witness armed
+    // and require that every nested acquisition respected the canonical
+    // hierarchy. The witness panics at the offending site on violation, so
+    // this also pins WHERE an inversion happens, not just that one did.
+    use common::lockwitness;
+    let before = lockwitness::violation_count();
+    lockwitness::enable();
+    let out = run_chaos(5, Redundancy::ErasureCode { k: 3, m: 2 }, 8, 64, &chaos_cfg());
+    lockwitness::disable();
+    assert!(out.scrub_converged);
+    assert_eq!(
+        lockwitness::violation_count(),
+        before,
+        "lock witness observed an ordering violation during chaos"
+    );
+    if cfg!(debug_assertions) {
+        let edges = lockwitness::observed_edges();
+        assert!(
+            !edges.is_empty(),
+            "witness saw no nested acquisitions — Tracked instrumentation regressed"
+        );
+        for (held, acquired) in edges {
+            if let (Some(h), Some(a)) = (lockwitness::rank(held), lockwitness::rank(acquired)) {
+                assert!(h < a, "observed edge {held} -> {acquired} inverts declared ranks");
+            }
+        }
+    }
+}

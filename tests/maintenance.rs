@@ -172,3 +172,35 @@ fn maintenance_interference_stays_within_the_acceptance_bound() {
          within 1.5x of quiesced ({quiesced} ns)"
     );
 }
+
+#[test]
+fn lock_witness_sees_no_inversion_across_all_chores() {
+    // Every registered chore ticks at least once inside two minutes (see
+    // the replay test above), so this sweeps the compaction, scrub,
+    // tiering, replication, archive and meta-flush lock paths under the
+    // runtime witness in one pass.
+    use common::lockwitness;
+    let before = lockwitness::violation_count();
+    lockwitness::enable();
+    let sl = seeded_deployment();
+    let journal = sl.run_maintenance_until(secs(120));
+    lockwitness::disable();
+    assert!(!journal.is_empty());
+    assert_eq!(
+        lockwitness::violation_count(),
+        before,
+        "lock witness observed an ordering violation during maintenance"
+    );
+    if cfg!(debug_assertions) {
+        let edges = lockwitness::observed_edges();
+        assert!(
+            !edges.is_empty(),
+            "witness saw no nested acquisitions — Tracked instrumentation regressed"
+        );
+        for (held, acquired) in edges {
+            if let (Some(h), Some(a)) = (lockwitness::rank(held), lockwitness::rank(acquired)) {
+                assert!(h < a, "observed edge {held} -> {acquired} inverts declared ranks");
+            }
+        }
+    }
+}

@@ -31,3 +31,42 @@ fn workspace_is_within_slint_baseline() {
         panic!("{msg}");
     }
 }
+
+#[test]
+fn gate_detects_the_synthetic_deadlock_fixture() {
+    // Sensitivity check for the gate itself: R9 must flag the checked-in
+    // two-lock cycle fixture when it is scanned as if it were workspace
+    // code. A gate that passes the workspace but misses this fixture has
+    // lost its teeth, not found a clean tree.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fixture = root.join("crates/slint/fixtures/lock_cycle.rs");
+    let source = std::fs::read_to_string(&fixture).expect("cycle fixture present");
+    let files = vec![("crates/sim/src/pair.rs".to_string(), source)];
+    let findings = slint::scan_sources(&files);
+    assert!(
+        findings.iter().any(|f| f.rule == slint::Rule::R9),
+        "R9 must flag the synthetic lock cycle: {findings:?}"
+    );
+}
+
+#[test]
+fn lock_graph_is_acyclic_and_rank_consistent() {
+    // The inter-procedural lock graph over the real workspace: no cycles
+    // (R9 would fire, caught above via the gate) and every edge between
+    // ranked classes goes strictly upward in the canonical hierarchy.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let graph = slint::lock_graph(root).expect("workspace lock graph");
+    assert!(!graph.edges.is_empty(), "workspace has nested lock acquisitions");
+    for edge in &graph.edges {
+        let from = &graph.classes[edge.from];
+        let to = &graph.classes[edge.to];
+        if let (Some(f), Some(t)) = (from.rank, to.rank) {
+            assert!(
+                f < t,
+                "lock graph edge {} -> {} inverts the canonical hierarchy",
+                from.name,
+                to.name
+            );
+        }
+    }
+}
