@@ -15,7 +15,13 @@
 //! * `checksummed_append` — 3-way replicated appends including the per-shard
 //!   CRC32 computed into the index entry, MB/s;
 //! * `verified_read` — replicated reads with every touched shard
-//!   checksum-verified against the index CRCs, MB/s.
+//!   checksum-verified against the index CRCs, MB/s;
+//! * `partitioned_produce` — keyed produce across a 64-partition topic
+//!   (key hash → route → per-partition quota → worker → object), MB/s of
+//!   logical payload;
+//! * `group_rebalance` — consumer-group churn (joins, cooperative ack
+//!   cycles, leaves) over a 64-partition topic, rebalance-journal bytes
+//!   per second.
 //!
 //! One additional row is measured in *virtual* time rather than host time:
 //! `maintenance_interference`, the foreground append p99 with every
@@ -214,6 +220,105 @@ fn bench_verified_read() -> BenchResult {
     })
 }
 
+/// Records sent per partitioned-produce pass.
+const PRODUCE_RECORDS: usize = 4096;
+/// Payload bytes per produced message.
+const PRODUCE_BYTES: usize = 1024;
+/// Partitions of the produce/rebalance bench topic.
+const BENCH_PARTITIONS: u32 = 64;
+/// Members churned through the rebalance bench.
+const BENCH_MEMBERS: usize = 16;
+
+fn stream_service() -> Arc<stream::StreamService> {
+    let clock = SimClock::new();
+    let pool = Arc::new(StoragePool::new(
+        "perf-stream",
+        MediaKind::NvmeSsd,
+        8,
+        1024 * MIB,
+        clock.clone(),
+    ));
+    let plog = Arc::new(
+        PlogStore::new(
+            pool,
+            PlogConfig {
+                shard_count: 64,
+                redundancy: Redundancy::Replicate { copies: 2 },
+                shard_capacity: 512 * MIB,
+            },
+        )
+        .expect("valid perf-baseline config"),
+    );
+    stream::StreamService::new(
+        plog,
+        clock,
+        stream::StreamServiceOptions { workers: 4, ..Default::default() },
+    )
+}
+
+fn bench_partitioned_produce() -> BenchResult {
+    // The partition-first produce path: key hash → partition route →
+    // per-partition quota → worker → stream object, across a 64-partition
+    // topic. MB/s of logical payload through the whole stack.
+    let record = payload(8, PRODUCE_BYTES);
+    best_of("partitioned_produce", || {
+        let svc = stream_service();
+        svc.create_topic("t", stream::TopicConfig::with_partitions(BENCH_PARTITIONS))
+            .expect("perf topic");
+        let mut p = svc.producer();
+        p.set_batch_size(16);
+        let ctx = common::ctx::IoCtx::new(0);
+        for i in 0..PRODUCE_RECORDS {
+            p.send("t", format!("key-{i}").into_bytes(), record.clone(), &ctx)
+                .expect("perf send");
+        }
+        p.flush(&ctx).expect("perf flush");
+        (PRODUCE_RECORDS * PRODUCE_BYTES) as u64
+    })
+}
+
+fn bench_group_rebalance() -> BenchResult {
+    // Consumer-group coordination throughput: churn BENCH_MEMBERS members
+    // through a 64-partition group (join, cooperative ack cycle, leave)
+    // and report journal bytes rendered per second — the journal is the
+    // deterministic artifact every rebalance produces, so bytes/s tracks
+    // coordination cost end to end.
+    best_of("group_rebalance", || {
+        let svc = stream_service();
+        svc.create_topic("t", stream::TopicConfig::with_partitions(BENCH_PARTITIONS))
+            .expect("perf topic");
+        let groups = svc.groups().clone();
+        let topics = vec!["t".to_string()];
+        let mut t = 0u64;
+        let mut members: Vec<String> = Vec::new();
+        for i in 0..BENCH_MEMBERS {
+            let m = format!("m{i}");
+            t += 1_000_000;
+            groups.join("g", &m, &topics, &common::ctx::IoCtx::new(t)).expect("join");
+            members.push(m);
+            // Cooperative cycle: everyone acks until the group stabilizes.
+            while !groups.is_stable("g") {
+                t += 1_000_000;
+                for m in &members {
+                    groups.ack("g", m, &common::ctx::IoCtx::new(t)).expect("ack");
+                }
+            }
+        }
+        while members.len() > 1 {
+            let m = members.pop().expect("nonempty");
+            t += 1_000_000;
+            groups.leave("g", &m, &common::ctx::IoCtx::new(t)).expect("leave");
+            while !groups.is_stable("g") {
+                t += 1_000_000;
+                for m in &members {
+                    groups.ack("g", m, &common::ctx::IoCtx::new(t)).expect("ack");
+                }
+            }
+        }
+        groups.journal_bytes().len() as u64
+    })
+}
+
 /// Foreground interference of the maintenance runtime, in *virtual* time:
 /// append p99 with every chore active between sends vs fully quiesced.
 /// Unlike the MB/s rows this is deterministic (no host clock), so the ratio
@@ -263,13 +368,15 @@ fn output_path() -> std::path::PathBuf {
         .join("BENCH_PERF.json")
 }
 
-const REQUIRED_BENCHES: [&str; 6] = [
+const REQUIRED_BENCHES: [&str; 8] = [
     "replicate_append",
     "ec_append",
     "degraded_read",
     "gf256_mul_acc",
     "checksummed_append",
     "verified_read",
+    "partitioned_produce",
+    "group_rebalance",
 ];
 
 /// Validate an existing BENCH_PERF.json; returns a human-readable error.
@@ -328,6 +435,8 @@ fn main() {
         bench_gf256(),
         bench_checksummed_append(),
         bench_verified_read(),
+        bench_partitioned_produce(),
+        bench_group_rebalance(),
     ];
     for r in &results {
         println!("{:<20} {:>10.1} MB/s  ({} bytes in {} ns)", r.name, r.mb_per_s(), r.bytes, r.nanos);

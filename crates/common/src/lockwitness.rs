@@ -37,6 +37,10 @@ pub const HIERARCHY: &[(&str, u32)] = &[
     ("stream.service.worker_ids", 20),
     ("stream.service.workers", 21),
     ("stream.service.quotas", 22),
+    // group.state ranks below dispatcher.topo: rebalancing holds the
+    // coordinator state while reading partition counts from the topology.
+    ("stream.group.state", 23),
+    ("stream.group.journal", 24),
     ("stream.dispatcher.topo", 25),
     ("stream.txn.active", 28),
     ("stream.object.registry", 30),

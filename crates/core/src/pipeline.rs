@@ -127,7 +127,7 @@ impl StreamLakePipeline {
             &ctx.at(batch_start),
         )?;
         let mut t = batch_start;
-        for route in sl.stream().dispatcher().topic_routes("dpi")? {
+        for route in sl.stream().dispatcher().topic_partitions("dpi")? {
             let object = sl.stream().dispatcher().object_of(&route)?;
             let mut task = ConversionTask::new(
                 object,

@@ -11,6 +11,7 @@ use lake::{CompactionChore, IntervalTrigger, MetaFlushChore, TableStore};
 use plog::{PlogConfig, PlogStore, RemoteReplicator, ScrubService};
 use simdisk::{DeviceHealth, MediaKind, StoragePool, TieringService, Transport};
 use stream::archive::{ArchiveChore, ArchiveService};
+use stream::group::OffsetRetentionChore;
 use stream::service::{StreamService, StreamServiceOptions};
 use stream::{Consumer, Producer};
 use std::sync::Arc;
@@ -215,6 +216,10 @@ impl StreamLake {
         );
         chores.register(Arc::new(MetaFlushChore::new(tables.clone())), ChoreConfig::every(secs(5)));
         chores.register(compaction.clone(), ChoreConfig::every(secs(30)));
+        chores.register(
+            Arc::new(OffsetRetentionChore::new(stream.groups().clone())),
+            ChoreConfig::every(secs(60)),
+        );
 
         StreamLake {
             clock,
@@ -402,6 +407,34 @@ mod tests {
         let mut c = sl.consumer("g");
         c.subscribe("t").unwrap();
         assert_eq!(c.poll(100, &IoCtx::new(0)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn offset_retention_runs_under_the_maintenance_runtime() {
+        let sl = StreamLake::new(StreamLakeConfig::small());
+        assert!(
+            sl.chore_status().iter().any(|s| s.name == "offset-retention"),
+            "the group-offset retention chore must be registered"
+        );
+        sl.stream()
+            .create_topic("t", TopicConfig::with_partitions(2))
+            .unwrap();
+        {
+            let mut c = sl.consumer("ephemeral");
+            c.subscribe("t").unwrap();
+            c.poll(10, &IoCtx::new(0)).unwrap();
+            c.commit().unwrap();
+        } // graceful leave: the group is now empty
+        // Past the retention window the maintenance runtime sweeps the
+        // group's offsets out of the dispatcher KV.
+        let retention = sl.stream().groups().config().offset_retention;
+        sl.clock().advance(retention + common::clock::secs(120));
+        sl.run_maintenance_until(sl.clock().now());
+        assert_eq!(
+            sl.stream().dispatcher().committed_offset("ephemeral", "t", 0),
+            None,
+            "expired group offsets must be swept"
+        );
     }
 
     #[test]

@@ -24,6 +24,21 @@ pub fn shard_for(routing_key: &[u8], shard_count: usize) -> usize {
     (fnv1a(routing_key) % shard_count as u64) as usize
 }
 
+/// The shard that backs partition `partition_idx` of `topic`.
+///
+/// Stream partitions are ordered logs pinned to one PLog shard each; the
+/// routing key is `topic`, a `/` separator, and the partition index in
+/// big-endian so that `("t", 1)` and `("t1", ...)` can never collide. The
+/// mapping is pure — dispatcher and object layer agree on it without any
+/// shared state.
+pub fn shard_for_partition(topic: &str, partition_idx: u32, shard_count: usize) -> usize {
+    let mut key = Vec::with_capacity(topic.len() + 5);
+    key.extend_from_slice(topic.as_bytes());
+    key.push(b'/');
+    key.extend_from_slice(&partition_idx.to_be_bytes());
+    shard_for(&key, shard_count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,6 +69,23 @@ mod tests {
                 "shard {i} holds {c}, mean {mean}"
             );
         }
+    }
+
+    #[test]
+    fn partition_placement_is_deterministic_and_spread() {
+        assert_eq!(shard_for_partition("t", 7, 64), shard_for_partition("t", 7, 64));
+        // The separator keeps ("t", idx) and ("t<idx-prefix>", ...) apart.
+        assert_ne!(
+            shard_for_partition("t", 0x3131_3131, 4096),
+            shard_for_partition("t\u{31}", 0x31_3131, 4096),
+        );
+        // 512 partitions of one topic over 64 shards must not pile up.
+        let shards = 64usize;
+        let mut counts = vec![0u32; shards];
+        for idx in 0..512u32 {
+            counts[shard_for_partition("events", idx, shards)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 20), "{counts:?}");
     }
 
     #[test]

@@ -478,6 +478,13 @@ impl PlogStore {
         &self.pool
     }
 
+    /// The record index (corruption injection in tests: overwriting an
+    /// entry with garbage makes the next [`delete`](Self::delete) surface
+    /// `Error::Corruption`, the path integrity counters guard).
+    pub fn index_for_tests(&self) -> &SharedKv {
+        &self.index
+    }
+
     /// Logical bytes appended per shard (for balance inspection).
     pub fn shard_usage(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.lock().next_offset).collect()

@@ -75,6 +75,10 @@ pub const LOCK_HIERARCHY: &[LockClassSpec] = &[
     class!("stream.service.worker_ids", 20, "StreamService".next_worker_id),
     class!("stream.service.workers", 21, "StreamService".workers),
     class!("stream.service.quotas", 22, "StreamService".quotas),
+    // group.state ranks below dispatcher.topo: rebalancing holds the
+    // coordinator state while reading partition counts from the topology.
+    class!("stream.group.state", 23, "GroupCoordinator".state),
+    class!("stream.group.journal", 24, "GroupCoordinator".journal),
     class!("stream.dispatcher.topo", 25, "StreamDispatcher".topo),
     class!("stream.txn.active", 28, "TxnManager".active),
     class!("stream.object.registry", 30, "StreamObjectStore".objects),

@@ -193,7 +193,7 @@ impl Chore for ArchiveChore {
                 continue;
             }
             let threshold = config.archive.archive_size * 1024 * 1024;
-            for route in dispatcher.topic_routes(&topic)? {
+            for route in dispatcher.topic_partitions(&topic)? {
                 let object = match dispatcher.object_of(&route) {
                     Ok(o) => o,
                     Err(_) => continue,

@@ -156,9 +156,24 @@ impl Default for TopicConfig {
 }
 
 impl TopicConfig {
-    /// A topic with `stream_num` streams and defaults elsewhere.
+    /// A topic with `partitions` partitions and defaults elsewhere.
+    ///
+    /// The struct field (and the Fig 8 JSON key) stays `stream_num` — the
+    /// paper's vocabulary — but the rest of the crate treats each stream
+    /// as one **partition**, the unit of parallelism, assignment and
+    /// quota.
+    pub fn with_partitions(partitions: u32) -> Self {
+        TopicConfig { stream_num: partitions, ..Default::default() }
+    }
+
+    /// Paper-vocabulary alias for [`with_partitions`](Self::with_partitions).
     pub fn with_streams(stream_num: u32) -> Self {
-        TopicConfig { stream_num, ..Default::default() }
+        Self::with_partitions(stream_num)
+    }
+
+    /// Number of partitions (the Fig 8 `stream_num`).
+    pub fn partitions(&self) -> u32 {
+        self.stream_num
     }
 
     /// Parse a Fig 8-style JSON document.

@@ -48,6 +48,18 @@ pub struct CreateOptions {
     pub shard_hint: Option<u32>,
 }
 
+/// What [`StreamObjectStore::destroy`] accomplished: destruction itself is
+/// all-or-nothing (the object is unpublished), but slice reclamation in
+/// PLog is per-slice and best-effort.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DestroyOutcome {
+    /// Slices whose PLog records were reclaimed (or already absent).
+    pub freed_slices: u64,
+    /// Slices whose PLog delete failed (e.g. a corrupt index entry); their
+    /// extents may leak until scrub reclaims them.
+    pub failed_deletes: u64,
+}
+
 impl Default for CreateOptions {
     fn default() -> Self {
         CreateOptions { slice_capacity: SLICE_CAPACITY, scm_cache: false, shard_hint: None }
@@ -408,7 +420,13 @@ impl StreamObjectStore {
     }
 
     /// `DestroyServerStreamObject`: drop the object and free its slices.
-    pub fn destroy(&self, id: ObjectId) -> Result<()> {
+    ///
+    /// Freeing slices stays best-effort (the object is already unpublished
+    /// from the registry), but the outcome is reported instead of
+    /// swallowed: callers like `StreamDispatcher::delete_topic` surface
+    /// [`DestroyOutcome::failed_deletes`] as a metric so leaked extents are
+    /// observable.
+    pub fn destroy(&self, id: ObjectId) -> Result<DestroyOutcome> {
         let obj = self
             .objects
             .lock()
@@ -416,15 +434,17 @@ impl StreamObjectStore {
             .ok_or_else(|| Error::NotFound(format!("stream object {id}")))?;
         let mut st = obj.state.lock();
         st.destroyed = true;
+        let mut outcome = DestroyOutcome::default();
         for s in &st.slices {
-            // Destroy already unpublished the object from the registry;
-            // freeing slices is best-effort space reclamation.
-            // slint:allow(R11): best-effort reclamation after unpublish
-            let _ = obj.plog.delete(&s.addr);
+            match obj.plog.delete(&s.addr) {
+                // Ok(0) means the record was already gone — still freed.
+                Ok(_) => outcome.freed_slices += 1,
+                Err(_) => outcome.failed_deletes += 1,
+            }
         }
         st.slices.clear();
         st.buffer.clear();
-        Ok(())
+        Ok(outcome)
     }
 
     /// Number of live objects.

@@ -1,13 +1,15 @@
 //! The producer client API (Fig 7).
 //!
 //! `Producer::send` is compatible in shape with "the open-source de facto
-//! standard": messages are keyed, routed to a stream by key hash, batched
-//! per stream, and flushed when the batch fills (or explicitly). Producers
+//! standard": messages are keyed, routed to a partition by a pluggable
+//! [`Partitioner`] (stable key hash by default), batched per partition, and
+//! flushed when the batch fills (or explicitly). Producers
 //! are idempotent — every record carries a `(producer_id, sequence)` pair
 //! that the stream object uses to drop duplicate retries — and can send
 //! within a transaction for exactly-once pipelines.
 
 use crate::object::AppendAck;
+use crate::partition::{KeyHashPartitioner, Partitioner};
 use crate::record::Record;
 use crate::service::StreamService;
 use common::ctx::IoCtx;
@@ -24,13 +26,21 @@ pub struct Producer {
     svc: Arc<StreamService>,
     pid: u64,
     batch_size: usize,
+    partitioner: Arc<dyn Partitioner>,
     batches: BTreeMap<(String, u32), Vec<Record>>,
     seqs: BTreeMap<(String, u32), u64>,
 }
 
 impl Producer {
     pub(crate) fn new(svc: Arc<StreamService>, pid: u64) -> Self {
-        Producer { svc, pid, batch_size: DEFAULT_BATCH_SIZE, batches: BTreeMap::new(), seqs: BTreeMap::new() }
+        Producer {
+            svc,
+            pid,
+            batch_size: DEFAULT_BATCH_SIZE,
+            partitioner: Arc::new(KeyHashPartitioner),
+            batches: BTreeMap::new(),
+            seqs: BTreeMap::new(),
+        }
     }
 
     /// This producer's idempotence id.
@@ -38,9 +48,16 @@ impl Producer {
         self.pid
     }
 
-    /// Set the per-stream batch size (1 = unbatched).
+    /// Set the per-partition batch size (1 = unbatched).
     pub fn set_batch_size(&mut self, n: usize) {
         self.batch_size = n.max(1);
+    }
+
+    /// Replace the record→partition policy (default:
+    /// [`KeyHashPartitioner`]). Per-key ordering only survives for
+    /// partitioners that are pure functions of the key.
+    pub fn set_partitioner(&mut self, partitioner: Arc<dyn Partitioner>) {
+        self.partitioner = partitioner;
     }
 
     /// Send one message. Returns the append ack when this send flushed a
@@ -76,8 +93,15 @@ impl Producer {
         txn: Option<TxnId>,
         ctx: &IoCtx,
     ) -> Result<Option<AppendAck>> {
-        let route = self.svc.dispatcher().route(topic, &key)?;
-        let slot = (topic.to_string(), route.stream_idx);
+        let partition_count = self.svc.dispatcher().partition_count(topic)?;
+        let idx = self.partitioner.partition(topic, &key, partition_count);
+        if idx >= partition_count {
+            return Err(Error::InvalidArgument(format!(
+                "partitioner returned {idx} for a {partition_count}-partition topic"
+            )));
+        }
+        let route = self.svc.dispatcher().route_partition(topic, idx)?;
+        let slot = (topic.to_string(), route.partition_idx);
         let seq = self.seqs.entry(slot.clone()).or_insert(0);
         *seq += 1;
         let mut record = Record::new(key, value, (ctx.now / 1_000_000) as i64);
@@ -107,14 +131,8 @@ impl Producer {
                 continue;
             };
             let records = std::mem::take(batch);
-            // Re-resolve the route: the stream may have moved workers.
-            let routes = self.svc.dispatcher().topic_routes(&slot.0)?;
-            let route = routes
-                .into_iter()
-                .find(|r| r.stream_idx == slot.1)
-                .ok_or_else(|| {
-                    Error::NotFound(format!("stream {} of topic {} disappeared", slot.1, slot.0))
-                })?;
+            // Re-resolve the route: the partition may have moved workers.
+            let route = self.svc.dispatcher().route_partition(&slot.0, slot.1)?;
             acks.push(self.svc.produce_to(&slot.0, &route, &records, ctx)?);
         }
         Ok(acks)
@@ -162,12 +180,35 @@ mod tests {
         assert_eq!(p.pending(), 0);
         // Every message is readable afterwards.
         let mut total = 0;
-        for route in svc.dispatcher().topic_routes("t").unwrap() {
+        for route in svc.dispatcher().topic_partitions("t").unwrap() {
             svc.dispatcher().object_of(&route).unwrap().flush_at(&IoCtx::new(0)).unwrap();
             let (got, _) = svc.fetch_from(&route, 0, ReadCtrl::default(), &IoCtx::new(0)).unwrap();
             total += got.len();
         }
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn custom_partitioner_overrides_key_hash() {
+        use crate::partition::RoundRobinPartitioner;
+        use std::sync::Arc;
+        let svc = test_service(1, false);
+        svc.create_topic("t", TopicConfig::with_partitions(4)).unwrap();
+        let mut p = svc.producer();
+        p.set_batch_size(1);
+        p.set_partitioner(Arc::new(RoundRobinPartitioner::default()));
+        // Same key every time, yet records walk all four partitions.
+        for _ in 0..4 {
+            p.send("t", b"same".to_vec(), b"v".to_vec(), &IoCtx::new(0)).unwrap();
+        }
+        let mut non_empty = 0;
+        for route in svc.dispatcher().topic_partitions("t").unwrap() {
+            let obj = svc.dispatcher().object_of(&route).unwrap();
+            obj.flush_at(&IoCtx::new(0)).unwrap();
+            let (got, _) = svc.fetch_from(&route, 0, ReadCtrl::default(), &IoCtx::new(0)).unwrap();
+            non_empty += usize::from(!got.is_empty());
+        }
+        assert_eq!(non_empty, 4, "round-robin must touch every partition");
     }
 
     #[test]

@@ -1,26 +1,42 @@
-//! Per-stream rate limiting.
+//! Per-partition rate limiting.
 //!
 //! "The quota configuration sets the maximum processing rate for each
 //! stream" (§V-A). A token bucket over virtual time: capacity of one
 //! second's worth of tokens, refilled continuously.
+//!
+//! Arithmetic is exact: the bucket holds **nano-tokens** (one token =
+//! 10⁹ nano-tokens) in integers, and an elapsed span of `e` nanoseconds at
+//! `rate` tokens/second refills exactly `e × rate` nano-tokens — no
+//! floating point anywhere, so the same admission schedule produces the
+//! same decisions byte for byte on every run and every platform (a unit
+//! test pins this).
 
 use common::clock::Nanos;
 use common::ctx::IoCtx;
 use common::{Error, Result};
+
+/// Nano-tokens per token: refill math stays in integers because
+/// `tokens/sec × elapsed_ns` *is* the nano-token count.
+const NANO: u128 = 1_000_000_000;
 
 /// Token-bucket limiter: at most `rate` messages per virtual second, with a
 /// burst of one second's allowance.
 #[derive(Debug)]
 pub struct QuotaLimiter {
     rate_per_sec: u64,
-    tokens: f64,
+    /// Current allowance in nano-tokens; capacity is `rate_per_sec × NANO`.
+    nano_tokens: u128,
     last_refill: Nanos,
 }
 
 impl QuotaLimiter {
     /// A limiter admitting `rate_per_sec` messages per second.
     pub fn new(rate_per_sec: u64) -> Self {
-        QuotaLimiter { rate_per_sec, tokens: rate_per_sec as f64, last_refill: 0 }
+        QuotaLimiter {
+            rate_per_sec,
+            nano_tokens: rate_per_sec as u128 * NANO,
+            last_refill: 0,
+        }
     }
 
     /// Configured rate.
@@ -32,13 +48,15 @@ impl QuotaLimiter {
     /// `QuotaExceeded` when the bucket is empty.
     pub fn try_acquire(&mut self, n: u64, ctx: &IoCtx) -> Result<()> {
         self.refill(ctx.now);
-        if self.tokens >= n as f64 {
-            self.tokens -= n as f64;
+        let need = n as u128 * NANO;
+        if self.nano_tokens >= need {
+            self.nano_tokens -= need;
             Ok(())
         } else {
             Err(Error::QuotaExceeded(format!(
-                "requested {n}, {:.0} tokens available at rate {}/s",
-                self.tokens, self.rate_per_sec
+                "requested {n}, {} tokens available at rate {}/s",
+                self.nano_tokens / NANO,
+                self.rate_per_sec
             )))
         }
     }
@@ -47,9 +65,10 @@ impl QuotaLimiter {
         if t <= self.last_refill {
             return;
         }
-        let elapsed = (t - self.last_refill) as f64 / 1e9;
-        self.tokens =
-            (self.tokens + elapsed * self.rate_per_sec as f64).min(self.rate_per_sec as f64);
+        let elapsed = (t - self.last_refill) as u128;
+        let cap = self.rate_per_sec as u128 * NANO;
+        // Exact: elapsed ns × (rate tokens/s) = elapsed × rate nano-tokens.
+        self.nano_tokens = (self.nano_tokens + elapsed * self.rate_per_sec as u128).min(cap);
         self.last_refill = t;
     }
 }
@@ -107,5 +126,52 @@ mod tests {
         }
         // 10 s at 500/s plus the initial burst: within [5000, 5600].
         assert!((5000..=5600).contains(&admitted), "admitted={admitted}");
+    }
+
+    #[test]
+    fn sub_token_refills_are_exact_not_rounded() {
+        // 3 tokens/s: one token takes 333,333,333.3 ns. Integer nano-token
+        // math accumulates the fractional thirds exactly: after draining
+        // the burst, 333 ms is one ns short of a token, 334 ms is over.
+        let mut q = QuotaLimiter::new(3);
+        q.try_acquire(3, &IoCtx::new(0)).unwrap();
+        assert!(q.try_acquire(1, &IoCtx::new(millis(333))).is_err());
+        assert!(q.try_acquire(1, &IoCtx::new(millis(334))).is_ok());
+    }
+
+    #[test]
+    fn admission_decisions_are_pinned_for_a_fixed_schedule() {
+        // The determinism contract: this exact (time, n) schedule admits
+        // exactly this decision string, byte for byte, on every run and
+        // every platform. f64 token math could drift per target; integer
+        // nano-tokens cannot.
+        let schedule: &[(Nanos, u64)] = &[
+            (0, 7),
+            (0, 4),
+            (millis(50), 1),
+            (millis(300), 2),
+            (millis(300), 1),
+            (millis(999), 4),
+            (secs(1), 1),
+            (secs(1) + millis(100), 1),
+            (secs(1) + millis(100), 1),
+            (secs(2), 9),
+            (secs(2), 1),
+            (millis(1500), 1), // time going backwards: no refill
+            (secs(3), 10),
+            (secs(3), 1),
+        ];
+        let decide = || {
+            let mut q = QuotaLimiter::new(10);
+            let mut out = String::new();
+            for &(t, n) in schedule {
+                out.push(if q.try_acquire(n, &IoCtx::new(t)).is_ok() { 'A' } else { 'R' });
+            }
+            out
+        };
+        let got = decide();
+        assert_eq!(got, "ARAAAAAAAAARAR", "admission schedule drifted");
+        // And byte-identical across limiter instances.
+        assert_eq!(got, decide());
     }
 }

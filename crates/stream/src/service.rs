@@ -1,14 +1,16 @@
 //! The stream service facade.
 //!
-//! Wires the dispatcher, workers, stream objects, quotas and the
-//! transaction manager into the surface producers and consumers talk to
-//! (Fig 6: producers → stream workers → stream objects, coordinated by the
-//! stream dispatcher).
+//! Wires the dispatcher, workers, stream objects, per-partition quotas,
+//! the consumer-group coordinator and the transaction manager into the
+//! surface producers and consumers talk to (Fig 6: producers → stream
+//! workers → stream objects, coordinated by the stream dispatcher).
 
 use crate::config::TopicConfig;
 use crate::consumer::Consumer;
-use crate::dispatcher::{RescaleReport, StreamDispatcher, StreamRoute};
+use crate::dispatcher::{PartitionRoute, RescaleReport, StreamDispatcher};
+use crate::group::{GroupConfig, GroupCoordinator};
 use crate::object::{AppendAck, ReadCtrl, StreamObjectStore};
+use crate::partition::Partition;
 use crate::producer::Producer;
 use crate::quota::QuotaLimiter;
 use crate::record::Record;
@@ -21,7 +23,7 @@ use common::metrics::Metrics;
 use common::{Error, Result, SimClock, WorkerId};
 use plog::PlogStore;
 use simdisk::{Bus, Transport};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use common::lockwitness::{TrackedMutex, TrackedRwLock};
 
@@ -36,6 +38,9 @@ pub struct StreamServiceOptions {
     pub scm_capacity: u64,
     /// Bus transport between workers and stream objects.
     pub transport: Transport,
+    /// Consumer-group coordination (session timeout, assignment strategy,
+    /// offset retention).
+    pub group: GroupConfig,
 }
 
 impl Default for StreamServiceOptions {
@@ -45,6 +50,7 @@ impl Default for StreamServiceOptions {
             worker_cache_bytes: 4 * 1024 * 1024,
             scm_capacity: 0,
             transport: Transport::Rdma,
+            group: GroupConfig::default(),
         }
     }
 }
@@ -55,11 +61,13 @@ pub struct StreamService {
     clock: SimClock,
     objects: Arc<StreamObjectStore>,
     dispatcher: Arc<StreamDispatcher>,
+    groups: Arc<GroupCoordinator>,
     workers: TrackedRwLock<HashMap<WorkerId, Arc<StreamWorker>>>,
-    quotas: TrackedMutex<HashMap<(String, u32), QuotaLimiter>>,
+    quotas: TrackedMutex<BTreeMap<Partition, QuotaLimiter>>,
     txns: TxnManager,
     bus: Arc<Bus>,
     producer_ids: IdGen,
+    consumer_ids: IdGen,
     metrics: Metrics,
     next_worker_id: TrackedMutex<u64>,
 }
@@ -72,18 +80,29 @@ impl StreamService {
             opts.scm_capacity,
             clock.clone(),
         ));
-        let dispatcher = Arc::new(StreamDispatcher::new(objects.clone()));
+        let metrics = Metrics::new();
+        let dispatcher = Arc::new(StreamDispatcher::with_metrics(
+            objects.clone(),
+            metrics.clone(),
+        ));
+        let groups = Arc::new(GroupCoordinator::new(
+            dispatcher.clone(),
+            metrics.clone(),
+            opts.group,
+        ));
         let bus = Arc::new(Bus::new(opts.transport, clock.clone()));
         let svc = Arc::new(StreamService {
             clock,
             objects,
             dispatcher,
+            groups,
             workers: TrackedRwLock::new("stream.service.workers", HashMap::new()),
-            quotas: TrackedMutex::new("stream.service.quotas", HashMap::new()),
+            quotas: TrackedMutex::new("stream.service.quotas", BTreeMap::new()),
             txns: TxnManager::new(),
             bus,
             producer_ids: IdGen::new(),
-            metrics: Metrics::new(),
+            consumer_ids: IdGen::new(),
+            metrics,
             next_worker_id: TrackedMutex::new("stream.service.worker_ids", 0),
         });
         for _ in 0..opts.workers.max(1) {
@@ -100,6 +119,11 @@ impl StreamService {
     /// The dispatcher (topology inspection, offsets).
     pub fn dispatcher(&self) -> &Arc<StreamDispatcher> {
         &self.dispatcher
+    }
+
+    /// The consumer-group coordinator.
+    pub fn groups(&self) -> &Arc<GroupCoordinator> {
+        &self.groups
     }
 
     /// The stream object store.
@@ -128,7 +152,7 @@ impl StreamService {
         id
     }
 
-    /// Remove a worker, reassigning its streams.
+    /// Remove a worker, reassigning its partitions.
     pub fn remove_worker(&self, id: WorkerId, ctx: &IoCtx) -> Result<RescaleReport> {
         let report = self.dispatcher.deregister_worker(id, ctx)?;
         self.workers.write().remove(&id);
@@ -140,25 +164,29 @@ impl StreamService {
         self.workers.read().len()
     }
 
-    /// Create a topic.
+    /// Create a topic; every partition gets its own quota bucket.
     pub fn create_topic(&self, name: &str, config: TopicConfig) -> Result<RescaleReport> {
         let quota = config.quota;
         let report = self.dispatcher.create_topic(name, config, &IoCtx::new(self.clock.now()))?;
         let mut quotas = self.quotas.lock();
-        for route in self.dispatcher.topic_routes(name)? {
-            quotas.insert((name.to_string(), route.stream_idx), QuotaLimiter::new(quota));
+        for route in self.dispatcher.topic_partitions(name)? {
+            quotas.insert(
+                Partition::new(name, route.partition_idx),
+                QuotaLimiter::new(quota),
+            );
         }
         Ok(report)
     }
 
-    /// Scale a topic to more streams (Fig 14(c)).
-    pub fn scale_topic(&self, name: &str, streams: u32, ctx: &IoCtx) -> Result<RescaleReport> {
-        let report = self.dispatcher.scale_topic(name, streams, ctx)?;
+    /// Scale a topic to more partitions (Fig 14(c)); new partitions get
+    /// fresh quota buckets, existing ones keep their fill level.
+    pub fn scale_topic(&self, name: &str, partitions: u32, ctx: &IoCtx) -> Result<RescaleReport> {
+        let report = self.dispatcher.scale_topic(name, partitions, ctx)?;
         let quota = self.dispatcher.topic_config(name)?.quota;
         let mut quotas = self.quotas.lock();
-        for route in self.dispatcher.topic_routes(name)? {
+        for route in self.dispatcher.topic_partitions(name)? {
             quotas
-                .entry((name.to_string(), route.stream_idx))
+                .entry(Partition::new(name, route.partition_idx))
                 .or_insert_with(|| QuotaLimiter::new(quota));
         }
         Ok(report)
@@ -169,22 +197,23 @@ impl StreamService {
         Producer::new(self.clone(), self.producer_ids.next())
     }
 
-    /// A new consumer handle in `group`.
+    /// A new consumer handle — a fresh member of `group`.
     pub fn consumer(self: &Arc<Self>, group: &str) -> Consumer {
-        Consumer::new(self.clone(), group)
+        let member = format!("m{}", self.consumer_ids.next());
+        Consumer::new(self.clone(), group, member)
     }
 
-    /// Internal produce path: quota → worker → stream object.
+    /// Internal produce path: per-partition quota → worker → stream object.
     pub(crate) fn produce_to(
         &self,
         topic: &str,
-        route: &StreamRoute,
+        route: &PartitionRoute,
         records: &[Record],
         ctx: &IoCtx,
     ) -> Result<AppendAck> {
         {
             let mut quotas = self.quotas.lock();
-            if let Some(q) = quotas.get_mut(&(topic.to_string(), route.stream_idx)) {
+            if let Some(q) = quotas.get_mut(&Partition::new(topic, route.partition_idx)) {
                 q.try_acquire(records.len() as u64, ctx)?;
             }
         }
@@ -207,7 +236,7 @@ impl StreamService {
     /// Internal fetch path through the owning worker.
     pub(crate) fn fetch_from(
         &self,
-        route: &StreamRoute,
+        route: &PartitionRoute,
         offset: u64,
         ctrl: ReadCtrl,
         ctx: &IoCtx,
@@ -219,7 +248,7 @@ impl StreamService {
         Ok(out)
     }
 
-    fn worker_for(&self, route: &StreamRoute) -> Result<Arc<StreamWorker>> {
+    fn worker_for(&self, route: &PartitionRoute) -> Result<Arc<StreamWorker>> {
         self.workers
             .read()
             .get(&route.worker)
@@ -271,7 +300,7 @@ pub(crate) mod tests {
     fn topic_creation_and_worker_scaling() {
         let svc = test_service(2, false);
         assert_eq!(svc.worker_count(), 2);
-        svc.create_topic("t", TopicConfig::with_streams(4)).unwrap();
+        svc.create_topic("t", TopicConfig::with_partitions(4)).unwrap();
         let id = svc.add_worker(MIB);
         assert_eq!(svc.worker_count(), 3);
         let report = svc.remove_worker(id, &IoCtx::new(0)).unwrap();
@@ -282,7 +311,7 @@ pub(crate) mod tests {
     #[test]
     fn quota_rejects_overload() {
         let svc = test_service(1, false);
-        let mut cfg = TopicConfig::with_streams(1);
+        let mut cfg = TopicConfig::with_partitions(1);
         cfg.quota = 10; // 10 msgs/sec
         svc.create_topic("slow", cfg).unwrap();
         let route = svc.dispatcher().route("slow", b"k").unwrap();
@@ -294,9 +323,25 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn quotas_are_per_partition_not_per_topic() {
+        let svc = test_service(2, false);
+        let mut cfg = TopicConfig::with_partitions(2);
+        cfg.quota = 10;
+        svc.create_topic("t", cfg).unwrap();
+        let records: Vec<Record> =
+            (0..10).map(|i| Record::new(b"k".to_vec(), b"v".to_vec(), i)).collect();
+        let r0 = svc.dispatcher().route_partition("t", 0).unwrap();
+        let r1 = svc.dispatcher().route_partition("t", 1).unwrap();
+        // Draining partition 0's bucket must not starve partition 1.
+        svc.produce_to("t", &r0, &records, &IoCtx::new(0)).unwrap();
+        assert!(svc.produce_to("t", &r0, &records[..1], &IoCtx::new(0)).is_err());
+        svc.produce_to("t", &r1, &records, &IoCtx::new(0)).unwrap();
+    }
+
+    #[test]
     fn produce_fetch_roundtrip_through_service() {
         let svc = test_service(2, false);
-        svc.create_topic("t", TopicConfig::with_streams(2)).unwrap();
+        svc.create_topic("t", TopicConfig::with_partitions(2)).unwrap();
         let route = svc.dispatcher().route("t", b"key-1").unwrap();
         let records: Vec<Record> =
             (0..5).map(|i| Record::new(b"key-1".to_vec(), format!("m{i}").into_bytes(), i)).collect();

@@ -7,18 +7,22 @@
 //! so this crate generates deterministic synthetic equivalents:
 //!
 //! * [`packets`] — DPI log packets with realistic field skew;
+//! * [`keyed`] — Zipf-skewed keyed producers for the partitioned stream
+//!   layer (hot entities, per-key sequence numbers);
 //! * [`tpch`] — the `lineitem` schema and value distributions;
 //! * [`queries`] — random pushdown-predicate workloads over any schema;
 //! * [`openmessaging`] — open-loop constant-rate message load with latency
 //!   percentile accounting;
 //! * [`zipf`] — the Zipf sampler behind the skewed choices.
 
+pub mod keyed;
 pub mod openmessaging;
 pub mod packets;
 pub mod queries;
 pub mod tpch;
 pub mod zipf;
 
+pub use keyed::{producer_fleet, KeyedWorkload};
 pub use openmessaging::{LatencyRecorder, LoadSpec};
 pub use packets::{Packet, PacketGen};
 pub use queries::QueryGen;

@@ -28,8 +28,8 @@ fn main() {
     consumer.subscribe("topic_streamlake_test").expect("subscribe");
     for record in consumer.poll(10, &IoCtx::new(0)).expect("poll") {
         println!(
-            "consumed from stream {} offset {}: {}",
-            record.stream_idx,
+            "consumed from partition {} offset {}: {}",
+            record.partition_idx,
             record.offset,
             String::from_utf8_lossy(&record.record.value)
         );

@@ -51,7 +51,7 @@ fn main() {
 
     // Run the conversion task over every stream of the topic.
     let mut converted = 0;
-    for route in sl.stream().dispatcher().topic_routes("dpi").expect("routes") {
+    for route in sl.stream().dispatcher().topic_partitions("dpi").expect("routes") {
         let object = sl.stream().dispatcher().object_of(&route).expect("object");
         let mut task = ConversionTask::new(
             object,

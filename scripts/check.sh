@@ -28,6 +28,10 @@ cargo run --release -p bench --bin phase_smoke
 # Maintenance-runtime soak: four virtual hours with every chore registered;
 # fails if any chore never ticks, is stuck in backoff, or starves.
 cargo run --release -p bench --bin chore_soak
+# Consumer-group convergence smoke: a 64-partition topic under member
+# churn; fails on unassigned partitions, a non-converging rebalance, or
+# any lost/duplicated delivery.
+cargo run --release -p bench --bin stream_scale
 # Wall-clock perf baseline: measure the hot kernels and validate the
 # trajectory file — a missing or malformed BENCH_PERF.json fails the gate.
 cargo run --release -p bench --bin perf_baseline

@@ -134,7 +134,7 @@ fn consumer_group_resume_is_exactly_once_per_group() {
     let mut c1 = sl.consumer("g");
     c1.subscribe("t").unwrap();
     let first = c1.poll(30, &IoCtx::new(0)).unwrap();
-    c1.commit();
+    c1.commit().unwrap();
     drop(c1);
 
     // a replacement consumer in the same group picks up the remainder only
@@ -145,8 +145,61 @@ fn consumer_group_resume_is_exactly_once_per_group() {
     let mut seen = std::collections::HashSet::new();
     for r in first.iter().chain(rest.iter()) {
         assert!(
-            seen.insert((r.stream_idx, r.offset)),
+            seen.insert((r.partition_idx, r.offset)),
             "no offset may be delivered twice to the group"
         );
     }
+}
+
+#[test]
+fn a_group_of_n_consumers_delivers_each_record_exactly_once() {
+    // Regression for the partitioned consumer-group path: N members of one
+    // group collectively receive every record of a topic exactly once,
+    // with the membership churning mid-consumption.
+    let sl = system();
+    sl.stream()
+        .create_topic("t", stream::TopicConfig::with_partitions(8))
+        .unwrap();
+    let mut p = sl.producer();
+    for i in 0..400 {
+        p.send("t", format!("k{i}"), format!("v{i}"), &IoCtx::new(0)).unwrap();
+    }
+    p.flush(&IoCtx::new(0)).unwrap();
+
+    let mut members: Vec<stream::Consumer> = (0..4)
+        .map(|_| {
+            let mut c = sl.consumer("g");
+            c.subscribe("t").unwrap();
+            c
+        })
+        .collect();
+
+    let mut seen = std::collections::HashMap::new();
+    let mut drain = |members: &mut Vec<stream::Consumer>,
+                     seen: &mut std::collections::HashMap<(u32, u64), u32>| {
+        for _ in 0..8 {
+            for c in members.iter_mut() {
+                for r in c.poll(100, &IoCtx::new(0)).unwrap() {
+                    *seen.entry((r.partition_idx, r.offset)).or_insert(0) += 1;
+                }
+                c.commit().unwrap();
+            }
+        }
+    };
+    drain(&mut members, &mut seen);
+
+    // one member leaves gracefully, the survivors absorb its partitions
+    drop(members.pop());
+    for i in 0..200 {
+        p.send("t", format!("late{i}"), format!("v{i}"), &IoCtx::new(0)).unwrap();
+    }
+    p.flush(&IoCtx::new(0)).unwrap();
+    drain(&mut members, &mut seen);
+
+    assert_eq!(seen.len(), 600, "every record delivered");
+    assert!(
+        seen.values().all(|&c| c == 1),
+        "a record reached the group more than once: {:?}",
+        seen.iter().filter(|(_, &c)| c != 1).collect::<Vec<_>>()
+    );
 }

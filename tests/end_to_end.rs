@@ -16,7 +16,7 @@ const T0: i64 = 1_656_806_400;
 fn convert_all(sl: &StreamLake, topic: &str, table: &str, now: u64) -> u64 {
     let cfg = ConvertToTable { split_offset: 1, enabled: true, ..Default::default() };
     let mut converted = 0;
-    for route in sl.stream().dispatcher().topic_routes(topic).unwrap() {
+    for route in sl.stream().dispatcher().topic_partitions(topic).unwrap() {
         let object = sl.stream().dispatcher().object_of(&route).unwrap();
         let mut task = ConversionTask::new(
             object,
@@ -206,7 +206,7 @@ fn archive_then_playback_preserves_messages() {
     let entries = sl.archive().entries();
     assert_eq!(entries.len(), 1);
     assert_eq!(entries[0].count, 256);
-    let route = &sl.stream().dispatcher().topic_routes("t").unwrap()[0];
+    let route = &sl.stream().dispatcher().topic_partitions("t").unwrap()[0];
     let obj = sl.stream().dispatcher().object_of(route).unwrap();
     assert_eq!(obj.slice_count(), 0, "archived slices truncated from hot tier");
     assert!(sl.hdd_pool().used() > 0, "archive lives in the cold pool");

@@ -118,6 +118,97 @@ fn stream_delivery_is_complete_and_ordered_for_any_batching() {
         .unwrap();
 }
 
+/// Per-key order survives topic growth plus a full cooperative rebalance
+/// cycle, and the group still sees every record exactly once.
+///
+/// Operational discipline encoded here: the group drains and commits
+/// *before* `scale_topic`, because growing the partition count remaps
+/// keys — order across the boundary is only meaningful once the old
+/// placement is fully consumed.
+#[test]
+fn per_key_order_survives_scaling_and_rebalancing() {
+    let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+        cases: 12,
+        ..Default::default()
+    });
+    let strategy = (1u32..5, 1u32..8, 1usize..80, 1usize..120, 2usize..5);
+    runner
+        .run(&strategy, |(parts, growth, phase1, phase2, keys)| {
+            let sl = StreamLake::new(StreamLakeConfig::small());
+            sl.stream()
+                .create_topic("t", stream::TopicConfig::with_partitions(parts))
+                .unwrap();
+            let mut producer = sl.producer();
+            producer.set_batch_size(5);
+            let mut seq = 0u32;
+            let mut send_n = |producer: &mut stream::Producer, n: usize| {
+                for _ in 0..n {
+                    producer
+                        .send(
+                            "t",
+                            format!("key-{}", seq as usize % keys),
+                            seq.to_le_bytes().to_vec(),
+                            &IoCtx::new(0),
+                        )
+                        .unwrap();
+                    seq += 1;
+                }
+                producer.flush(&IoCtx::new(0)).unwrap();
+            };
+
+            let mut last_per_key: std::collections::HashMap<Vec<u8>, u32> =
+                std::collections::HashMap::new();
+            let mut seen = std::collections::HashSet::new();
+            let mut check = |records: &[stream::ConsumedRecord]| {
+                for r in records {
+                    let s = u32::from_le_bytes(r.record.value.as_slice().try_into().unwrap());
+                    assert!(seen.insert(s), "record {s} delivered twice to the group");
+                    if let Some(&prev) = last_per_key.get(&r.record.key) {
+                        assert!(s > prev, "key {:?}: {s} after {prev}", r.record.key);
+                    }
+                    last_per_key.insert(r.record.key.clone(), s);
+                }
+            };
+
+            // Phase 1: a single member drains and commits everything.
+            send_n(&mut producer, phase1);
+            let mut c1 = sl.consumer("g");
+            c1.subscribe("t").unwrap();
+            loop {
+                let got = c1.poll(usize::MAX, &IoCtx::new(0)).unwrap();
+                if got.is_empty() {
+                    break;
+                }
+                check(&got);
+            }
+            c1.commit().unwrap();
+
+            // Grow the topic, produce more, and churn the membership: the
+            // new member forces a full cooperative rebalance cycle.
+            sl.stream()
+                .scale_topic("t", parts + growth, &IoCtx::new(0))
+                .unwrap();
+            send_n(&mut producer, phase2);
+            let mut c2 = sl.consumer("g");
+            c2.subscribe("t").unwrap();
+            for _ in 0..8 {
+                for c in [&mut c1, &mut c2] {
+                    let got = c.poll(usize::MAX, &IoCtx::new(0)).unwrap();
+                    check(&got);
+                    c.commit().unwrap();
+                }
+            }
+            prop_assert_eq!(
+                seen.len(),
+                phase1 + phase2,
+                "group must deliver every record exactly once"
+            );
+            prop_assert!(sl.stream().groups().unassigned("g").is_empty());
+            Ok(())
+        })
+        .unwrap();
+}
+
 /// Any single device failure never loses acknowledged data under the
 /// small config's 2-way replication.
 #[test]
