@@ -33,18 +33,22 @@
 //! the best pass (least interference from the host). Results land in
 //! `BENCH_PERF.json` at the workspace root; `scripts/check.sh` re-runs this
 //! binary with `--check`, which re-reads and validates the file so a
-//! missing or malformed trajectory fails the gate.
+//! missing or malformed trajectory fails the gate. The file also records a
+//! per-bench regression `floors` object — 80% of the best recorded rate,
+//! ratcheting monotonically upward across runs — and `--check` fails when
+//! any required bench's current rate sits below its recorded floor.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_baseline            # measure + write
 //! cargo run --release -p bench --bin perf_baseline -- --check # validate only
 //! ```
 
+use common::ctx::IoCtx;
 use common::json::Json;
 use common::size::MIB;
-use common::SimClock;
+use common::{Bytes, SimClock};
 use ec::Redundancy;
-use plog::{PlogConfig, PlogStore};
+use plog::{GroupCommitConfig, GroupCommitter, PlogConfig, PlogStore, WorkerPool};
 use simdisk::{MediaKind, StoragePool};
 use std::sync::Arc;
 use std::time::Instant;
@@ -86,6 +90,10 @@ fn store(redundancy: Redundancy, devices: usize) -> PlogStore {
         PlogConfig { shard_count: 16, redundancy, shard_capacity: 512 * MIB },
     )
     .expect("valid perf-baseline config")
+    // Host-side parallelism only: shard encode/CRC/device work fans across
+    // the pool with a deterministic join order, so virtual-time results are
+    // identical with or without it.
+    .with_workers(Arc::new(WorkerPool::with_default_size(42)))
 }
 
 struct BenchResult {
@@ -189,12 +197,25 @@ fn bench_checksummed_append() -> BenchResult {
     // Dedicated row for the checksummed write path (one CRC32 pass per
     // payload feeding the index entry), tracked separately so integrity
     // regressions are visible even if the generic append row drifts.
-    let record = payload(6, RECORD_BYTES);
+    //
+    // This row drives the group-commit front door: records enter as `Bytes`
+    // clones (no per-append payload copy), coalesce into commit groups, and
+    // pay one batched index put per group.
+    let record = Bytes::from_vec(payload(6, RECORD_BYTES));
     best_of("checksummed_append", || {
-        let s = store(Redundancy::Replicate { copies: 3 }, 8);
+        let s = Arc::new(store(Redundancy::Replicate { copies: 3 }, 8));
+        let gc = GroupCommitter::new(s.clone(), GroupCommitConfig::default());
+        let ctx = IoCtx::new(0);
+        let mut tickets = Vec::with_capacity(RECORDS);
         for i in 0..RECORDS {
             let key = (i as u64).to_be_bytes();
-            s.append(&key, &record[..]).expect("perf append");
+            tickets.push(
+                gc.submit(s.shard_of(&key), record.clone(), &ctx).expect("perf submit"),
+            );
+        }
+        gc.flush(&ctx).expect("perf flush");
+        for t in tickets {
+            gc.take(t).expect("group outcome").expect("perf append");
         }
         (RECORDS * RECORD_BYTES) as u64
     })
@@ -379,6 +400,29 @@ const REQUIRED_BENCHES: [&str; 8] = [
     "group_rebalance",
 ];
 
+/// Fraction of a measured rate that becomes its recorded floor. A later
+/// run whose rate lands below an already-recorded floor (>20% regression
+/// against the trajectory) fails `--check`.
+const FLOOR_FRACTION: f64 = 0.8;
+
+/// Per-bench regression floors recorded in an existing trajectory file.
+/// Missing file or missing object means no floors yet (first recording).
+fn read_floors(path: &std::path::Path) -> std::collections::BTreeMap<String, f64> {
+    let mut floors = std::collections::BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else { return floors };
+    let Ok(json) = Json::parse(&text) else { return floors };
+    if let Some(obj) = json.get("floors").and_then(|f| f.as_object()) {
+        for (name, v) in obj {
+            if let Some(f) = v.as_f64() {
+                if f.is_finite() && f > 0.0 {
+                    floors.insert(name.clone(), f);
+                }
+            }
+        }
+    }
+    floors
+}
+
 /// Validate an existing BENCH_PERF.json; returns a human-readable error.
 fn check_file(path: &std::path::Path) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
@@ -388,6 +432,10 @@ fn check_file(path: &std::path::Path) -> Result<(), String> {
         .get("benches")
         .and_then(|b| b.as_object())
         .ok_or("missing `benches` object")?;
+    let floors = json
+        .get("floors")
+        .and_then(|f| f.as_object())
+        .ok_or("missing `floors` object (re-run perf_baseline to record one)")?;
     for name in REQUIRED_BENCHES {
         let entry = benches.get(name).ok_or_else(|| format!("missing bench `{name}`"))?;
         let rate = entry
@@ -396,6 +444,16 @@ fn check_file(path: &std::path::Path) -> Result<(), String> {
             .ok_or_else(|| format!("bench `{name}` has no numeric mb_per_s"))?;
         if !(rate.is_finite() && rate > 0.0) {
             return Err(format!("bench `{name}` reports non-positive rate {rate}"));
+        }
+        let floor = floors
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("bench `{name}` has no recorded floor"))?;
+        if rate < floor {
+            return Err(format!(
+                "bench `{name}` regressed: {rate:.2} MB/s is below its recorded floor \
+                 {floor:.2} MB/s (>20% under the best recorded trajectory)"
+            ));
         }
     }
     let interference = json
@@ -427,6 +485,10 @@ fn main() {
             }
         }
     }
+
+    // Floors ratchet: each bench's floor only ever rises, so the trajectory
+    // remembers the best recorded run even across slower host days.
+    let prior_floors = read_floors(&path);
 
     let results = [
         bench_replicate_append(),
@@ -462,6 +524,18 @@ fn main() {
             ]),
         ),
         ("benches", Json::Object(results.iter().map(|r| { let (k, v) = r.to_json(); (k.to_string(), v) }).collect())),
+        (
+            "floors",
+            Json::Object(
+                results
+                    .iter()
+                    .map(|r| {
+                        let prior = prior_floors.get(r.name).copied().unwrap_or(0.0);
+                        (r.name.to_string(), Json::Num(prior.max(FLOOR_FRACTION * r.mb_per_s())))
+                    })
+                    .collect(),
+            ),
+        ),
         ("maintenance_interference", interference.to_json()),
     ]);
     if let Err(e) = std::fs::write(&path, json.to_pretty() + "\n") {

@@ -244,6 +244,15 @@ impl IoCtx {
         self
     }
 
+    /// Same request, with span recording detached. Used when work is fanned
+    /// across helper threads: the fan-out site replays the spans in a
+    /// deterministic order afterwards, so concurrent recording must not
+    /// race the sink's (windowed) histograms.
+    pub fn without_sink(mut self) -> Self {
+        self.sink = None;
+        self
+    }
+
     /// A child span of this request (fresh span id, same trace/budget).
     pub fn child(&self) -> Self {
         IoCtx { span: NEXT_SPAN.fetch_add(1, Ordering::Relaxed), ..self.clone() }

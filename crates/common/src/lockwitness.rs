@@ -53,6 +53,9 @@ pub const HIERARCHY: &[(&str, u32)] = &[
     ("plog.repl.mapping", 55),
     ("plog.repl.cursor", 56),
     ("plog.scrub.cursor", 58),
+    // commit.state ranks above plog.shard: a group flush holds the
+    // committer state while reserving shard address space and writing.
+    ("plog.commit.state", 59),
     ("plog.shard", 60),
     ("simdisk.tier.extents", 65),
     ("kv.index", 70),

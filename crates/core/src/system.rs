@@ -155,7 +155,13 @@ impl StreamLake {
             )
             // slint:allow(R4): config is validated by SystemConfig construction before this point
             .expect("valid plog config")
-            .with_metrics(metrics.clone()),
+            .with_metrics(metrics.clone())
+            // Host-side parallelism only: per-shard encode/CRC/device work
+            // fans across the pool with deterministic join order, so the
+            // virtual-time figures are unchanged.
+            .with_workers(Arc::new(plog::WorkerPool::with_default_size(
+                config.maintenance_seed,
+            ))),
         );
         let scrubber = Arc::new(ScrubService::new(plog.clone()));
         let stream = StreamService::new(

@@ -26,7 +26,7 @@ use crate::stats::ColumnStats;
 use crate::value::Row;
 use common::checksum::crc32;
 use common::varint;
-use common::{Error, Result};
+use common::{Bytes, Error, Result};
 
 const MAGIC: &[u8; 5] = b"SLKF1";
 
@@ -130,12 +130,15 @@ impl LakeFileWriter {
 pub struct LakeFileReader {
     schema: Schema,
     groups: Vec<RowGroupMeta>,
-    data: Vec<u8>,
+    data: Bytes,
 }
 
 impl LakeFileReader {
-    /// Parse and validate a file image.
-    pub fn open(data: Vec<u8>) -> Result<Self> {
+    /// Parse and validate a file image. Accepts any `Into<Bytes>`, so a
+    /// caller already holding a [`Bytes`] (e.g. a PLog read) opens the file
+    /// without paying a payload copy.
+    pub fn open(data: impl Into<Bytes>) -> Result<Self> {
+        let data = data.into();
         let n = data.len();
         if n < MAGIC.len() * 2 + 8 || &data[..MAGIC.len()] != MAGIC || &data[n - MAGIC.len()..] != MAGIC
         {
@@ -236,11 +239,19 @@ impl LakeFileReader {
                 .ok_or_else(|| Error::InvalidArgument(format!("column index {ci}")))?;
             let raw = self
                 .data
+                .as_slice()
                 .get(chunk.offset as usize..(chunk.offset + chunk.len) as usize)
                 .ok_or_else(|| Error::Corruption("chunk beyond file".into()))?;
-            let encoded =
-                if chunk.compressed { compress::decompress(raw)? } else { raw.to_vec() };
-            cols.push(decode_column(chunk.encoding, self.schema.field(ci).dtype, &encoded)?);
+            // Uncompressed chunks decode straight out of the shared buffer;
+            // only compressed chunks materialize an intermediate allocation.
+            let decompressed;
+            let encoded: &[u8] = if chunk.compressed {
+                decompressed = compress::decompress(raw)?;
+                &decompressed
+            } else {
+                raw
+            };
+            cols.push(decode_column(chunk.encoding, self.schema.field(ci).dtype, encoded)?);
         }
         Ok(cols)
     }
@@ -429,6 +440,25 @@ mod tests {
             "columnar file {} must be <0.5x row encoding {}",
             bytes.len(),
             row_size
+        );
+    }
+
+    #[test]
+    fn opening_and_scanning_a_bytes_image_pays_no_payload_copies() {
+        // A reader handed an existing `Bytes` (the PLog read path) must not
+        // re-materialize the image, and uncompressed chunks must decode
+        // straight out of the shared buffer.
+        let rows = sample_rows(512);
+        let w = LakeFileWriter::new(schema(), 128).unwrap();
+        let image = Bytes::from_vec(w.encode(&rows).unwrap());
+        let before = common::bytes::payload_copies();
+        let r = LakeFileReader::open(image).unwrap();
+        let back = r.scan(&Expr::True, None).unwrap();
+        assert_eq!(back.len(), 512);
+        assert_eq!(
+            common::bytes::payload_copies(),
+            before,
+            "opening from Bytes and scanning must not copy the file payload"
         );
     }
 

@@ -50,6 +50,16 @@ impl KvStore {
         self.apply(&b);
     }
 
+    /// Insert or overwrite many keys atomically: one WAL frame for the
+    /// whole batch, so either every put survives recovery or none do.
+    pub fn put_batch(&mut self, pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+        let mut b = WriteBatch::new();
+        for (key, value) in pairs {
+            b.put(key, value);
+        }
+        self.apply(&b);
+    }
+
     /// Apply a batch atomically: logged as one frame, then applied.
     pub fn apply(&mut self, batch: &WriteBatch) {
         if batch.is_empty() {
@@ -99,6 +109,12 @@ impl KvStore {
     /// Size of the WAL in bytes (grows with every batch until compaction).
     pub fn wal_bytes_len(&self) -> u64 {
         self.wal.len_bytes()
+    }
+
+    /// Number of WAL frames (one per applied batch; group commit's gauge
+    /// for "a whole group paid one frame").
+    pub fn wal_frames(&self) -> u64 {
+        self.wal.record_count()
     }
 
     /// Raw WAL bytes, e.g. for persisting into a PLog.
@@ -166,6 +182,11 @@ impl SharedKv {
         self.inner.write().apply(batch);
     }
 
+    /// Insert or overwrite many keys under one write lock and WAL frame.
+    pub fn put_batch(&self, pairs: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>) {
+        self.inner.write().put_batch(pairs);
+    }
+
     /// Fetch a value (cloned out of the lock).
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
         self.inner.read().get(key).cloned()
@@ -194,6 +215,11 @@ impl SharedKv {
     /// Whether the store holds no keys.
     pub fn is_empty(&self) -> bool {
         self.inner.read().is_empty()
+    }
+
+    /// Number of WAL frames appended so far.
+    pub fn wal_frames(&self) -> u64 {
+        self.inner.read().wal_frames()
     }
 
     /// Run a closure with exclusive access (for read-modify-write).
@@ -228,6 +254,37 @@ mod tests {
         bytes.truncate(bytes.len() - 1);
         let rec = KvStore::recover(bytes).unwrap();
         assert!(rec.is_empty(), "torn batch must not be half-applied");
+    }
+
+    #[test]
+    fn put_batch_logs_one_frame_and_is_atomic() {
+        let mut kv = KvStore::new();
+        kv.put(b"seed".to_vec(), b"0".to_vec());
+        let frame_len = kv.wal_bytes_len();
+        kv.put_batch((0..16u32).map(|i| (format!("k{i:02}").into_bytes(), i.to_le_bytes().to_vec())));
+        assert_eq!(kv.len(), 17);
+        // One frame for 16 puts: far smaller than 16 single-put frames.
+        assert!(kv.wal_bytes_len() - frame_len < 16 * frame_len);
+        // Tear inside the batch frame: recovery drops the whole batch.
+        let mut bytes = kv.wal_bytes().to_vec();
+        bytes.truncate(bytes.len() - 1);
+        let rec = KvStore::recover(bytes).unwrap();
+        assert_eq!(rec.len(), 1, "torn batched put must not be half-applied");
+        assert_eq!(rec.get(b"seed"), Some(&b"0".to_vec()));
+    }
+
+    #[test]
+    fn shared_put_batch_matches_individual_puts() {
+        let kv = SharedKv::new();
+        kv.put_batch(vec![
+            (b"a".to_vec(), b"1".to_vec()),
+            (b"b".to_vec(), b"2".to_vec()),
+            (b"a".to_vec(), b"3".to_vec()), // last writer wins within a batch
+        ]);
+        assert_eq!(kv.get(b"a"), Some(b"3".to_vec()));
+        assert_eq!(kv.get(b"b"), Some(b"2".to_vec()));
+        kv.put_batch(Vec::new()); // empty batch is a no-op
+        assert_eq!(kv.len(), 2);
     }
 
     #[test]

@@ -667,7 +667,7 @@ impl TableStore {
             .file_addr(path)
             .ok_or_else(|| Error::NotFound(format!("data file {path}")))?;
         let (bytes, t) = self.plog.read_at(&addr, ctx)?;
-        Ok((LakeFileReader::open(bytes.to_vec())?, t))
+        Ok((LakeFileReader::open(bytes)?, t))
     }
 
     fn file_addr(&self, path: &str) -> Option<PlogAddress> {
@@ -970,6 +970,25 @@ pub(crate) mod tests {
         let r = s.select("logs", &ScanOptions::default(), &IoCtx::new(0))?;
         assert_eq!(r.rows.len(), 500);
         assert_eq!(r.stats.files_scanned, r.stats.files_candidate);
+        Ok(())
+    }
+
+    #[test]
+    fn select_read_path_pays_no_payload_copies() -> Result<()> {
+        // plog read → LakeFileReader::open → scan must stay zero-copy: the
+        // reader borrows the Bytes the PLog served instead of re-vectoring
+        // the file image.
+        let s = test_store();
+        s.create_table("logs", log_schema(), None, 1000, &IoCtx::new(0))?;
+        s.insert("logs", &log_rows(400, T0), &IoCtx::new(0))?;
+        let before = common::bytes::payload_copies();
+        let r = s.select("logs", &ScanOptions::default(), &IoCtx::new(0))?;
+        assert_eq!(r.rows.len(), 400);
+        assert_eq!(
+            common::bytes::payload_copies(),
+            before,
+            "table select must not copy file payload on the read path"
+        );
         Ok(())
     }
 

@@ -14,14 +14,24 @@
 //!   index from addresses to physical extents with per-shard CRC32s,
 //!   checksum-verified degraded reads, and race-safe repair;
 //! * [`scrub`] — the [`ScrubService`]: Maintenance-QoS background cycles
-//!   that verify every stored shard and restore full redundancy.
+//!   that verify every stored shard and restore full redundancy;
+//! * [`commit`] — the [`GroupCommitter`]: coalesces concurrent appends
+//!   into one commit group per flush epoch, paying a single batched index
+//!   put (one WAL frame) per group;
+//! * [`workers`] — the [`WorkerPool`]: a small fixed thread pool with
+//!   deterministic scatter/join that fans per-shard encode, CRC and
+//!   device-write work on the hot path.
 
+pub mod commit;
 pub mod placement;
 pub mod replication;
 pub mod scrub;
 pub mod store;
+pub mod workers;
 
+pub use commit::{GroupCommitConfig, GroupCommitter, Ticket};
 pub use placement::shard_for;
 pub use replication::RemoteReplicator;
 pub use scrub::{ScrubReport, ScrubService};
 pub use store::{PlogAddress, PlogConfig, PlogStore, RecordHealth};
+pub use workers::WorkerPool;

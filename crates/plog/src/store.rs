@@ -8,9 +8,10 @@
 //! rotten shards on live devices.
 
 use crate::placement::shard_for;
+use crate::workers::WorkerPool;
 use common::checksum::crc32;
 use common::clock::Nanos;
-use common::ctx::{IoCtx, QosClass};
+use common::ctx::{IoCtx, Phase, QosClass};
 use common::metrics::Metrics;
 use common::{Bytes, Error, Result};
 use ec::{Redundancy, Stripe};
@@ -18,6 +19,10 @@ use kvstore::SharedKv;
 use simdisk::pool::{ExtentHandle, StoragePool};
 use std::sync::Arc;
 use common::lockwitness::TrackedMutex;
+
+/// Per-shard work below this size stays inline: fanning it across the
+/// worker pool costs more in handoff than the hash or device call saves.
+const FAN_BYTES: usize = 32 * 1024;
 
 /// Configuration of a [`PlogStore`].
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +57,7 @@ pub struct PlogAddress {
 }
 
 impl PlogAddress {
-    fn index_key(&self) -> Vec<u8> {
+    pub(crate) fn index_key(&self) -> Vec<u8> {
         let mut k = Vec::with_capacity(16);
         k.extend_from_slice(b"plog/");
         k.extend_from_slice(&self.shard.to_be_bytes());
@@ -113,6 +118,7 @@ pub struct PlogStore {
     shards: Vec<TrackedMutex<ShardState>>,
     index: SharedKv,
     metrics: Metrics,
+    workers: Option<Arc<WorkerPool>>,
 }
 
 impl PlogStore {
@@ -124,7 +130,22 @@ impl PlogStore {
         let shards = (0..config.shard_count)
             .map(|_| TrackedMutex::new("plog.shard", ShardState::default()))
             .collect();
-        Ok(PlogStore { pool, config, shards, index: SharedKv::new(), metrics: Metrics::new() })
+        Ok(PlogStore {
+            pool,
+            config,
+            shards,
+            index: SharedKv::new(),
+            metrics: Metrics::new(),
+            workers: None,
+        })
+    }
+
+    /// Attach a worker pool: stripe writes and verification fan per-shard
+    /// work across it instead of running sequentially on the caller's
+    /// thread. Virtual-time figures are unchanged — only host latency.
+    pub fn with_workers(mut self, workers: Arc<WorkerPool>) -> Self {
+        self.workers = Some(workers);
+        self
     }
 
     /// Record integrity counters (`plog.*`) into `metrics` instead of a
@@ -161,20 +182,9 @@ impl PlogStore {
     /// their shard assignment).
     pub fn append_to_shard(&self, shard: u32, record: impl Into<Bytes>) -> Result<PlogAddress> {
         let record: Bytes = record.into();
-        let addr = {
-            let mut st = self.shards[shard as usize].lock();
-            if st.next_offset + record.len() as u64 > self.config.shard_capacity {
-                return Err(Error::CapacityExhausted(format!(
-                    "plog shard {shard} address space full ({} of {})",
-                    st.next_offset, self.config.shard_capacity
-                )));
-            }
-            let addr = PlogAddress { shard, offset: st.next_offset, len: record.len() as u64 };
-            st.next_offset += record.len() as u64;
-            addr
-        };
+        let addr = self.reserve(shard, record.len() as u64)?;
         let written = Stripe::encode(record, self.config.redundancy).and_then(|stripe| {
-            let crcs = shard_crcs(&stripe);
+            let crcs = self.stripe_crcs(&stripe);
             self.pool.write_shards(&stripe.shards).map(|handle| (handle, crcs))
         });
         match written {
@@ -193,9 +203,27 @@ impl PlogStore {
         }
     }
 
+    /// Reserve `len` bytes of address space on `shard` — the first half of
+    /// an append. Callers pair it with a stripe write plus index put on
+    /// success, or [`rollback_reservation`](Self::rollback_reservation) on
+    /// failure (the group committer assembles batched appends from the same
+    /// parts).
+    pub(crate) fn reserve(&self, shard: u32, len: u64) -> Result<PlogAddress> {
+        let mut st = self.shards[shard as usize].lock();
+        if st.next_offset + len > self.config.shard_capacity {
+            return Err(Error::CapacityExhausted(format!(
+                "plog shard {shard} address space full ({} of {})",
+                st.next_offset, self.config.shard_capacity
+            )));
+        }
+        let addr = PlogAddress { shard, offset: st.next_offset, len };
+        st.next_offset += len;
+        Ok(addr)
+    }
+
     /// Undo an address-space reservation after a failed write, if no later
     /// append has already extended the shard past it.
-    fn rollback_reservation(&self, addr: &PlogAddress) {
+    pub(crate) fn rollback_reservation(&self, addr: &PlogAddress) {
         let mut st = self.shards[addr.shard as usize].lock();
         if st.next_offset == addr.offset + addr.len {
             st.next_offset = addr.offset;
@@ -213,23 +241,10 @@ impl PlogStore {
         ctx: &IoCtx,
     ) -> Result<(PlogAddress, common::clock::Nanos)> {
         let record: Bytes = record.into();
-        let addr = {
-            let mut st = self.shards[shard as usize].lock();
-            if st.next_offset + record.len() as u64 > self.config.shard_capacity {
-                return Err(Error::CapacityExhausted(format!(
-                    "plog shard {shard} address space full ({} of {})",
-                    st.next_offset, self.config.shard_capacity
-                )));
-            }
-            let addr = PlogAddress { shard, offset: st.next_offset, len: record.len() as u64 };
-            st.next_offset += record.len() as u64;
-            addr
-        };
+        let addr = self.reserve(shard, record.len() as u64)?;
         let written = Stripe::encode(record, self.config.redundancy).and_then(|stripe| {
-            let crcs = shard_crcs(&stripe);
-            self.pool
-                .write_shards_ctx(&stripe.shards, ctx)
-                .map(|(handle, finish)| (handle, finish, crcs))
+            let crcs = self.stripe_crcs(&stripe);
+            self.write_stripe_ctx(&stripe, ctx).map(|(handle, finish)| (handle, finish, crcs))
         });
         match written {
             Ok((handle, finish, crcs)) => {
@@ -337,7 +352,7 @@ impl PlogStore {
         let data = self.read(addr)?;
         let old = self.lookup_entry(addr)?;
         let stripe = Stripe::encode(data, self.config.redundancy)?;
-        let crcs = shard_crcs(&stripe);
+        let crcs = self.stripe_crcs(&stripe);
         let new_handle = self.pool.write_shards(&stripe.shards)?;
         between();
         if self.commit_reindex(addr, &new_handle, &crcs) {
@@ -389,7 +404,7 @@ impl PlogStore {
         let stripe = Stripe::encode(data, self.config.redundancy)?;
         if health.missing > 0 {
             // Shards are gone, not just rotten: re-place the whole record.
-            let crcs = shard_crcs(&stripe);
+            let crcs = self.stripe_crcs(&stripe);
             let (new_handle, wfinish) =
                 self.pool.write_shards_ctx(&stripe.shards, &ctx.at(health.finish))?;
             health.finish = wfinish;
@@ -438,11 +453,15 @@ impl PlogStore {
         if entry.crcs.len() != survivors.len() {
             return Vec::new();
         }
+        // One coalesced pass over the stripe: aliased replicas share one
+        // digest, distinct shards hash in parallel when workers are
+        // attached, and the per-slot checks below stay in slot order.
+        let digests = coalesced_digests(survivors, self.workers.as_deref());
         let mut corrupt = Vec::new();
         for (i, slot) in survivors.iter_mut().enumerate() {
-            let Some(data) = slot else { continue };
+            let Some(crc) = digests[i] else { continue };
             self.metrics.incr("plog.shards_verified", 1);
-            if crc32(data.as_slice()) != entry.crcs[i] {
+            if crc != entry.crcs[i] {
                 self.metrics.incr("plog.corruptions_detected", 1);
                 self.pool.note_corruption(&entry.handle, i);
                 corrupt.push(i);
@@ -450,6 +469,94 @@ impl PlogStore {
             }
         }
         corrupt
+    }
+
+    /// Per-shard CRC32s of an encoded stripe via the coalesced pass:
+    /// replication hashes the payload once and reuses the digest; erasure
+    /// coding hashes each distinct shard (fanned across workers when
+    /// attached and worthwhile).
+    pub(crate) fn stripe_crcs(&self, stripe: &Stripe) -> Vec<u32> {
+        let slots: Vec<Option<Bytes>> = stripe.shards.iter().map(|s| Some(s.clone())).collect();
+        coalesced_digests(&slots, self.workers.as_deref())
+            .into_iter()
+            .map(|d| d.unwrap_or_default())
+            .collect()
+    }
+
+    /// Write an encoded stripe under `ctx`: the sequential pool path when
+    /// no worker pool is attached (or the stripe is too small to be worth
+    /// fanning), otherwise a planned write with one job per shard.
+    ///
+    /// Determinism: fan jobs run with span recording detached
+    /// ([`IoCtx::without_sink`]) and this thread replays each shard's
+    /// queue/device spans **in shard order** after the join, so the sink's
+    /// windowed histograms observe the exact sample sequence the
+    /// sequential path would have produced. Virtual timing is identical:
+    /// planned per-shard writes charge the same per-device queues as
+    /// `write_shards_ctx` from the same `ctx.now`.
+    pub(crate) fn write_stripe_ctx(
+        &self,
+        stripe: &Stripe,
+        ctx: &IoCtx,
+    ) -> Result<(ExtentHandle, Nanos)> {
+        let fan = self.workers.as_ref().filter(|w| {
+            w.threads() > 1
+                && stripe.shards.len() >= 2
+                && stripe.shards.iter().map(|s| s.len()).max().unwrap_or(0) >= FAN_BYTES
+        });
+        let Some(workers) = fan else {
+            return self.pool.write_shards_ctx(&stripe.shards, ctx);
+        };
+        let plan = self.pool.plan_shards(stripe.shards.len())?;
+        let quiet = ctx.clone().without_sink();
+        let jobs: Vec<_> = stripe
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let pool = Arc::clone(&self.pool);
+                let plan = plan.clone();
+                let s = s.clone();
+                let ctx = quiet.clone();
+                move || pool.write_planned_shard(&plan, i, s, &ctx)
+            })
+            .collect();
+        let results = workers.scatter(jobs)?;
+        // Replay spans in shard order, stopping at the first failing shard
+        // so the recorded sequence matches what the sequential path (which
+        // stops there) would have emitted.
+        let mut finish = ctx.now;
+        let mut failed: Option<Error> = None;
+        for r in results {
+            match r {
+                Ok(t) if failed.is_none() => {
+                    ctx.record(Phase::Queue, ctx.now, t.start.saturating_sub(ctx.now));
+                    ctx.record(Phase::Device, t.start, t.finish.saturating_sub(t.start));
+                    finish = finish.max(t.finish);
+                }
+                Ok(_) => {} // placed after the failing shard; rolled back below
+                Err(e) => {
+                    if failed.is_none() {
+                        failed = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = failed {
+            self.pool.delete(&plan.handle());
+            return Err(e);
+        }
+        Ok((plan.handle(), finish))
+    }
+
+    /// The record index (the group committer's batched put target).
+    pub(crate) fn index(&self) -> &SharedKv {
+        &self.index
+    }
+
+    /// The attached worker pool, if any.
+    pub(crate) fn workers(&self) -> Option<&Arc<WorkerPool>> {
+        self.workers.as_ref()
     }
 
     /// Write verified content back over checksum-failed shards sitting on
@@ -549,24 +656,57 @@ impl PlogStore {
     }
 }
 
-/// Per-shard CRC32s of an encoded stripe. Replication clones one handle
-/// `copies` times, so the payload is hashed once and the digest reused;
-/// erasure coding hashes each distinct shard.
-fn shard_crcs(stripe: &Stripe) -> Vec<u32> {
-    match stripe.shards.first() {
-        None => Vec::new(),
-        Some(first) => {
-            let c0 = crc32(first.as_slice());
-            let p0 = first.as_slice().as_ptr();
-            if stripe.shards.iter().skip(1).all(|s| s.as_slice().as_ptr() == p0) {
-                vec![c0; stripe.shards.len()]
-            } else {
-                std::iter::once(c0)
-                    .chain(stripe.shards.iter().skip(1).map(|s| crc32(s.as_slice())))
-                    .collect()
+/// One coalesced CRC pass over a set of shard slots: each *distinct*
+/// buffer is hashed exactly once and its digest reused for every slot
+/// aliasing it (replication clones one handle `copies` times; the device
+/// model's rot injection is copy-on-write, so aliased slots are byte-
+/// identical by construction). Distinct buffers above [`FAN_BYTES`] are
+/// hashed across `workers` when a pool is attached; digests come back in
+/// slot order either way.
+pub(crate) fn coalesced_digests(
+    slots: &[Option<Bytes>],
+    workers: Option<&WorkerPool>,
+) -> Vec<Option<u32>> {
+    let mut distinct: Vec<Bytes> = Vec::new();
+    let mut slot_map: Vec<Option<usize>> = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            None => slot_map.push(None),
+            Some(b) => {
+                let key = (b.as_slice().as_ptr() as usize, b.len());
+                let idx = distinct
+                    .iter()
+                    .position(|d| (d.as_slice().as_ptr() as usize, d.len()) == key)
+                    .unwrap_or_else(|| {
+                        distinct.push(b.clone());
+                        distinct.len() - 1
+                    });
+                slot_map.push(Some(idx));
             }
         }
     }
+    let inline = |bufs: &[Bytes]| bufs.iter().map(|b| crc32(b.as_slice())).collect::<Vec<u32>>();
+    let fan = workers
+        .filter(|w| w.threads() > 1)
+        .filter(|_| distinct.len() >= 2 && distinct.iter().any(|b| b.len() >= FAN_BYTES));
+    let crcs = match fan {
+        Some(w) => {
+            let jobs: Vec<_> = distinct
+                .iter()
+                .map(|b| {
+                    let b = b.clone();
+                    move || crc32(b.as_slice())
+                })
+                .collect();
+            match w.scatter(jobs) {
+                Ok(v) => v,
+                // A lost worker only costs the parallelism: hash inline.
+                Err(_) => inline(&distinct),
+            }
+        }
+        None => inline(&distinct),
+    };
+    slot_map.into_iter().map(|m| m.map(|i| crcs[i])).collect()
 }
 
 /// Attribute an unrecoverable decode to checksum damage when verification
@@ -585,7 +725,7 @@ fn corruption_or(e: Error, corrupt: &[usize]) -> Error {
 /// Index entry frame: `varint(logical_len) ++ handle ++ crc32[shards] (4-byte
 /// LE each)`. Zero trailing bytes marks a pre-checksum (legacy) entry; any
 /// other trailing length that is not exactly `4 * shard_count` is corruption.
-fn encode_entry(h: &ExtentHandle, logical_len: u64, crcs: &[u32]) -> Vec<u8> {
+pub(crate) fn encode_entry(h: &ExtentHandle, logical_len: u64, crcs: &[u32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(12 + h.shards.len() * 12 + crcs.len() * 4);
     common::varint::encode_u64(logical_len, &mut out);
     out.extend_from_slice(&encode_handle(h));
@@ -688,7 +828,7 @@ mod tests {
         let s = store(Redundancy::Replicate { copies: 3 }, 4);
         let payload = vec![7u8; 64 * 1024];
         let before = common::bytes::payload_copies();
-        let addr = s.append(b"hot/key", payload).unwrap();
+        s.append(b"hot/key", payload).unwrap();
         let copies = common::bytes::payload_copies() - before;
         assert!(copies <= 1, "3-way replicated append made {copies} payload copies");
     }
@@ -1007,6 +1147,72 @@ mod tests {
         assert_eq!(s.addresses_from(2, a1.offset + a1.len), vec![]);
         assert_eq!(s.addresses_from(7, 0), vec![]);
         assert_eq!(s.addresses().len(), 3);
+    }
+
+    #[test]
+    fn replicated_append_hashes_the_payload_once() {
+        // The coalesced CRC pass must reuse one digest across aliased
+        // replicas instead of hashing the same buffer `copies` times.
+        let s = store(Redundancy::Replicate { copies: 3 }, 4);
+        let n = 64 * 1024u64;
+        let before = common::checksum::crc_hashed_bytes();
+        s.append(b"k", vec![3u8; n as usize]).unwrap();
+        let hashed = common::checksum::crc_hashed_bytes() - before;
+        assert!(hashed < 2 * n, "3-way replicated append hashed {hashed} bytes for {n} payload bytes");
+    }
+
+    #[test]
+    fn verified_replicated_read_hashes_each_distinct_buffer_once() {
+        let s = store(Redundancy::Replicate { copies: 3 }, 4);
+        let n = 64 * 1024u64;
+        let addr = s.append(b"k", vec![4u8; n as usize]).unwrap();
+        let before = common::checksum::crc_hashed_bytes();
+        s.read(&addr).unwrap();
+        let hashed = common::checksum::crc_hashed_bytes() - before;
+        assert!(
+            hashed < 2 * n,
+            "verifying 3 aliased replicas hashed {hashed} bytes (want one {n}-byte pass)"
+        );
+        assert_eq!(
+            s.metrics.counter("plog.shards_verified"),
+            3,
+            "coalescing must not change the per-shard verified count"
+        );
+    }
+
+    #[test]
+    fn worker_fanned_append_and_read_match_sequential_results() {
+        // Attaching a worker pool is a host-side optimisation only: the
+        // durable address, the virtual completion times and the returned
+        // bytes must be identical to the sequential path.
+        let record: Vec<u8> = (0..256 * 1024).map(|i| (i % 253) as u8).collect();
+        let seq = store(Redundancy::ErasureCode { k: 3, m: 2 }, 6);
+        let fan = store(Redundancy::ErasureCode { k: 3, m: 2 }, 6)
+            .with_workers(Arc::new(WorkerPool::new(4, 11)));
+        let (a0, t0) = seq.append_to_shard_at(1, record.clone(), &IoCtx::new(500)).unwrap();
+        let (a1, t1) = fan.append_to_shard_at(1, record.clone(), &IoCtx::new(500)).unwrap();
+        assert_eq!(a0, a1);
+        assert_eq!(t0, t1, "fanned stripe write must keep virtual timing byte-identical");
+        let (d0, r0) = seq.read_at(&a0, &IoCtx::new(t0)).unwrap();
+        let (d1, r1) = fan.read_at(&a1, &IoCtx::new(t1)).unwrap();
+        assert_eq!(r0, r1, "fanned verification must keep virtual timing byte-identical");
+        assert_eq!(d0, d1);
+        assert_eq!(d0.as_slice(), record.as_slice());
+    }
+
+    #[test]
+    fn fanned_append_failure_rolls_back_extents_and_reservation() {
+        let s = store(Redundancy::Replicate { copies: 2 }, 3)
+            .with_workers(Arc::new(WorkerPool::new(4, 5)));
+        s.pool.device(1).fail();
+        s.pool.device(2).fail();
+        let err = s.append_to_shard_at(0, vec![1u8; 128 * 1024], &IoCtx::new(0)).unwrap_err();
+        assert!(matches!(err, Error::CapacityExhausted(_)), "{err:?}");
+        assert_eq!(s.shard_usage()[0], 0, "reserved offset must be rolled back");
+        assert_eq!(s.physical_bytes(), 0, "failed fanned write leaked extents");
+        s.pool.device(1).heal();
+        let (addr, _) = s.append_to_shard_at(0, vec![2u8; 128 * 1024], &IoCtx::new(0)).unwrap();
+        assert_eq!(addr.offset, 0);
     }
 
     #[test]

@@ -31,6 +31,25 @@ impl ExtentHandle {
     }
 }
 
+/// A reserved placement for one stripe: the extent id and per-shard device
+/// targets, chosen up front so the per-device writes can be issued
+/// independently (e.g. fanned across worker threads) without racing the
+/// placement state. Every target is a distinct device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Logical extent id, unique within the pool.
+    pub extent_id: u64,
+    /// `(device_index, device_extent_id)` per shard, in shard order.
+    pub targets: Vec<(usize, u64)>,
+}
+
+impl PlacementPlan {
+    /// The extent handle this plan describes once every shard is written.
+    pub fn handle(&self) -> ExtentHandle {
+        ExtentHandle { id: self.extent_id, shards: self.targets.clone() }
+    }
+}
+
 /// A named pool of same-media devices.
 #[derive(Debug)]
 pub struct StoragePool {
@@ -282,6 +301,48 @@ impl StoragePool {
         Ok((ExtentHandle { id: extent_id, shards: placements }, finish))
     }
 
+    /// Reserve a placement for a `shard_count`-shard stripe without
+    /// writing anything: the same most-free-first choice
+    /// [`write_shards_ctx`](Self::write_shards_ctx) would make, returned
+    /// as a [`PlacementPlan`] so the caller can issue the per-device
+    /// writes itself — sequentially or concurrently, since each target is
+    /// a distinct device. Abandoned plans are rolled back with
+    /// [`delete`](Self::delete) on [`PlacementPlan::handle`] (deleting a
+    /// never-written target is a no-op).
+    pub fn plan_shards(&self, shard_count: usize) -> Result<PlacementPlan> {
+        if shard_count == 0 {
+            return Err(Error::InvalidArgument("no shards to place".into()));
+        }
+        let healthy = self.placement_candidates(shard_count)?;
+        let ranked = self.rank_most_free(healthy, shard_count);
+        let extent_id = self.next_extent.fetch_add(1, Ordering::Relaxed);
+        let targets = ranked
+            .into_iter()
+            .enumerate()
+            .map(|(shard_idx, dev_idx)| (dev_idx, extent_id * 1024 + shard_idx as u64))
+            .collect();
+        Ok(PlacementPlan { extent_id, targets })
+    }
+
+    /// Write one shard of a planned stripe to its reserved target; returns
+    /// the op timing. The shared clock is not advanced, and per-device
+    /// timing depends only on the device's prior state and `ctx.now` — not
+    /// on host execution order across distinct devices, so planned shard
+    /// writes may run on concurrent threads.
+    pub fn write_planned_shard(
+        &self,
+        plan: &PlacementPlan,
+        shard_idx: usize,
+        data: Bytes,
+        ctx: &IoCtx,
+    ) -> Result<crate::device::OpTiming> {
+        let &(dev_idx, dev_extent) = plan
+            .targets
+            .get(shard_idx)
+            .ok_or_else(|| Error::InvalidArgument(format!("no shard {shard_idx} in plan")))?;
+        self.devices[dev_idx].write_extent_ctx(dev_extent, data, ctx)
+    }
+
     /// Context-carrying variant of [`read_shards_at`](Self::read_shards_at).
     /// Shards on failed devices come back as `None` for the redundancy
     /// layer to reconstruct, but a blown deadline is not survivable
@@ -473,6 +534,40 @@ mod tests {
         let (back, rfinish) = p.read_shards_at(&h, finish);
         assert!(back.iter().all(|s| s.is_some()));
         assert!(rfinish > finish);
+    }
+
+    #[test]
+    fn planned_writes_match_direct_shard_writes() {
+        let a = pool(4);
+        let b = pool(4);
+        let shards = vec![Bytes::from_vec(vec![5u8; 4096]); 3];
+        let ctx = IoCtx::new(0);
+        let (h_direct, t_direct) = a.write_shards_ctx(&shards, &ctx).unwrap();
+        let plan = b.plan_shards(shards.len()).unwrap();
+        let mut t_planned = ctx.now;
+        for (i, s) in shards.iter().enumerate() {
+            t_planned =
+                t_planned.max(b.write_planned_shard(&plan, i, s.clone(), &ctx).unwrap().finish);
+        }
+        // Identical pools make identical placement and timing decisions.
+        assert_eq!(plan.handle().shards, h_direct.shards);
+        assert_eq!(t_planned, t_direct);
+        let back = b.read_shards(&plan.handle());
+        assert!(back.iter().all(|s| s.as_deref() == Some(&shards[0][..])));
+    }
+
+    #[test]
+    fn abandoned_plan_rolls_back_with_delete() {
+        let p = pool(3);
+        let plan = p.plan_shards(3).unwrap();
+        // Only the first two shards land before the caller gives up.
+        for i in 0..2 {
+            p.write_planned_shard(&plan, i, Bytes::from_vec(vec![0u8; 512]), &IoCtx::new(0))
+                .unwrap();
+        }
+        assert_eq!(p.used(), 1024);
+        p.delete(&plan.handle()); // never-written third target is a no-op
+        assert_eq!(p.used(), 0);
     }
 
     #[test]

@@ -91,6 +91,9 @@ pub const LOCK_HIERARCHY: &[LockClassSpec] = &[
     class!("plog.repl.mapping", 55, "RemoteReplicator".mapping),
     class!("plog.repl.cursor", 56, "RemoteReplicator".cursor),
     class!("plog.scrub.cursor", 58, "ScrubService".cursor),
+    // commit.state ranks above plog.shard: a group flush holds the
+    // committer state while reserving shard address space and writing.
+    class!("plog.commit.state", 59, "GroupCommitter".state),
     class!("plog.shard", 60, "PlogStore".shards),
     class!("simdisk.tier.extents", 65, "TieringService".extents),
     class!("kv.index", 70, "SharedKv".inner),
@@ -1944,6 +1947,29 @@ impl Reader {
             declared,
             LOCK_HIERARCHY.len(),
             "lockwitness::HIERARCHY has entries model::LOCK_HIERARCHY lacks"
+        );
+    }
+
+    #[test]
+    fn committer_rank_sits_between_scrub_and_shard_in_both_tables() {
+        // The group committer holds its state lock while reserving shard
+        // address space (plog.shard) and issuing the batched index put
+        // (kv.index): its rank must be strictly between the scrub cursor
+        // and the shard lock, and the runtime witness must agree.
+        let rank_of = |name: &str| {
+            LOCK_HIERARCHY
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from model::LOCK_HIERARCHY"))
+                .rank
+        };
+        let commit = rank_of("plog.commit.state");
+        assert!(rank_of("plog.scrub.cursor") < commit && commit < rank_of("plog.shard"));
+        assert!(commit < rank_of("kv.index") && commit < rank_of("simdisk.device.state"));
+        let witness_src = include_str!("../../common/src/lockwitness.rs");
+        assert!(
+            witness_src.contains(&format!("(\"plog.commit.state\", {commit})")),
+            "lockwitness must carry the committer rank at the same value"
         );
     }
 }

@@ -129,7 +129,7 @@ impl ArchiveService {
     pub fn read_entry(&self, entry: &ArchiveEntry) -> Result<Vec<Record>> {
         let bytes = self.pool.read_extent(&entry.handle)?;
         if entry.columnar {
-            let reader = LakeFileReader::open(bytes.to_vec())?;
+            let reader = LakeFileReader::open(bytes)?;
             let rows = reader.scan(&format::Expr::True, None)?;
             rows.into_iter()
                 .map(|row| {

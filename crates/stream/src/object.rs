@@ -24,8 +24,9 @@
 use crate::record::Record;
 use common::clock::{Nanos, millis};
 use common::ctx::{IoCtx, QosClass};
+use common::metrics::Metrics;
 use common::{Error, ObjectId, Result};
-use plog::{PlogAddress, PlogStore};
+use plog::{GroupCommitter, PlogAddress, PlogStore, Ticket};
 use simdisk::device::{Device, MediaKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,7 +112,18 @@ pub struct StreamObject {
     slice_capacity: usize,
     scm: Option<Arc<Device>>,
     plog: Arc<PlogStore>,
+    committer: Option<Arc<GroupCommitter>>,
+    metrics: Metrics,
     state: TrackedMutex<ObjectState>,
+}
+
+/// A filled slice staged with the group committer during one `append_at`
+/// call, awaiting its ticket's outcome.
+struct StagedSlice {
+    ticket: Ticket,
+    base_offset: u64,
+    records: Vec<Record>,
+    encoded_len: u64,
 }
 
 /// Outcome of an append.
@@ -161,6 +173,7 @@ impl StreamObject {
         }
         let mut base: Option<u64> = None;
         let mut ack = ctx.now;
+        let mut staged: Vec<StagedSlice> = Vec::new();
         for r in records {
             if let Some((pid, seq)) = r.producer_seq {
                 let last = st.producer_seqs.get(&pid).copied();
@@ -183,10 +196,102 @@ impl StreamObject {
             st.next_offset += 1;
             st.buffer.push(r.clone());
             if st.buffer.len() >= self.slice_capacity {
-                ack = ack.max(self.flush_locked(&mut st, ctx)?);
+                match &self.committer {
+                    // Batched path: every filled slice of this append joins
+                    // one group-commit submission instead of paying its own
+                    // index put; outcomes resolve in one flush below. SCM
+                    // staging keeps its per-slice early-ack path.
+                    Some(gc) if self.scm.is_none() => {
+                        let slice_records = std::mem::take(&mut st.buffer);
+                        let encoded = Record::encode_slice(&slice_records);
+                        let encoded_len = encoded.len() as u64;
+                        let ticket = gc.submit(self.shard, encoded, ctx)?;
+                        staged.push(StagedSlice {
+                            ticket,
+                            base_offset: st.buffer_base,
+                            records: slice_records,
+                            encoded_len,
+                        });
+                        st.buffer_base = st.next_offset;
+                    }
+                    _ => ack = ack.max(self.flush_locked(&mut st, ctx)?),
+                }
             }
         }
+        if !staged.is_empty() {
+            ack = ack.max(self.commit_staged_locked(&mut st, staged, ctx)?);
+        }
         Ok(AppendAck { base_offset: base, ack_time: ack })
+    }
+
+    /// Resolve the slices staged with the group committer during one
+    /// `append_at`: flush the open group, record successful slices in
+    /// offset order, and on failure restore every unpersisted slice to the
+    /// open buffer so `buffer_base + buffer.len() == next_offset` keeps
+    /// holding and a later flush retries them.
+    fn commit_staged_locked(
+        &self,
+        st: &mut ObjectState,
+        staged: Vec<StagedSlice>,
+        ctx: &IoCtx,
+    ) -> Result<Nanos> {
+        let gc: &GroupCommitter = match &self.committer {
+            Some(gc) => gc,
+            None => return Ok(ctx.now), // unreachable: callers stage only with a committer
+        };
+        gc.flush(ctx)?;
+        let mut ack = ctx.now;
+        let mut committed = 0u64;
+        let mut failed: Option<Error> = None;
+        let mut restage: Vec<StagedSlice> = Vec::new();
+        for s in staged {
+            let outcome = gc
+                .take(s.ticket)
+                .unwrap_or_else(|| Err(Error::Io("group commit lost a slice outcome".into())));
+            match outcome {
+                Ok((addr, finish)) if failed.is_none() => {
+                    st.persisted_bytes += s.encoded_len;
+                    st.slices.push(SliceMeta {
+                        base_offset: s.base_offset,
+                        count: s.records.len() as u64,
+                        addr,
+                    });
+                    ack = ack.max(finish);
+                    committed += 1;
+                }
+                Ok((addr, _)) => {
+                    // An earlier slice failed: keep the slice sequence
+                    // gap-free by rolling this one back and restaging it.
+                    // slint:allow(R11): best-effort rollback, orphan is scrub-reclaimed
+                    let _ = self.plog.delete(&addr);
+                    restage.push(s);
+                }
+                Err(e) => {
+                    if failed.is_none() {
+                        failed = Some(e);
+                    }
+                    restage.push(s);
+                }
+            }
+        }
+        if committed > 0 {
+            self.metrics.incr("stream.batched_appends", committed);
+        }
+        match failed {
+            None => Ok(ack),
+            Some(e) => {
+                let mut buffer = Vec::new();
+                let mut buffer_base = st.buffer_base;
+                for mut s in restage {
+                    buffer_base = buffer_base.min(s.base_offset);
+                    buffer.append(&mut s.records);
+                }
+                buffer.append(&mut st.buffer);
+                st.buffer = buffer;
+                st.buffer_base = buffer_base;
+                Err(e)
+            }
+        }
     }
 
     /// Force-persist the open slice buffer (e.g. on shutdown or conversion).
@@ -374,6 +479,8 @@ impl StreamObject {
 pub struct StreamObjectStore {
     plog: Arc<PlogStore>,
     scm: Option<Arc<Device>>,
+    committer: Option<Arc<GroupCommitter>>,
+    metrics: Metrics,
     objects: TrackedMutex<BTreeMap<ObjectId, Arc<StreamObject>>>,
     next_id: AtomicU64,
 }
@@ -384,7 +491,27 @@ impl StreamObjectStore {
     pub fn new(plog: Arc<PlogStore>, scm_capacity: u64, clock: common::SimClock) -> Self {
         let scm = (scm_capacity > 0)
             .then(|| Arc::new(Device::new(u64::MAX, MediaKind::Scm, scm_capacity, clock)));
-        StreamObjectStore { plog, scm, objects: TrackedMutex::new("stream.object.registry", BTreeMap::new()), next_id: AtomicU64::new(1) }
+        StreamObjectStore {
+            plog,
+            scm,
+            committer: None,
+            metrics: Metrics::new(),
+            objects: TrackedMutex::new("stream.object.registry", BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Route filled-slice flushes through `committer`: each `append_at`
+    /// submits all of its filled slices as one group-commit batch.
+    pub fn with_committer(mut self, committer: Arc<GroupCommitter>) -> Self {
+        self.committer = Some(committer);
+        self
+    }
+
+    /// Record stream counters (`stream.*`) into a shared registry.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// `CreateServerStreamObject`: allocate a new stream object.
@@ -404,6 +531,8 @@ impl StreamObjectStore {
             slice_capacity: options.slice_capacity,
             scm: options.scm_cache.then(|| self.scm.clone()).flatten(),
             plog: self.plog.clone(),
+            committer: self.committer.clone(),
+            metrics: self.metrics.clone(),
             state: TrackedMutex::new("stream.object.state", ObjectState::default()),
         });
         self.objects.lock().insert(id, obj.clone());
@@ -649,6 +778,88 @@ mod tests {
         assert!(obj.persisted_bytes() > 0);
         let (got, _) = obj.read_at(0, ReadCtrl::default(), &at(0)).unwrap();
         assert_eq!(got.len(), 3);
+    }
+
+    fn batched_store() -> StreamObjectStore {
+        let clock = SimClock::new();
+        let pool = Arc::new(StoragePool::new(
+            "ssd",
+            MediaKind::NvmeSsd,
+            4,
+            256 * MIB,
+            clock.clone(),
+        ));
+        let plog = Arc::new(
+            PlogStore::new(
+                pool,
+                PlogConfig {
+                    shard_count: 8,
+                    redundancy: Redundancy::Replicate { copies: 2 },
+                    shard_capacity: 64 * MIB,
+                },
+            )
+            .unwrap(),
+        );
+        let committer = Arc::new(GroupCommitter::new(
+            plog.clone(),
+            plog::GroupCommitConfig::default(),
+        ));
+        StreamObjectStore::new(plog, 0, clock).with_committer(committer)
+    }
+
+    #[test]
+    fn batched_append_matches_per_slice_appends() {
+        // Same records, same virtual arrival: the group-committed object
+        // must produce identical slices, acks and read results — while
+        // paying one index WAL frame for the whole append instead of one
+        // per slice.
+        let plain = store(false);
+        let batched = batched_store();
+        let o1 = plain.create(CreateOptions { slice_capacity: 8, ..Default::default() }).unwrap();
+        let o2 = batched.create(CreateOptions { slice_capacity: 8, ..Default::default() }).unwrap();
+        let frames_before = batched.plog().index_for_tests().wal_frames();
+        let a1 = o1.append_at(&recs(24, 0), &at(0)).unwrap();
+        let a2 = o2.append_at(&recs(24, 0), &at(0)).unwrap();
+        assert_eq!(a1, a2, "batched ack must match the per-slice ack exactly");
+        assert_eq!(o2.slice_count(), 3);
+        assert_eq!(
+            batched.plog().index_for_tests().wal_frames() - frames_before,
+            1,
+            "three filled slices must commit under one index WAL frame"
+        );
+        assert_eq!(batched.metrics.counter("stream.batched_appends"), 3);
+        let (r1, t1) = o1.read_at(0, ReadCtrl::default(), &at(a1.ack_time)).unwrap();
+        let (r2, t2) = o2.read_at(0, ReadCtrl::default(), &at(a2.ack_time)).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn failed_batched_append_restores_the_buffer() {
+        let s = batched_store();
+        let obj = s.create(CreateOptions { slice_capacity: 4, ..Default::default() }).unwrap();
+        for d in 1..4 {
+            s.plog().pool_for_tests().device(d).fail();
+        }
+        // Two filled slices, both doomed: one healthy device cannot hold
+        // two replicas.
+        assert!(obj.append_at(&recs(8, 0), &at(0)).is_err());
+        assert_eq!(obj.slice_count(), 0);
+        assert_eq!(obj.end_offset(), 8, "offsets stay assigned to the buffered records");
+        assert_eq!(s.plog().physical_bytes(), 0, "failed group leaked extents");
+        assert_eq!(s.metrics.counter("stream.batched_appends"), 0);
+        // The records live on in the open buffer: once the pool heals, a
+        // flush persists them and reads see every offset.
+        for d in 1..4 {
+            s.plog().pool_for_tests().device(d).heal();
+        }
+        obj.flush_at(&at(0)).unwrap();
+        let (got, _) = obj.read_at(0, ReadCtrl::default(), &at(0)).unwrap();
+        assert_eq!(got.len(), 8);
+        for (i, (off, r)) in got.iter().enumerate() {
+            assert_eq!(*off, i as u64);
+            assert_eq!(r.timestamp, i as i64);
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use common::ctx::IoCtx;
 use common::id::IdGen;
 use common::metrics::Metrics;
 use common::{Error, Result, SimClock, WorkerId};
-use plog::PlogStore;
+use plog::{GroupCommitConfig, GroupCommitter, PlogStore};
 use simdisk::{Bus, Transport};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -75,12 +75,16 @@ pub struct StreamService {
 impl StreamService {
     /// Build a service over an existing PLog store.
     pub fn new(plog: Arc<PlogStore>, clock: SimClock, opts: StreamServiceOptions) -> Arc<Self> {
-        let objects = Arc::new(StreamObjectStore::new(
-            plog,
-            opts.scm_capacity,
-            clock.clone(),
-        ));
         let metrics = Metrics::new();
+        let committer = Arc::new(GroupCommitter::new(
+            plog.clone(),
+            GroupCommitConfig::default(),
+        ));
+        let objects = Arc::new(
+            StreamObjectStore::new(plog, opts.scm_capacity, clock.clone())
+                .with_committer(committer)
+                .with_metrics(metrics.clone()),
+        );
         let dispatcher = Arc::new(StreamDispatcher::with_metrics(
             objects.clone(),
             metrics.clone(),
