@@ -21,7 +21,11 @@
 //!   logical payload;
 //! * `group_rebalance` — consumer-group churn (joins, cooperative ack
 //!   cycles, leaves) over a 64-partition topic, rebalance-journal bytes
-//!   per second.
+//!   per second;
+//! * `frontdoor_admission` — produce through the full multi-tenant front
+//!   door (auth → token bucket → admission control → breakers → engine),
+//!   MB/s of logical payload; tracks the per-request overhead of the
+//!   admission pipeline itself.
 //!
 //! One additional row is measured in *virtual* time rather than host time:
 //! `maintenance_interference`, the foreground append p99 with every
@@ -340,6 +344,36 @@ fn bench_group_rebalance() -> BenchResult {
     })
 }
 
+/// Requests sent per frontdoor-admission pass.
+const DOOR_RECORDS: usize = 4096;
+
+fn bench_frontdoor_admission() -> BenchResult {
+    // The full request-processing pipeline in front of the engine: token
+    // auth, ACL check, nano-token bucket, admission control, pool + tenant
+    // breakers, then the partitioned produce path. The tenant rate is set
+    // so the 50 ms burst depth covers the whole pass — the row measures
+    // pipeline overhead, not throttling (every send is at virtual t=0).
+    let rate = DOOR_RECORDS as u64 * 100;
+    let record = payload(9, PRODUCE_BYTES);
+    best_of("frontdoor_admission", || {
+        let lake = Arc::new(streamlake::StreamLake::new(
+            streamlake::StreamLakeConfig::small(),
+        ));
+        lake.stream()
+            .create_topic("t", stream::TopicConfig::with_partitions(BENCH_PARTITIONS))
+            .expect("perf topic");
+        let door = streamlake::FrontDoor::new(lake, streamlake::FrontDoorConfig::default());
+        let p = door.register_tenant("perf", "tok-perf", rate);
+        door.access().grant(&p, "topic/", streamlake::Permission::Write);
+        let ctx = common::ctx::IoCtx::new(0).with_qos(common::ctx::QosClass::Foreground);
+        for i in 0..DOOR_RECORDS {
+            door.produce("tok-perf", "t", format!("key-{i}").into_bytes(), record.clone(), &ctx)
+                .expect("perf door send");
+        }
+        (DOOR_RECORDS * PRODUCE_BYTES) as u64
+    })
+}
+
 /// Foreground interference of the maintenance runtime, in *virtual* time:
 /// append p99 with every chore active between sends vs fully quiesced.
 /// Unlike the MB/s rows this is deterministic (no host clock), so the ratio
@@ -389,7 +423,7 @@ fn output_path() -> std::path::PathBuf {
         .join("BENCH_PERF.json")
 }
 
-const REQUIRED_BENCHES: [&str; 8] = [
+const REQUIRED_BENCHES: [&str; 9] = [
     "replicate_append",
     "ec_append",
     "degraded_read",
@@ -398,6 +432,7 @@ const REQUIRED_BENCHES: [&str; 8] = [
     "verified_read",
     "partitioned_produce",
     "group_rebalance",
+    "frontdoor_admission",
 ];
 
 /// Fraction of a measured rate that becomes its recorded floor. A later
@@ -499,6 +534,7 @@ fn main() {
         bench_verified_read(),
         bench_partitioned_produce(),
         bench_group_rebalance(),
+        bench_frontdoor_admission(),
     ];
     for r in &results {
         println!("{:<20} {:>10.1} MB/s  ({} bytes in {} ns)", r.name, r.mb_per_s(), r.bytes, r.nanos);

@@ -1,0 +1,122 @@
+//! Tenant-isolation SLO smoke: the noisy-neighbor scenario end to end.
+//!
+//! Drives two tenants through the multi-tenant front door in virtual time:
+//! a quiet tenant at its fair share (one foreground produce per 10 ms,
+//! mid-step) and a noisy tenant bursting 10× its fair share at step
+//! boundaries. Prints the quiet tenant's produce p99 quiesced vs contended,
+//! the noisy tenant's admission counters, and the journal digest of each
+//! run; exits non-zero if
+//!
+//! * the quiet p99 degrades beyond 1.5× the quiesced baseline (the SLO),
+//! * the rate limiter leaks more than the refill + burst allowance, or
+//! * two same-seed contended runs disagree on p99 or journal digest.
+//!
+//! Everything runs on the virtual clock, so the pass/fail is deterministic;
+//! `scripts/check.sh` runs this binary as part of the local gate.
+
+use common::clock::{secs, Nanos};
+use common::ctx::{IoCtx, QosClass};
+use std::sync::Arc;
+use streamlake::{FrontDoor, FrontDoorConfig, StreamLake, StreamLakeConfig};
+use workloads::LatencyRecorder;
+
+/// Each tenant's fair share, requests per virtual second.
+const FAIR_RATE: u64 = 100;
+/// Quiet-tenant samples per run (2 virtual seconds at one per 10 ms).
+const QUIET_SAMPLES: u64 = 200;
+/// The noisy tenant's offered load, as a multiple of its fair share.
+const NOISY_MULTIPLE: u64 = 10;
+/// The SLO: contended p99 must stay within 3/2 of the quiesced baseline.
+const SLO_NUM: u64 = 3;
+const SLO_DEN: u64 = 2;
+
+struct RunOutcome {
+    quiet_p99: Nanos,
+    noisy_admitted: u64,
+    noisy_limited: u64,
+    digest: u64,
+}
+
+fn run(seed: u64, noisy_multiple: u64) -> RunOutcome {
+    let lake = Arc::new(StreamLake::new(StreamLakeConfig::small()));
+    lake.stream()
+        .create_topic("bus", stream::TopicConfig::with_partitions(2))
+        .expect("smoke topic");
+    let door = FrontDoor::new(lake, FrontDoorConfig { seed, ..Default::default() });
+    for (name, token) in [("quiet", "tok-quiet"), ("noisy", "tok-noisy")] {
+        let p = door.register_tenant(name, token, FAIR_RATE);
+        door.access().grant(&p, "topic/", streamlake::Permission::Write);
+    }
+    let mut quiet = LatencyRecorder::new();
+    let step = secs(1) / FAIR_RATE;
+    for i in 0..QUIET_SAMPLES {
+        let burst_at = i * step;
+        let ctx = IoCtx::new(burst_at).with_qos(QosClass::Foreground);
+        for b in 0..noisy_multiple {
+            let _ = door.produce("tok-noisy", "bus", format!("n{i}-{b}"), "x", &ctx);
+        }
+        let at = burst_at + step / 2;
+        let ctx = IoCtx::new(at).with_qos(QosClass::Foreground);
+        let ack = door
+            .produce("tok-quiet", "bus", format!("q{i}"), "y", &ctx)
+            .expect("quiet produce admitted")
+            .expect("batch_size 1 acks every send");
+        quiet.record(ack.ack_time.saturating_sub(at));
+    }
+    let noisy = door.tenant_stats("noisy").expect("noisy registered");
+    RunOutcome {
+        quiet_p99: quiet.percentile(0.99).expect("samples recorded"),
+        noisy_admitted: noisy.admitted,
+        noisy_limited: noisy.rate_limited,
+        digest: door.journal_digest(),
+    }
+}
+
+fn main() {
+    let baseline = run(42, 0);
+    let contended = run(42, NOISY_MULTIPLE);
+    let replay = run(42, NOISY_MULTIPLE);
+
+    println!(
+        "quiet p99: {} ns quiesced -> {} ns with noisy tenant at {}x fair share",
+        baseline.quiet_p99, contended.quiet_p99, NOISY_MULTIPLE
+    );
+    println!(
+        "noisy tenant: {} admitted, {} rate-limited of {} offered",
+        contended.noisy_admitted,
+        contended.noisy_limited,
+        QUIET_SAMPLES * NOISY_MULTIPLE
+    );
+    println!("journal digest: {:#018x}", contended.digest);
+
+    let mut failed = false;
+    if contended.quiet_p99 * SLO_DEN > baseline.quiet_p99 * SLO_NUM {
+        eprintln!(
+            "tenant_isolation: FAILED — quiet p99 degraded beyond {SLO_NUM}/{SLO_DEN}x \
+             ({} ns -> {} ns)",
+            baseline.quiet_p99, contended.quiet_p99
+        );
+        failed = true;
+    }
+    // Refill over the run plus the 50 ms burst depth.
+    let allowance = FAIR_RATE * 2 + FAIR_RATE / 20 + 1;
+    if contended.noisy_admitted > allowance {
+        eprintln!(
+            "tenant_isolation: FAILED — rate limiter leaked: {} admitted (allowance {})",
+            contended.noisy_admitted, allowance
+        );
+        failed = true;
+    }
+    if replay.quiet_p99 != contended.quiet_p99 || replay.digest != contended.digest {
+        eprintln!(
+            "tenant_isolation: FAILED — same-seed replay diverged \
+             (p99 {} vs {}, digest {:#x} vs {:#x})",
+            contended.quiet_p99, replay.quiet_p99, contended.digest, replay.digest
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("tenant_isolation: ok — SLO held and the journal replayed");
+}

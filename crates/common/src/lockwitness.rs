@@ -33,6 +33,13 @@ use std::sync::{Mutex, OnceLock, PoisonError};
 /// Keep in sync with `slint::model::LOCK_HIERARCHY` (checked by a test).
 pub const HIERARCHY: &[(&str, u32)] = &[
     ("core.chore.runtime", 10),
+    // frontdoor.state ranks below access.grants on purpose: admission
+    // stage 1 (auth) runs and releases before the door state is locked,
+    // and the door may hold its state while calling into stream/plog/
+    // simdisk/metrics (all higher ranks). journal ranks just above state:
+    // decisions are journaled while the state lock is still held.
+    ("core.frontdoor.state", 12),
+    ("core.frontdoor.journal", 13),
     ("core.access.grants", 15),
     ("stream.service.worker_ids", 20),
     ("stream.service.workers", 21),

@@ -33,6 +33,7 @@
 
 pub mod access;
 pub mod chore;
+pub mod frontdoor;
 pub mod pipeline;
 pub mod query;
 pub mod system;
@@ -40,6 +41,10 @@ pub mod system;
 pub use access::{AccessController, Permission, Principal};
 pub use chore::{
     BackpressureConfig, ChoreConfig, ChoreRuntime, ChoreStatus, TickEvent, TickOutcome,
+};
+pub use frontdoor::{
+    AdmissionConfig, AdmissionEvent, BreakerConfig, BreakerPhase, BreakerTransition, Decision,
+    FrontDoor, FrontDoorConfig, Permit, RequestKind, TenantStats,
 };
 pub use pipeline::{PipelineReport, StreamLakePipeline};
 pub use query::{Aggregate, Query, QueryEngine, QueryOutput};

@@ -152,9 +152,14 @@ impl RemoteReplicator {
         Ok(report)
     }
 
-    /// Append `data` at the remote site, retrying transient ([`Error::Io`])
-    /// faults with doubling backoff. `Ok(None)` means the attempt budget ran
-    /// out without a deadline; the record stays unmapped for the next cycle.
+    /// Append `data` at the remote site, retrying **retryable** errors
+    /// ([`Error::is_retryable`]: transient I/O faults, throttling) with
+    /// doubling backoff, honouring any explicit retry-after hint the error
+    /// carries. Terminal errors — capacity exhaustion, corruption, missing
+    /// namespaces — return immediately: backing off against a fault that
+    /// can never recover is wasted virtual time. `Ok(None)` means the
+    /// attempt budget ran out without a deadline; the record stays unmapped
+    /// for the next cycle.
     fn ship_with_retry(
         &self,
         addr: &PlogAddress,
@@ -171,9 +176,12 @@ impl RemoteReplicator {
             match self.remote.append_to_shard_at(shard, data.clone(), &ctx.at(t)) {
                 Ok(placed) => return Ok(Some(placed)),
                 Err(e @ Error::DeadlineExceeded(_)) => return Err(e),
-                Err(Error::Io(_)) => {
+                Err(e) if e.is_retryable() => {
                     attempts += 1;
-                    let wake = t + backoff;
+                    // An explicit hint (RateLimited/Overloaded) overrides a
+                    // shorter backoff; the schedule stays deterministic.
+                    let wait = e.retry_after().map_or(backoff, |hint| hint.max(backoff));
+                    let wake = t + wait;
                     if let Some(d) = ctx.deadline {
                         if wake > d {
                             return Err(Error::DeadlineExceeded(format!(
@@ -186,11 +194,13 @@ impl RemoteReplicator {
                     } else if attempts >= MAX_RETRY_ATTEMPTS {
                         return Ok(None);
                     }
-                    ctx.record(Phase::Queue, t, backoff);
+                    ctx.record(Phase::Queue, t, wait);
                     report.retries += 1;
                     t = wake;
                     backoff = backoff.saturating_mul(2);
                 }
+                // Terminal class: retrying the identical append can never
+                // succeed, so surface it now instead of burning backoff.
                 Err(e) => return Err(e),
             }
         }
@@ -491,5 +501,64 @@ mod tests {
 
     fn primary_pool_fail(store: &Arc<PlogStore>, device: usize) {
         store.pool_for_tests().device(device).fail();
+    }
+
+    #[test]
+    fn terminal_errors_are_never_retried() {
+        // A remote whose shards are already full fails every append with
+        // CapacityExhausted — a terminal error. The retry loop must surface
+        // it immediately: no backoff waits, no retry spans, no wasted
+        // virtual time (the old loop special-cased Error::Io; this pins the
+        // is_retryable() contract instead).
+        let primary = site("primary", 4);
+        primary.append(b"k", &vec![9u8; 1000]).unwrap();
+        let pool = Arc::new(StoragePool::new(
+            "remote",
+            MediaKind::NvmeSsd,
+            4,
+            256 * MIB,
+            SimClock::new(),
+        ));
+        let remote = Arc::new(
+            PlogStore::new(
+                pool,
+                PlogConfig {
+                    shard_count: 8,
+                    redundancy: Redundancy::Replicate { copies: 2 },
+                    // far smaller than the 1000-byte record: every append
+                    // is CapacityExhausted from the first attempt
+                    shard_capacity: 16,
+                },
+            )
+            .unwrap(),
+        );
+        let sink = Arc::new(SpanSink::new(Metrics::new()));
+        let rep = RemoteReplicator::new(primary, remote);
+        let ctx = IoCtx::new(0).with_sink(sink.clone());
+        let err = rep.run(&ctx).unwrap_err();
+        assert!(matches!(err, Error::CapacityExhausted(_)), "got {err:?}");
+        assert!(!err.is_retryable(), "capacity exhaustion must be terminal");
+        // No backoff wait was ever recorded — the loop did not spin.
+        // (Device queueing also lands in Phase::Queue, but at ~µs scale;
+        // retry backoff starts at RETRY_BASE_BACKOFF and only doubles.)
+        assert!(
+            sink.trail()
+                .iter()
+                .all(|r| r.phase != Phase::Queue || r.duration < RETRY_BASE_BACKOFF),
+            "terminal errors must not be backed off: {:?}",
+            sink.trail()
+        );
+        assert_eq!(rep.replicated_count(), 0);
+    }
+
+    #[test]
+    fn retry_after_hints_stretch_the_backoff_schedule() {
+        // Synthetic check of the hint rule the loop applies: an explicit
+        // retry-after that exceeds the current doubling backoff wins, a
+        // shorter one is ignored.
+        let hint = Error::RateLimited { message: "t".into(), retry_after: millis(8) };
+        assert_eq!(hint.retry_after().map(|h| h.max(millis(1))), Some(millis(8)));
+        let short = Error::Overloaded { message: "t".into(), retry_after: millis(1) };
+        assert_eq!(short.retry_after().map(|h| h.max(millis(4))), Some(millis(4)));
     }
 }

@@ -32,5 +32,5 @@ pub use bus::{Bus, Transport};
 pub use cache::LruCache;
 pub use device::{Device, DeviceHealth, MediaKind};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, InjectionLog};
-pub use pool::{ExtentHandle, StoragePool};
+pub use pool::{ExtentHandle, PoolHealthSummary, StoragePool};
 pub use tier::TieringService;

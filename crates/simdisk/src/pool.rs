@@ -50,6 +50,20 @@ impl PlacementPlan {
     }
 }
 
+/// Aggregate device-health counts for one pool — the circuit-breaker
+/// view: a pool with `failed > 0` cannot place full-width stripes on
+/// distinct healthy devices and front doors should stop admitting load
+/// that will only queue against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolHealthSummary {
+    /// Devices in the pool.
+    pub devices: usize,
+    /// Devices with the hard-failure flag set.
+    pub failed: usize,
+    /// Devices the placement heuristics consider suspect (includes failed).
+    pub suspect: usize,
+}
+
 /// A named pool of same-media devices.
 #[derive(Debug)]
 pub struct StoragePool {
@@ -181,6 +195,25 @@ impl StoragePool {
     /// Per-device health snapshots, in device order.
     pub fn health(&self) -> Vec<DeviceHealth> {
         self.devices.iter().map(|d| d.health()).collect()
+    }
+
+    /// Aggregate health for breaker-style consumers: how many devices
+    /// exist, how many are hard-failed, and how many the suspect
+    /// heuristics would steer placement away from (failed devices are
+    /// always suspect, so `suspect >= failed`).
+    pub fn health_summary(&self) -> PoolHealthSummary {
+        let mut summary =
+            PoolHealthSummary { devices: self.devices.len(), failed: 0, suspect: 0 };
+        for d in &self.devices {
+            let h = d.health();
+            if h.failed {
+                summary.failed += 1;
+            }
+            if h.is_suspect() {
+                summary.suspect += 1;
+            }
+        }
+        summary
     }
 
     /// Record a checksum failure against the device that served shard

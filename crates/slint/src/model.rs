@@ -71,6 +71,13 @@ macro_rules! class {
 /// `common::lockwitness::HIERARCHY` (a unit test parses that file).
 pub const LOCK_HIERARCHY: &[LockClassSpec] = &[
     class!("core.chore.runtime", 10, "ChoreRuntime".inner),
+    // frontdoor.state ranks below access.grants: auth runs and releases
+    // before the door state is locked, and the door holds its state while
+    // calling into stream/plog/simdisk/metrics (all higher ranks).
+    // journal sits just above state: decisions are journaled while the
+    // state lock is still held.
+    class!("core.frontdoor.state", 12, "FrontDoor".state),
+    class!("core.frontdoor.journal", 13, "FrontDoor".journal),
     class!("core.access.grants", 15, "AccessController".inner),
     class!("stream.service.worker_ids", 20, "StreamService".next_worker_id),
     class!("stream.service.workers", 21, "StreamService".workers),
@@ -1971,5 +1978,36 @@ impl Reader {
             witness_src.contains(&format!("(\"plog.commit.state\", {commit})")),
             "lockwitness must carry the committer rank at the same value"
         );
+    }
+
+    #[test]
+    fn frontdoor_ranks_sit_between_chore_and_access_in_both_tables() {
+        // The front door locks its state before journaling a decision
+        // (state < journal) and may hold either while calling auth-free
+        // paths into stream/plog/simdisk/metrics — so both must rank
+        // below every data-path lock, and below access.grants (auth runs
+        // and releases before the state lock is taken).
+        let rank_of = |name: &str| {
+            LOCK_HIERARCHY
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from model::LOCK_HIERARCHY"))
+                .rank
+        };
+        let state = rank_of("core.frontdoor.state");
+        let journal = rank_of("core.frontdoor.journal");
+        assert!(state < journal, "decisions are journaled under the state lock");
+        assert!(rank_of("core.chore.runtime") < state);
+        assert!(journal < rank_of("core.access.grants"));
+        assert!(journal < rank_of("stream.service.worker_ids"));
+        assert!(journal < rank_of("simdisk.device.state"));
+        assert!(journal < rank_of("common.metrics"));
+        let witness_src = include_str!("../../common/src/lockwitness.rs");
+        for (name, rank) in [("core.frontdoor.state", state), ("core.frontdoor.journal", journal)] {
+            assert!(
+                witness_src.contains(&format!("(\"{name}\", {rank})")),
+                "lockwitness must carry {name} at rank {rank}"
+            );
+        }
     }
 }

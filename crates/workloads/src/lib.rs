@@ -13,9 +13,12 @@
 //! * [`queries`] — random pushdown-predicate workloads over any schema;
 //! * [`openmessaging`] — open-loop constant-rate message load with latency
 //!   percentile accounting;
+//! * [`openloop`] — open-loop multi-tenant arrival schedules with Zipf
+//!   tenant skew (the front door's million-client harness);
 //! * [`zipf`] — the Zipf sampler behind the skewed choices.
 
 pub mod keyed;
+pub mod openloop;
 pub mod openmessaging;
 pub mod packets;
 pub mod queries;
@@ -23,6 +26,7 @@ pub mod tpch;
 pub mod zipf;
 
 pub use keyed::{producer_fleet, KeyedWorkload};
+pub use openloop::{Arrival, OpenLoopSpec};
 pub use openmessaging::{LatencyRecorder, LoadSpec};
 pub use packets::{Packet, PacketGen};
 pub use queries::QueryGen;

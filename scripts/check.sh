@@ -32,6 +32,11 @@ cargo run --release -p bench --bin chore_soak
 # churn; fails on unassigned partitions, a non-converging rebalance, or
 # any lost/duplicated delivery.
 cargo run --release -p bench --bin stream_scale
+# Tenant-isolation SLO smoke: a noisy tenant at 10x its fair share through
+# the multi-tenant front door; fails if the quiet tenant's foreground p99
+# degrades beyond 1.5x the quiesced baseline, the rate limiter leaks, or a
+# same-seed replay diverges from its admission/breaker journal.
+cargo run --release -p bench --bin tenant_isolation
 # Wall-clock perf baseline: measure the hot kernels and validate the
 # trajectory file — a missing or malformed BENCH_PERF.json fails the gate.
 cargo run --release -p bench --bin perf_baseline

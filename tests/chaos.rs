@@ -283,3 +283,135 @@ fn lock_witness_sees_no_inversion_under_a_seeded_storm() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Front-door circuit breakers under seeded fault plans (ROADMAP item 3).
+// ---------------------------------------------------------------------------
+
+/// Drive an open-loop produce schedule through a [`streamlake::FrontDoor`]
+/// while a seeded fault plan storms the SSD pool; failed devices are
+/// "replaced" (healed) at `heal_at`. Returns both journals and the digest.
+fn run_frontdoor_chaos(
+    seed: u64,
+    heal_at: Nanos,
+    until: Nanos,
+) -> (
+    Vec<streamlake::BreakerTransition>,
+    Vec<streamlake::AdmissionEvent>,
+    u64,
+) {
+    use common::ctx::QosClass;
+    use streamlake::{BreakerConfig, FrontDoor, FrontDoorConfig, Permission};
+    use streamlake::{StreamLake, StreamLakeConfig};
+
+    let lake = Arc::new(StreamLake::new(StreamLakeConfig::small()));
+    lake.stream()
+        .create_topic("chaos-fd", stream::TopicConfig::with_partitions(2))
+        .unwrap();
+    let door = FrontDoor::new(
+        Arc::clone(&lake),
+        FrontDoorConfig {
+            seed,
+            breaker: BreakerConfig {
+                open_base: millis(50),
+                probe_jitter: millis(10),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let client = door.register_tenant("client", "tok-chaos", 10_000);
+    door.access().grant(&client, "topic/", Permission::Write);
+
+    let plan = FaultPlan::generate(seed, 4, &chaos_cfg());
+    let injector = FaultInjector::new(Arc::clone(lake.ssd_pool()), plan);
+
+    let step = millis(5);
+    let mut healed = false;
+    let mut t = 0;
+    while t <= until {
+        injector.advance_to(t);
+        if !healed && t >= heal_at {
+            // Operator replaces every dead device; health counters reset.
+            for (idx, h) in lake.ssd_pool().health().iter().enumerate() {
+                if h.failed {
+                    lake.ssd_pool().device(idx).heal();
+                }
+            }
+            healed = true;
+        }
+        let ctx = common::ctx::IoCtx::new(t).with_qos(QosClass::Foreground);
+        let _ = door.produce("tok-chaos", "chaos-fd", "k", "v", &ctx);
+        t += step;
+    }
+    (door.breaker_journal(), door.admission_journal(), door.journal_digest())
+}
+
+#[test]
+fn frontdoor_breaker_opens_on_chaos_device_death() {
+    use streamlake::BreakerPhase;
+    // Seed 3's plan includes a permanent device death inside the horizon
+    // (pinned — the schedule is data, not luck). Healing only after `until`
+    // keeps the breaker in its open/probe cycle for the whole run.
+    let (transitions, admissions, _) = run_frontdoor_chaos(3, secs(10), secs(1));
+    assert!(
+        transitions.iter().any(|tr| tr.breaker == "pool/ssd"
+            && tr.from == BreakerPhase::Closed
+            && tr.to == BreakerPhase::Open),
+        "device death must trip the pool breaker: {transitions:?}"
+    );
+    // While open, requests are rejected with the breaker named.
+    assert!(
+        admissions.iter().any(|e| matches!(
+            &e.decision,
+            streamlake::Decision::BreakerOpen { breaker, .. } if breaker == "pool/ssd"
+        )),
+        "open breaker must reject and journal admissions"
+    );
+}
+
+#[test]
+fn frontdoor_half_open_probe_heals_after_recovery() {
+    use streamlake::BreakerPhase;
+    // Devices are replaced at 1.5 s; the next scheduled half-open probe
+    // succeeds against the healthy pool and closes the breaker.
+    let (transitions, _, _) = run_frontdoor_chaos(3, millis(1500), secs(4));
+    let pool: Vec<(BreakerPhase, BreakerPhase)> = transitions
+        .iter()
+        .filter(|tr| tr.breaker == "pool/ssd")
+        .map(|tr| (tr.from, tr.to))
+        .collect();
+    assert!(
+        pool.contains(&(BreakerPhase::Open, BreakerPhase::HalfOpen)),
+        "probe must arm half-open: {pool:?}"
+    );
+    assert_eq!(
+        pool.last(),
+        Some(&(BreakerPhase::HalfOpen, BreakerPhase::Closed)),
+        "the breaker must close once the pool recovers: {pool:?}"
+    );
+}
+
+#[test]
+fn frontdoor_same_seed_replays_identical_breaker_journal() {
+    // Determinism contract: same seed, same fault plan, same arrival
+    // schedule — byte-identical journals, with the lock witness armed to
+    // corroborate the front door's declared ranks under chaos.
+    use common::lockwitness;
+    let before = lockwitness::violation_count();
+    lockwitness::enable();
+    let (t1, a1, d1) = run_frontdoor_chaos(3, millis(1500), secs(4));
+    lockwitness::disable();
+    assert_eq!(
+        lockwitness::violation_count(),
+        before,
+        "front-door locking inverted the declared hierarchy"
+    );
+    let (t2, a2, d2) = run_frontdoor_chaos(3, millis(1500), secs(4));
+    assert_eq!(t1, t2, "breaker transition journal must replay byte-identically");
+    assert_eq!(a1, a2, "admission journal must replay byte-identically");
+    assert_eq!(d1, d2);
+    // A different seed produces a different storm and probe schedule.
+    let (_, _, d3) = run_frontdoor_chaos(4, millis(1500), secs(4));
+    assert_ne!(d1, d3, "seed must shape the chaos journals");
+}
