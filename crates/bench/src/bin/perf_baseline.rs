@@ -25,7 +25,13 @@
 //! * `frontdoor_admission` — produce through the full multi-tenant front
 //!   door (auth → token bucket → admission control → breakers → engine),
 //!   MB/s of logical payload; tracks the per-request overhead of the
-//!   admission pipeline itself.
+//!   admission pipeline itself;
+//! * `txn_commit` — MVCC transactions end to end (begin → intent writes →
+//!   commit decide → intent resolution), MB/s of committed payload;
+//! * `txn_conflict_abort` — the same path under write-write contention:
+//!   every round a loser collides on a live intent and aborts while the
+//!   winner commits; MB/s of committed payload, so the row prices conflict
+//!   detection + abort cleanup on top of the commit path.
 //!
 //! One additional row is measured in *virtual* time rather than host time:
 //! `maintenance_interference`, the foreground append p99 with every
@@ -347,6 +353,61 @@ fn bench_group_rebalance() -> BenchResult {
 /// Requests sent per frontdoor-admission pass.
 const DOOR_RECORDS: usize = 4096;
 
+/// Transactions per txn bench pass.
+const TXN_COUNT: usize = 256;
+/// Intent writes per transaction.
+const TXN_KEYS: usize = 64;
+/// Payload bytes per intent.
+const TXN_VAL_BYTES: usize = 1024;
+
+fn bench_txn_commit() -> BenchResult {
+    // The MVCC commit path end to end: begin, TXN_KEYS intent writes (each
+    // a record update + intent in one WAL frame), the commit-decide record
+    // flip, then intent resolution into committed versions.
+    let value = payload(10, TXN_VAL_BYTES);
+    best_of("txn_commit", || {
+        let mvcc = kvstore::MvccStore::new();
+        for t in 0..TXN_COUNT {
+            let h = mvcc.begin();
+            for k in 0..TXN_KEYS {
+                let key = format!("k/{:03}/{:03}", t % 8, k);
+                mvcc.put(h.id, key.as_bytes(), &value[..]).expect("perf put");
+            }
+            mvcc.commit_decide(h.id).expect("perf decide");
+            mvcc.resolve_committed(h.id).expect("perf resolve");
+        }
+        (TXN_COUNT * TXN_KEYS * TXN_VAL_BYTES) as u64
+    })
+}
+
+fn bench_txn_conflict_abort() -> BenchResult {
+    // Write-write contention: each round a second transaction collides on
+    // the winner's live intent (Error::Conflict) and aborts before the
+    // winner commits. Committed payload per nanosecond prices conflict
+    // detection and abort cleanup on top of the commit path.
+    let value = payload(11, TXN_VAL_BYTES);
+    best_of("txn_conflict_abort", || {
+        let mvcc = kvstore::MvccStore::new();
+        for t in 0..TXN_COUNT {
+            let winner = mvcc.begin();
+            let loser = mvcc.begin();
+            for k in 0..TXN_KEYS {
+                let key = format!("k/{:03}/{:03}", t % 8, k);
+                mvcc.put(winner.id, key.as_bytes(), &value[..]).expect("perf put");
+            }
+            let contended = format!("k/{:03}/000", t % 8);
+            let err = mvcc
+                .put(loser.id, contended.as_bytes(), &value[..])
+                .expect_err("collision on a live intent");
+            assert!(matches!(err, common::Error::Conflict(_)));
+            mvcc.abort(loser.id).expect("perf abort");
+            mvcc.commit_decide(winner.id).expect("perf decide");
+            mvcc.resolve_committed(winner.id).expect("perf resolve");
+        }
+        (TXN_COUNT * TXN_KEYS * TXN_VAL_BYTES) as u64
+    })
+}
+
 fn bench_frontdoor_admission() -> BenchResult {
     // The full request-processing pipeline in front of the engine: token
     // auth, ACL check, nano-token bucket, admission control, pool + tenant
@@ -423,7 +484,7 @@ fn output_path() -> std::path::PathBuf {
         .join("BENCH_PERF.json")
 }
 
-const REQUIRED_BENCHES: [&str; 9] = [
+const REQUIRED_BENCHES: [&str; 11] = [
     "replicate_append",
     "ec_append",
     "degraded_read",
@@ -433,6 +494,8 @@ const REQUIRED_BENCHES: [&str; 9] = [
     "partitioned_produce",
     "group_rebalance",
     "frontdoor_admission",
+    "txn_commit",
+    "txn_conflict_abort",
 ];
 
 /// Fraction of a measured rate that becomes its recorded floor. A later
@@ -535,6 +598,8 @@ fn main() {
         bench_partitioned_produce(),
         bench_group_rebalance(),
         bench_frontdoor_admission(),
+        bench_txn_commit(),
+        bench_txn_conflict_abort(),
     ];
     for r in &results {
         println!("{:<20} {:>10.1} MB/s  ({} bytes in {} ns)", r.name, r.mb_per_s(), r.bytes, r.nanos);

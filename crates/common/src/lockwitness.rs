@@ -55,7 +55,6 @@ pub const HIERARCHY: &[(&str, u32)] = &[
     ("stream.worker.cache", 38),
     ("stream.archive.entries", 40),
     ("lake.compaction.trigger", 45),
-    ("lake.table.commit", 48),
     ("lake.meta.pending", 50),
     ("plog.repl.mapping", 55),
     ("plog.repl.cursor", 56),
@@ -65,6 +64,11 @@ pub const HIERARCHY: &[(&str, u32)] = &[
     ("plog.commit.state", 59),
     ("plog.shard", 60),
     ("simdisk.tier.extents", 65),
+    // MVCC coordination state ranks below kv.index: the transaction layer
+    // holds its state/journal locks while reading and batch-writing the
+    // backing KV store (intents, records, resolutions).
+    ("kv.mvcc.state", 66),
+    ("kv.mvcc.journal", 67),
     ("kv.index", 70),
     // fault.state ranks below device.state: FaultInjector::advance_to
     // holds its schedule lock while applying events to devices.

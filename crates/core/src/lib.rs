@@ -37,6 +37,7 @@ pub mod frontdoor;
 pub mod pipeline;
 pub mod query;
 pub mod system;
+pub mod txn;
 
 pub use access::{AccessController, Permission, Principal};
 pub use chore::{
@@ -49,3 +50,4 @@ pub use frontdoor::{
 pub use pipeline::{PipelineReport, StreamLakePipeline};
 pub use query::{Aggregate, Query, QueryEngine, QueryOutput};
 pub use system::{PoolHealthReport, StreamLake, StreamLakeConfig};
+pub use txn::{Transaction, TxnRecoveryReport};

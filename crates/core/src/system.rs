@@ -7,6 +7,7 @@ use common::metrics::Metrics;
 use common::size::{GIB, MIB};
 use common::{Result, SimClock};
 use ec::Redundancy;
+use kvstore::{MvccStore, WalCompactionChore};
 use lake::{CompactionChore, IntervalTrigger, MetaFlushChore, TableStore};
 use plog::{PlogConfig, PlogStore, RemoteReplicator, ScrubService};
 use simdisk::{DeviceHealth, MediaKind, StoragePool, TieringService, Transport};
@@ -103,6 +104,7 @@ impl StreamLakeConfig {
 /// and the maintenance runtime all six background services run under.
 #[derive(Debug)]
 pub struct StreamLake {
+    mvcc: Arc<MvccStore>,
     clock: SimClock,
     metrics: Metrics,
     sink: Arc<SpanSink>,
@@ -164,6 +166,10 @@ impl StreamLake {
             ))),
         );
         let scrubber = Arc::new(ScrubService::new(plog.clone()));
+        // One MVCC store spans the stream transaction coordinator and the
+        // table commit path, so a single transaction can cover both
+        // ("archive these segments AND commit the snapshot").
+        let mvcc = Arc::new(MvccStore::new());
         let stream = StreamService::new(
             plog.clone(),
             clock.clone(),
@@ -171,10 +177,13 @@ impl StreamLake {
                 workers: config.workers,
                 scm_capacity: config.scm_capacity,
                 transport: config.transport,
+                txn_mvcc: Some(mvcc.clone()),
                 ..Default::default()
             },
         );
-        let tables = Arc::new(TableStore::new(plog.clone(), config.meta_flush_threshold));
+        let tables = Arc::new(
+            TableStore::new(plog.clone(), config.meta_flush_threshold).with_mvcc(mvcc.clone()),
+        );
         let archive = Arc::new(ArchiveService::new(hdd.clone()));
         let tiering = Arc::new(TieringService::new(
             ssd.clone(),
@@ -226,8 +235,15 @@ impl StreamLake {
             Arc::new(OffsetRetentionChore::new(stream.groups().clone())),
             ChoreConfig::every(secs(60)),
         );
+        // Appended last: registration order is part of the deterministic
+        // schedule, so new chores must not displace existing ones.
+        chores.register(
+            Arc::new(WalCompactionChore::new(mvcc.kv().clone(), metrics.clone())),
+            ChoreConfig::every(secs(30)),
+        );
 
         StreamLake {
+            mvcc,
             clock,
             metrics,
             sink,
@@ -277,6 +293,12 @@ impl StreamLake {
     /// The lakehouse table store.
     pub fn tables(&self) -> &Arc<TableStore> {
         &self.tables
+    }
+
+    /// The deployment-wide MVCC store coordinating stream and table
+    /// transactions.
+    pub fn mvcc(&self) -> &Arc<MvccStore> {
+        &self.mvcc
     }
 
     /// The persistence-log store.

@@ -1,0 +1,388 @@
+//! Cross-subsystem transactions: stream⇄table atomic commits.
+//!
+//! The paper separates the streaming and lakehouse services but runs them
+//! over one storage substrate; "separation is for better reunion" is this
+//! module's API: one [`Transaction`] can produce records into topics AND
+//! stage a table commit, and either everything becomes visible or nothing
+//! does ("archive these segments AND commit the snapshot").
+//!
+//! Mechanically both sides share one [`MvccStore`] transaction: stream
+//! participants are `s/` intents, the staged table metadata are `lake/`
+//! intents, and the single durable record flip in
+//! [`Transaction::decide`] is the commit point for both. A coordinator
+//! crash between decide and resolve is repaired by
+//! [`StreamLake::recover_transactions`], which replays the surviving
+//! intents — flipping stream visibility and republishing table metadata —
+//! before resolving them.
+//!
+//! [`MvccStore`]: kvstore::MvccStore
+
+use crate::system::StreamLake;
+use common::ctx::IoCtx;
+use common::{Error, ObjectId, Result, TxnId};
+use format::Row;
+use lake::{CommitInfo, StagedTableCommit};
+use stream::txn::{participant_object, PARTICIPANT_PREFIX};
+use stream::Producer;
+
+/// What [`StreamLake::recover_transactions`] repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnRecoveryReport {
+    /// Decided transactions whose effects were replayed and resolved.
+    pub committed_replayed: u64,
+    /// Orphaned pending transactions aborted and cleaned.
+    pub aborted_cleaned: u64,
+}
+
+/// An open cross-subsystem transaction. Obtain via
+/// [`StreamLake::transaction`]; drive with [`send`](Transaction::send) /
+/// [`insert`](Transaction::insert), then [`commit`](Transaction::commit)
+/// (or [`abort`](Transaction::abort)).
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    sl: &'a StreamLake,
+    id: TxnId,
+    producer: Producer,
+    staged: Vec<StagedTableCommit>,
+    decided: bool,
+    done: bool,
+}
+
+impl StreamLake {
+    /// Begin a transaction spanning the stream and table services.
+    pub fn transaction(&self) -> Transaction<'_> {
+        Transaction {
+            id: self.stream().txns().begin(),
+            producer: self.producer(),
+            sl: self,
+            staged: Vec::new(),
+            decided: false,
+            done: false,
+        }
+    }
+
+    /// Crash recovery for cross-subsystem transactions: replay every
+    /// decided transaction's intents (stream visibility flips, table
+    /// metadata publication) and resolve them; abort and clean every
+    /// orphaned pending transaction. Idempotent — after it returns, no
+    /// transaction is half-visible and no orphaned intent survives.
+    pub fn recover_transactions(&self, ctx: &IoCtx) -> Result<TxnRecoveryReport> {
+        let mut report = TxnRecoveryReport::default();
+        for d in self.mvcc().decided()? {
+            for (key, value) in &d.writes {
+                if key.starts_with(PARTICIPANT_PREFIX) {
+                    let Some(obj) = value.as_deref().and_then(participant_object) else {
+                        continue;
+                    };
+                    if let Ok(o) = self.stream().objects().get(ObjectId(obj)) {
+                        o.commit_txn(d.txn); // idempotent flip
+                    }
+                } else if key.starts_with(lake::table::COMMIT_KEY_PREFIX.as_bytes())
+                    || key.starts_with(lake::table::HEAD_KEY_PREFIX.as_bytes())
+                    || key.starts_with(lake::table::LIVE_KEY_PREFIX.as_bytes())
+                {
+                    self.tables().apply_resolution(key, value.as_deref(), ctx)?;
+                }
+            }
+            self.mvcc().resolve_committed(d.txn)?;
+            self.stream().txns().forget(TxnId(d.txn));
+            report.committed_replayed += 1;
+        }
+        for p in self.mvcc().orphan_pending()? {
+            for key in &p.writes {
+                // The participant key embeds the object id in its tail.
+                if key.starts_with(PARTICIPANT_PREFIX) && key.len() >= 8 {
+                    if let Some(obj) = participant_object(&key[key.len() - 8..]) {
+                        if let Ok(o) = self.stream().objects().get(ObjectId(obj)) {
+                            o.abort_txn(p.txn); // idempotent flip
+                        }
+                    }
+                }
+            }
+            self.mvcc().abort(p.txn)?;
+            self.stream().txns().forget(TxnId(p.txn));
+            report.aborted_cleaned += 1;
+        }
+        Ok(report)
+    }
+}
+
+impl Transaction<'_> {
+    /// The transaction id (== its MVCC record id).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Produce one record into `topic` inside this transaction. Invisible
+    /// to committed readers until the transaction resolves.
+    pub fn send(
+        &mut self,
+        topic: &str,
+        key: impl Into<Vec<u8>>,
+        value: impl Into<Vec<u8>>,
+        ctx: &IoCtx,
+    ) -> Result<()> {
+        self.check_open()?;
+        self.producer.send_in_txn(self.id, topic, key, value, ctx)?;
+        Ok(())
+    }
+
+    /// Stage an INSERT of `rows` into `table` inside this transaction.
+    /// The data files are written immediately; the commit metadata stays
+    /// provisional until the transaction decides. One staged commit per
+    /// table per transaction.
+    pub fn insert(&mut self, table: &str, rows: &[Row], ctx: &IoCtx) -> Result<()> {
+        self.check_open()?;
+        if self.staged.iter().any(|s| s.table() == table) {
+            return Err(Error::InvalidArgument(format!(
+                "transaction {} already stages a commit for table {table}",
+                self.id
+            )));
+        }
+        let staged = self.sl.tables().stage_insert(self.id.raw(), table, rows, ctx)?;
+        self.staged.push(staged);
+        Ok(())
+    }
+
+    /// Phase 1 + the commit point: flush buffered sends, prepare every
+    /// stream participant, and flip the shared MVCC record to COMMITTED
+    /// (one WAL frame covering both services). After this returns `Ok`,
+    /// the transaction is durably decided but nothing is visible yet —
+    /// call [`resolve`](Self::resolve) (or crash and let
+    /// [`StreamLake::recover_transactions`] roll forward).
+    pub fn decide(&mut self, ctx: &IoCtx) -> Result<u64> {
+        self.check_open()?;
+        if let Err(e) = self.producer.flush(ctx) {
+            self.done = true;
+            // Flush failure aborts the whole transaction (stream intents,
+            // staged table metadata, the lot).
+            self.sl.stream().txns().abort(self.id)?;
+            return Err(e);
+        }
+        match self.sl.stream().txns().prepare_decide(self.id) {
+            Ok(ts) => {
+                self.decided = true;
+                Ok(ts)
+            }
+            Err(e) => {
+                self.done = true; // prepare_decide cleaned everything up
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase 2: publish staged table commits, flip stream participant
+    /// visibility, and resolve all intents. Requires a prior successful
+    /// [`decide`](Self::decide).
+    pub fn resolve(&mut self, ctx: &IoCtx) -> Result<Vec<CommitInfo>> {
+        if !self.decided || self.done {
+            return Err(Error::InvalidArgument(format!(
+                "transaction {} is not in the decided state",
+                self.id
+            )));
+        }
+        let mut infos = Vec::with_capacity(self.staged.len());
+        for staged in &self.staged {
+            infos.push(self.sl.tables().apply_staged(staged, ctx)?);
+        }
+        self.sl.stream().txns().resolve(self.id)?;
+        self.done = true;
+        Ok(infos)
+    }
+
+    /// Commit: [`decide`](Self::decide) then [`resolve`](Self::resolve).
+    /// Returns one [`CommitInfo`] per staged table commit.
+    pub fn commit(&mut self, ctx: &IoCtx) -> Result<Vec<CommitInfo>> {
+        self.decide(ctx)?;
+        self.resolve(ctx)
+    }
+
+    /// Abort: discard buffered sends, stream intents and staged table
+    /// metadata. Fails once the transaction is decided (a durable decision
+    /// can only roll forward).
+    pub fn abort(&mut self) -> Result<()> {
+        if self.done {
+            return Ok(());
+        }
+        if self.decided {
+            return Err(Error::InvalidArgument(format!(
+                "transaction {} is decided; it can only resolve",
+                self.id
+            )));
+        }
+        self.done = true;
+        self.sl.stream().txns().abort(self.id)
+    }
+
+    /// Simulate a coordinator crash (tests, fault injection): drop all
+    /// in-memory coordinator state while leaving the durable record and
+    /// intents exactly as a process death would. Recovery must finish the
+    /// job.
+    pub fn simulate_crash(mut self) {
+        self.done = true;
+        self.sl.stream().txns().forget(self.id);
+        self.sl.mvcc().forget(self.id.raw());
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.done || self.decided {
+            return Err(Error::InvalidArgument(format!(
+                "transaction {} is no longer open",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if !self.done && !self.decided {
+            // slint:allow(R11): best-effort cleanup, recover_transactions sweeps leftovers
+            let _ = self.sl.stream().txns().abort(self.id);
+        }
+        // A decided-but-unresolved transaction is intentionally left for
+        // recovery to roll forward — aborting it here would be wrong.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{StreamLake, StreamLakeConfig};
+    use common::ctx::QosClass;
+    use format::{DataType, Field, Schema, Value};
+    use lake::ScanOptions;
+    use stream::TopicConfig;
+
+    fn setup() -> StreamLake {
+        let sl = StreamLake::new(StreamLakeConfig::small());
+        sl.stream()
+            .create_topic("events", TopicConfig::with_streams(2))
+            .unwrap();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Utf8),
+            Field::new("n", DataType::Int64),
+        ])
+        .unwrap();
+        sl.tables()
+            .create_table("facts", schema, None, 1000, &sl.root_ctx(QosClass::Foreground))
+            .unwrap();
+        sl
+    }
+
+    fn stream_visible(sl: &StreamLake, ctx: &IoCtx) -> usize {
+        let mut c = sl.consumer("probe");
+        c.subscribe("events").unwrap();
+        c.poll(1000, ctx).unwrap().len()
+    }
+
+    fn table_rows(sl: &StreamLake, ctx: &IoCtx) -> usize {
+        sl.tables()
+            .select("facts", &ScanOptions::default(), ctx)
+            .unwrap()
+            .rows
+            .len()
+    }
+
+    #[test]
+    fn stream_and_table_commit_atomically() {
+        let sl = setup();
+        let ctx = sl.root_ctx(QosClass::Foreground);
+        let mut txn = sl.transaction();
+        txn.send("events", "k1", "v1", &ctx).unwrap();
+        txn.send("events", "k2", "v2", &ctx).unwrap();
+        txn.insert("facts", &[vec![Value::from("a"), Value::Int(1)]], &ctx)
+            .unwrap();
+        // Nothing visible before commit.
+        assert_eq!(stream_visible(&sl, &ctx), 0);
+        assert_eq!(table_rows(&sl, &ctx), 0);
+        let infos = txn.commit(&ctx).unwrap();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(stream_visible(&sl, &ctx), 2);
+        assert_eq!(table_rows(&sl, &ctx), 1);
+        assert_eq!(sl.mvcc().pending_intents(), 0);
+    }
+
+    #[test]
+    fn abort_hides_both_sides() {
+        let sl = setup();
+        let ctx = sl.root_ctx(QosClass::Foreground);
+        let mut txn = sl.transaction();
+        txn.send("events", "k", "v", &ctx).unwrap();
+        txn.insert("facts", &[vec![Value::from("a"), Value::Int(1)]], &ctx)
+            .unwrap();
+        txn.abort().unwrap();
+        assert_eq!(stream_visible(&sl, &ctx), 0);
+        assert_eq!(table_rows(&sl, &ctx), 0);
+        assert_eq!(sl.mvcc().pending_intents(), 0);
+        assert_eq!(sl.tables().current_snapshot("facts").unwrap(), 0);
+    }
+
+    #[test]
+    fn crash_after_decide_rolls_forward_on_recovery() {
+        let sl = setup();
+        let ctx = sl.root_ctx(QosClass::Foreground);
+        let mut txn = sl.transaction();
+        txn.send("events", "k", "v", &ctx).unwrap();
+        txn.insert("facts", &[vec![Value::from("a"), Value::Int(1)]], &ctx)
+            .unwrap();
+        txn.decide(&ctx).unwrap();
+        txn.simulate_crash();
+        // Decided but unresolved: recovery must make both sides visible.
+        let report = sl.recover_transactions(&ctx).unwrap();
+        assert_eq!(report.committed_replayed, 1);
+        assert_eq!(stream_visible(&sl, &ctx), 1);
+        assert_eq!(table_rows(&sl, &ctx), 1);
+        assert_eq!(sl.mvcc().pending_intents(), 0);
+    }
+
+    #[test]
+    fn crash_before_decide_aborts_on_recovery() {
+        let sl = setup();
+        let ctx = sl.root_ctx(QosClass::Foreground);
+        let mut txn = sl.transaction();
+        txn.send("events", "k", "v", &ctx).unwrap();
+        txn.insert("facts", &[vec![Value::from("a"), Value::Int(1)]], &ctx)
+            .unwrap();
+        // Force the buffered send down so the participant intent exists.
+        txn.producer.flush(&ctx).unwrap();
+        txn.simulate_crash();
+        let report = sl.recover_transactions(&ctx).unwrap();
+        assert_eq!(report.aborted_cleaned, 1);
+        assert_eq!(stream_visible(&sl, &ctx), 0);
+        assert_eq!(table_rows(&sl, &ctx), 0);
+        assert_eq!(sl.mvcc().pending_intents(), 0);
+        // Recovery is idempotent.
+        let again = sl.recover_transactions(&ctx).unwrap();
+        assert_eq!(again, TxnRecoveryReport::default());
+    }
+
+    #[test]
+    fn double_insert_per_table_is_rejected() {
+        let sl = setup();
+        let ctx = sl.root_ctx(QosClass::Foreground);
+        let mut txn = sl.transaction();
+        txn.insert("facts", &[vec![Value::from("a"), Value::Int(1)]], &ctx)
+            .unwrap();
+        assert!(matches!(
+            txn.insert("facts", &[vec![Value::from("b"), Value::Int(2)]], &ctx),
+            Err(Error::InvalidArgument(_))
+        ));
+        txn.abort().unwrap();
+    }
+
+    #[test]
+    fn dropped_transaction_cleans_up() {
+        let sl = setup();
+        let ctx = sl.root_ctx(QosClass::Foreground);
+        {
+            let mut txn = sl.transaction();
+            txn.insert("facts", &[vec![Value::from("a"), Value::Int(1)]], &ctx)
+                .unwrap();
+        } // dropped without commit: best-effort abort
+        assert_eq!(sl.mvcc().pending_intents(), 0);
+        assert_eq!(sl.stream().txns().active_count(), 0);
+        assert_eq!(table_rows(&sl, &ctx), 0);
+    }
+}

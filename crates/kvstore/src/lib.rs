@@ -16,8 +16,12 @@
 //! compaction.
 
 pub mod batch;
+pub mod chore;
+pub mod mvcc;
 pub mod store;
 pub mod wal;
 
 pub use batch::WriteBatch;
-pub use store::{KvStore, SharedKv};
+pub use chore::WalCompactionChore;
+pub use mvcc::{MvccStore, ResolutionJournal, TxnHandle};
+pub use store::{scan_copies, KvStore, SharedKv};

@@ -8,6 +8,26 @@ use std::ops::Bound;
 use std::sync::Arc;
 use common::lockwitness::TrackedRwLock;
 
+std::thread_local! {
+    static SCAN_COPIES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of key/value pairs *cloned out* of a store by this thread's
+/// [`KvStore::scan_prefix`]/[`KvStore::scan_range`] calls (and their
+/// [`SharedKv`] wrappers) since it started. The borrowed scan variants
+/// ([`KvStore::for_each_prefix`], [`KvStore::for_each_range`]) never bump
+/// it; hot-path regression tests read this before/after a request the same
+/// way [`common::bytes::payload_copies`] pins the zero-copy data path.
+pub fn scan_copies() -> u64 {
+    SCAN_COPIES.with(|c| c.get())
+}
+
+fn note_scan_copies(pairs: usize) {
+    if pairs > 0 {
+        SCAN_COPIES.with(|c| c.set(c.get() + pairs as u64));
+    }
+}
+
 /// An ordered key-value store with write-ahead logging.
 ///
 /// All mutations flow through [`WriteBatch`]es appended to the WAL before
@@ -79,21 +99,57 @@ impl KvStore {
         self.mem.contains_key(key)
     }
 
-    /// All pairs whose key starts with `prefix`, in key order.
+    /// All pairs whose key starts with `prefix`, in key order. Clones every
+    /// matched pair (and says so via [`scan_copies`]); hot paths should use
+    /// [`for_each_prefix`](KvStore::for_each_prefix) instead.
     pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.mem
+        let out: Vec<_> = self
+            .mem
             .range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded))
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+            .collect();
+        note_scan_copies(out.len());
+        out
     }
 
-    /// All pairs with `lo <= key < hi`, in key order.
+    /// All pairs with `lo <= key < hi`, in key order. Clones every matched
+    /// pair (see [`scan_copies`]); hot paths should use
+    /// [`for_each_range`](KvStore::for_each_range) instead.
     pub fn scan_range(&self, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.mem
+        let out: Vec<_> = self
+            .mem
             .range::<Vec<u8>, _>((Bound::Included(&lo.to_vec()), Bound::Excluded(&hi.to_vec())))
             .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+            .collect();
+        note_scan_copies(out.len());
+        out
+    }
+
+    /// Borrowed prefix scan: call `f(key, value)` for each pair in key
+    /// order, stopping when `f` returns `false`. No allocation per pair.
+    pub fn for_each_prefix(&self, prefix: &[u8], f: &mut dyn FnMut(&[u8], &[u8]) -> bool) {
+        for (k, v) in self
+            .mem
+            .range::<Vec<u8>, _>((Bound::Included(&prefix.to_vec()), Bound::Unbounded))
+        {
+            if !k.starts_with(prefix) || !f(k, v) {
+                break;
+            }
+        }
+    }
+
+    /// Borrowed range scan over `lo <= key < hi`, stopping when `f`
+    /// returns `false`. No allocation per pair.
+    pub fn for_each_range(&self, lo: &[u8], hi: &[u8], f: &mut dyn FnMut(&[u8], &[u8]) -> bool) {
+        for (k, v) in self
+            .mem
+            .range::<Vec<u8>, _>((Bound::Included(&lo.to_vec()), Bound::Excluded(&hi.to_vec())))
+        {
+            if !f(k, v) {
+                break;
+            }
+        }
     }
 
     /// Number of live keys.
@@ -167,6 +223,11 @@ impl SharedKv {
         Self::default()
     }
 
+    /// Wrap an existing store (e.g. one rebuilt by [`KvStore::recover`]).
+    pub fn from_store(store: KvStore) -> Self {
+        SharedKv { inner: Arc::new(TrackedRwLock::new("kv.index", store)) }
+    }
+
     /// Insert or overwrite a key.
     pub fn put(&self, key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) {
         self.inner.write().put(key, value);
@@ -197,14 +258,29 @@ impl SharedKv {
         self.inner.read().contains(key)
     }
 
-    /// Prefix scan (cloned snapshot).
+    /// Prefix scan (cloned snapshot; counts against [`scan_copies`]).
     pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
         self.inner.read().scan_prefix(prefix)
     }
 
-    /// Range scan `lo <= key < hi` (cloned snapshot).
+    /// Range scan `lo <= key < hi` (cloned snapshot; counts against
+    /// [`scan_copies`]).
     pub fn scan_range(&self, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
         self.inner.read().scan_range(lo, hi)
+    }
+
+    /// Borrowed prefix scan under the read lock: `f(key, value)` per pair
+    /// in key order until it returns `false`. The hot-path variant — no
+    /// per-pair clones (see [`scan_copies`]). `f` must not call back into
+    /// this store.
+    pub fn scan_prefix_with(&self, prefix: &[u8], f: &mut dyn FnMut(&[u8], &[u8]) -> bool) {
+        self.inner.read().for_each_prefix(prefix, f);
+    }
+
+    /// Borrowed range scan under the read lock over `lo <= key < hi`.
+    /// `f` must not call back into this store.
+    pub fn scan_range_with(&self, lo: &[u8], hi: &[u8], f: &mut dyn FnMut(&[u8], &[u8]) -> bool) {
+        self.inner.read().for_each_range(lo, hi, f);
     }
 
     /// Number of live keys.
@@ -220,6 +296,12 @@ impl SharedKv {
     /// Number of WAL frames appended so far.
     pub fn wal_frames(&self) -> u64 {
         self.inner.read().wal_frames()
+    }
+
+    /// Run a closure with shared read access (borrowed gets, WAL
+    /// inspection) without cloning values out of the lock.
+    pub fn with_read<R>(&self, f: impl FnOnce(&KvStore) -> R) -> R {
+        f(&self.inner.read())
     }
 
     /// Run a closure with exclusive access (for read-modify-write).

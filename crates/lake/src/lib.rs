@@ -33,4 +33,4 @@ pub use maintenance::{
 };
 pub use meta::{Commit, DataFileMeta, Snapshot};
 pub use metacache::{MetadataCache, MetadataMode};
-pub use table::{ScanOptions, ScanResult, TableStore};
+pub use table::{CommitInfo, ScanOptions, ScanResult, StagedTableCommit, TableStore};

@@ -84,11 +84,19 @@ impl MetadataCache {
         }
         for path in &commit.removed {
             // the removed file's partition is embedded in its index entries;
-            // scan the (small) per-table prefix for it
-            for (k, _) in self.kv.scan_prefix(live_prefix(table).as_bytes()) {
-                if k.ends_with(format!("/{path}").as_bytes()) {
-                    self.kv.delete(k);
-                }
+            // scan the (small) per-table prefix for it. Borrowed scan: only
+            // the doomed keys are materialized, never the values.
+            let suffix = format!("/{path}");
+            let mut doomed = Vec::new();
+            self.kv
+                .scan_prefix_with(live_prefix(table).as_bytes(), &mut |k, _| {
+                    if k.ends_with(suffix.as_bytes()) {
+                        doomed.push(k.to_vec());
+                    }
+                    true
+                });
+            for k in doomed {
+                self.kv.delete(k);
             }
         }
         let mut pending = self.pending.lock();
@@ -118,6 +126,9 @@ impl MetadataCache {
     /// completes, not when foreground work may continue).
     pub fn flush(&self, table: &str, ctx: &IoCtx) -> Result<Nanos> {
         let mut finish = ctx.now;
+        // Maintenance-path scans stay on the cloning API: the loop bodies
+        // call back into the store (get/put), which a borrowed scan's read
+        // lock would forbid.
         for (k, v) in self.kv.scan_prefix(commit_prefix(table).as_bytes()) {
             if self.kv.get(&addr_key_for(&k)).is_some() {
                 continue; // already persisted
@@ -221,24 +232,38 @@ impl MetadataCache {
             MetadataMode::Accelerated => {
                 let mut out = Vec::new();
                 let mut finish = ctx.now;
+                // This is the hot read path of every select/commit: decode
+                // straight out of the borrowed scan instead of cloning each
+                // `(key, value)` pair first.
+                let mut decode_err = None;
+                let mut collect = |_: &[u8], v: &[u8]| match DataFileMeta::decode(v) {
+                    Ok((f, _)) => {
+                        out.push(f);
+                        true
+                    }
+                    Err(e) => {
+                        decode_err = Some(e);
+                        false
+                    }
+                };
                 match partitions {
                     Some(parts) => {
                         for p in parts {
                             finish += KV_LOOKUP_COST;
-                            for (_, v) in self
-                                .kv
-                                .scan_prefix(format!("{}{}/", live_prefix(table), p).as_bytes())
-                            {
-                                out.push(DataFileMeta::decode(&v)?.0);
-                            }
+                            self.kv.scan_prefix_with(
+                                format!("{}{}/", live_prefix(table), p).as_bytes(),
+                                &mut collect,
+                            );
                         }
                     }
                     None => {
                         finish += KV_LOOKUP_COST;
-                        for (_, v) in self.kv.scan_prefix(live_prefix(table).as_bytes()) {
-                            out.push(DataFileMeta::decode(&v)?.0);
-                        }
+                        self.kv
+                            .scan_prefix_with(live_prefix(table).as_bytes(), &mut collect);
                     }
+                }
+                if let Some(e) = decode_err {
+                    return Err(e);
                 }
                 out.sort_by(|a, b| a.path.cmp(&b.path));
                 ctx.record(Phase::Meta, ctx.now, finish - ctx.now);
@@ -477,6 +502,38 @@ mod tests {
         let (back, t) = c.get_commit("t", 1, MetadataMode::FileBased, &IoCtx::new(0)).unwrap();
         assert_eq!(back.id, 1);
         assert!(t > KV_LOOKUP_COST, "file read must cost device time");
+    }
+
+    #[test]
+    fn hot_metadata_reads_use_borrowed_scans() {
+        // The live-file index is consulted by every select and every
+        // commit; pin it (and put_commit's removal cleanup) to the
+        // borrowed scan API — zero cloned scan pairs.
+        let c = cache(100);
+        for i in 1..=8 {
+            c.put_commit("t", &commit(i, "h=0", &format!("f{i}")), &IoCtx::new(0))
+                .unwrap();
+        }
+        let snap = Snapshot {
+            id: 8,
+            parent: None,
+            commit_ids: (1..=8).collect(),
+            timestamp: 0,
+            total_rows: 80,
+            total_files: 8,
+        };
+        let before = kvstore::scan_copies();
+        let (files, _) = c
+            .live_files("t", &snap, None, MetadataMode::Accelerated, &IoCtx::new(0))
+            .unwrap();
+        assert_eq!(files.len(), 8);
+        let rm = Commit { id: 9, timestamp: 9, added: vec![], removed: vec!["f1".into()] };
+        c.put_commit("t", &rm, &IoCtx::new(0)).unwrap();
+        assert_eq!(
+            kvstore::scan_copies(),
+            before,
+            "hot metadata paths must not clone scan batches"
+        );
     }
 
     #[test]

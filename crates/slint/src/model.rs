@@ -93,7 +93,6 @@ pub const LOCK_HIERARCHY: &[LockClassSpec] = &[
     class!("stream.worker.cache", 38, "StreamWorker".cache),
     class!("stream.archive.entries", 40, "ArchiveService".entries),
     class!("lake.compaction.trigger", 45, "CompactionChore".trigger),
-    class!("lake.table.commit", 48, "TableStore".commit_lock),
     class!("lake.meta.pending", 50, "MetadataCache".pending),
     class!("plog.repl.mapping", 55, "RemoteReplicator".mapping),
     class!("plog.repl.cursor", 56, "RemoteReplicator".cursor),
@@ -103,6 +102,11 @@ pub const LOCK_HIERARCHY: &[LockClassSpec] = &[
     class!("plog.commit.state", 59, "GroupCommitter".state),
     class!("plog.shard", 60, "PlogStore".shards),
     class!("simdisk.tier.extents", 65, "TieringService".extents),
+    // MVCC coordination state ranks below kv.index: the transaction layer
+    // holds its state/journal locks while reading and batch-writing the
+    // backing KV store (intents, records, resolutions).
+    class!("kv.mvcc.state", 66, "MvccStore".state),
+    class!("kv.mvcc.journal", 67, "MvccStore".journal),
     class!("kv.index", 70, "SharedKv".inner),
     // fault.state ranks below device.state: FaultInjector::advance_to
     // holds its schedule lock while applying events to devices.

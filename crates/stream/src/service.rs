@@ -21,6 +21,7 @@ use common::ctx::IoCtx;
 use common::id::IdGen;
 use common::metrics::Metrics;
 use common::{Error, Result, SimClock, WorkerId};
+use kvstore::MvccStore;
 use plog::{GroupCommitConfig, GroupCommitter, PlogStore};
 use simdisk::{Bus, Transport};
 use std::collections::{BTreeMap, HashMap};
@@ -41,6 +42,10 @@ pub struct StreamServiceOptions {
     /// Consumer-group coordination (session timeout, assignment strategy,
     /// offset retention).
     pub group: GroupConfig,
+    /// MVCC store backing transaction records. `None` gives the service a
+    /// private store; pass a shared one to let stream transactions commit
+    /// atomically with other subsystems (e.g. lake table commits).
+    pub txn_mvcc: Option<Arc<MvccStore>>,
 }
 
 impl Default for StreamServiceOptions {
@@ -51,6 +56,7 @@ impl Default for StreamServiceOptions {
             scm_capacity: 0,
             transport: Transport::Rdma,
             group: GroupConfig::default(),
+            txn_mvcc: None,
         }
     }
 }
@@ -102,7 +108,10 @@ impl StreamService {
             groups,
             workers: TrackedRwLock::new("stream.service.workers", HashMap::new()),
             quotas: TrackedMutex::new("stream.service.quotas", BTreeMap::new()),
-            txns: TxnManager::new(),
+            txns: opts
+                .txn_mvcc
+                .map(TxnManager::with_mvcc)
+                .unwrap_or_default(),
             bus,
             producer_ids: IdGen::new(),
             consumer_ids: IdGen::new(),

@@ -5,17 +5,41 @@
 //! actions and ensures that all results in a transaction are visible or
 //! invisible at the same time."
 //!
-//! Participants are the stream objects a transaction produced into. Phase
-//! one (`prepare`) checks every participant still holds the transaction
-//! open; phase two flips visibility on all of them. Any prepare failure
-//! aborts the transaction on every participant.
+//! The coordinator is now a thin layer over [`MvccStore`]: each stream
+//! transaction is an MVCC transaction record, and each participant
+//! registration writes a provisional intent under `s/<txn>/<object>`.
+//! The durable commit point is the MVCC record flip ([`commit_decide`]
+//! writes one WAL frame); participant visibility flips happen during
+//! *resolution*, so a coordinator crash between decide and resolve can be
+//! recovered by replaying the surviving intents ([`MvccStore::decided`])
+//! — atomicity no longer depends on the coordinator staying alive.
+//!
+//! [`commit_decide`]: MvccStore::commit_decide
 
 use crate::object::StreamObject;
 use common::{Error, Result, TxnId};
+use kvstore::MvccStore;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use common::lockwitness::TrackedMutex;
+
+/// Key prefix for stream-participant intents in the MVCC keyspace.
+pub const PARTICIPANT_PREFIX: &[u8] = b"s/";
+
+/// The MVCC user key recording that `txn` produced into `object`.
+pub fn participant_key(txn: u64, object: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(PARTICIPANT_PREFIX.len() + 17);
+    k.extend_from_slice(PARTICIPANT_PREFIX);
+    k.extend_from_slice(&txn.to_be_bytes());
+    k.push(b'/');
+    k.extend_from_slice(&object.to_be_bytes());
+    k
+}
+
+/// Extract the object id a participant-intent value points at.
+pub fn participant_object(value: &[u8]) -> Option<u64> {
+    Some(u64::from_be_bytes(value.try_into().ok()?))
+}
 
 #[derive(Debug, Default)]
 struct TxnState {
@@ -25,7 +49,7 @@ struct TxnState {
 /// The transaction coordinator.
 #[derive(Debug)]
 pub struct TxnManager {
-    next: AtomicU64,
+    mvcc: Arc<MvccStore>,
     active: TrackedMutex<BTreeMap<u64, TxnState>>,
 }
 
@@ -36,25 +60,44 @@ impl Default for TxnManager {
 }
 
 impl TxnManager {
-    /// A fresh coordinator.
+    /// A fresh coordinator over a private MVCC store.
     pub fn new() -> Self {
-        TxnManager { next: AtomicU64::new(1), active: TrackedMutex::new("stream.txn.active", BTreeMap::new()) }
+        TxnManager::with_mvcc(Arc::new(MvccStore::new()))
     }
 
-    /// Begin a transaction.
+    /// A coordinator over a shared MVCC store (so stream transactions can
+    /// atomically span other subsystems writing the same store).
+    pub fn with_mvcc(mvcc: Arc<MvccStore>) -> Self {
+        TxnManager {
+            mvcc,
+            active: TrackedMutex::new("stream.txn.active", BTreeMap::new()),
+        }
+    }
+
+    /// The MVCC store backing transaction records and intents.
+    pub fn mvcc(&self) -> &Arc<MvccStore> {
+        &self.mvcc
+    }
+
+    /// Begin a transaction: a durable PENDING record in the MVCC store.
     pub fn begin(&self) -> TxnId {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.active.lock().insert(id, TxnState::default());
-        TxnId(id)
+        let handle = self.mvcc.begin();
+        self.active.lock().insert(handle.id, TxnState::default());
+        TxnId(handle.id)
     }
 
     /// Record that `txn` produced into `object` (idempotent per object).
+    /// Writes a provisional intent so the membership survives a
+    /// coordinator crash.
     pub fn register_participant(&self, txn: TxnId, object: Arc<StreamObject>) -> Result<()> {
         let mut active = self.active.lock();
         let st = active
             .get_mut(&txn.raw())
             .ok_or_else(|| Error::NotFound(format!("transaction {txn}")))?;
         if !st.participants.iter().any(|p| p.id() == object.id()) {
+            let key = participant_key(txn.raw(), object.id().raw());
+            self.mvcc
+                .put(txn.raw(), &key, &object.id().raw().to_be_bytes())?;
             st.participants.push(object);
         }
         Ok(())
@@ -68,33 +111,68 @@ impl TxnManager {
             .map_or(0, |s| s.participants.len())
     }
 
-    /// Two-phase commit. On any prepare failure the transaction is aborted
-    /// everywhere and `TxnAborted` is returned.
-    pub fn commit(&self, txn: TxnId) -> Result<()> {
+    /// Phase 1 + the commit point: prepare every participant, then flip the
+    /// MVCC record to COMMITTED (one WAL frame — the durable decision).
+    /// Participant visibility does *not* change yet; callers follow up with
+    /// [`resolve`](Self::resolve). Any prepare failure aborts everywhere.
+    pub fn prepare_decide(&self, txn: TxnId) -> Result<u64> {
+        let participants = {
+            let active = self.active.lock();
+            let st = active
+                .get(&txn.raw())
+                .ok_or_else(|| Error::NotFound(format!("transaction {txn}")))?;
+            st.participants.clone()
+        };
+        // Phase 1: prepare — every participant must still hold the txn open.
+        if !participants.iter().all(|p| p.prepared(txn.raw())) {
+            for p in &participants {
+                p.abort_txn(txn.raw());
+            }
+            self.active.lock().remove(&txn.raw());
+            self.mvcc.abort(txn.raw())?;
+            return Err(Error::TxnAborted(format!(
+                "transaction {txn}: a participant failed to prepare"
+            )));
+        }
+        match self.mvcc.commit_decide(txn.raw()) {
+            Ok(commit_ts) => Ok(commit_ts),
+            Err(e) => {
+                // commit_decide already aborted the MVCC record; mirror that
+                // on the participants and drop the coordinator entry.
+                for p in &participants {
+                    p.abort_txn(txn.raw());
+                }
+                self.active.lock().remove(&txn.raw());
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase 2: flip visibility on every participant, then resolve the MVCC
+    /// intents into committed versions and delete the record.
+    pub fn resolve(&self, txn: TxnId) -> Result<()> {
         let st = self
             .active
             .lock()
             .remove(&txn.raw())
             .ok_or_else(|| Error::NotFound(format!("transaction {txn}")))?;
-        // Phase 1: prepare — every participant must still hold the txn open.
-        let all_prepared = st.participants.iter().all(|p| p.prepared(txn.raw()));
-        if !all_prepared {
-            for p in &st.participants {
-                p.abort_txn(txn.raw());
-            }
-            return Err(Error::TxnAborted(format!(
-                "transaction {txn}: a participant failed to prepare"
-            )));
-        }
-        // Phase 2: commit everywhere. Participants answered prepare, so this
-        // phase cannot fail (crash recovery would replay the decision).
+        // The decision is durable; flips cannot fail (crash recovery would
+        // replay them from the surviving intents).
         for p in &st.participants {
             p.commit_txn(txn.raw());
         }
+        self.mvcc.resolve_committed(txn.raw())?;
         Ok(())
     }
 
-    /// Abort `txn` on every participant.
+    /// Two-phase commit. On any prepare failure the transaction is aborted
+    /// everywhere and `TxnAborted` is returned.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.prepare_decide(txn)?;
+        self.resolve(txn)
+    }
+
+    /// Abort `txn` on every participant and clean its MVCC intents.
     pub fn abort(&self, txn: TxnId) -> Result<()> {
         let st = self
             .active
@@ -104,7 +182,16 @@ impl TxnManager {
         for p in &st.participants {
             p.abort_txn(txn.raw());
         }
+        self.mvcc.abort(txn.raw())?;
         Ok(())
+    }
+
+    /// Drop the in-memory coordinator entry for `txn` without touching
+    /// participants or the MVCC record. Recovery uses this after replaying
+    /// a decided transaction's effects straight from its intents — the
+    /// coordinator entry (if this process survived) is stale by then.
+    pub fn forget(&self, txn: TxnId) {
+        self.active.lock().remove(&txn.raw());
     }
 
     /// Number of in-flight transactions.
@@ -174,6 +261,9 @@ mod tests {
         assert_eq!(a.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.len(), 1);
         assert_eq!(b.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.len(), 1);
         assert_eq!(mgr.active_count(), 0);
+        // Resolution also cleaned the MVCC side: no intents, no records.
+        assert_eq!(mgr.mvcc().pending_intents(), 0);
+        assert_eq!(mgr.mvcc().active_count(), 0);
     }
 
     #[test]
@@ -191,6 +281,7 @@ mod tests {
         let ctrl = ReadCtrl::default();
         assert!(a.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.is_empty());
         assert!(b.read_at(0, ctrl, &IoCtx::new(0)).unwrap().0.is_empty());
+        assert_eq!(mgr.mvcc().pending_intents(), 0);
     }
 
     #[test]
@@ -209,6 +300,9 @@ mod tests {
         assert!(matches!(mgr.commit(txn), Err(Error::TxnAborted(_))));
         // Survivor's records are aborted, never visible.
         assert!(a.read_at(0, ReadCtrl::default(), &IoCtx::new(0)).unwrap().0.is_empty());
+        // And the MVCC record + intents are gone.
+        assert_eq!(mgr.mvcc().pending_intents(), 0);
+        assert_eq!(mgr.mvcc().active_count(), 0);
     }
 
     #[test]
@@ -228,5 +322,35 @@ mod tests {
         mgr.register_participant(txn, a).unwrap();
         mgr.commit(txn).unwrap();
         assert!(matches!(mgr.commit(txn), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn decide_without_resolve_leaves_replayable_intents() {
+        // Simulates the coordinator crashing between the commit point and
+        // resolution: the decision and the participant set must both be
+        // recoverable from the MVCC store.
+        let store = object_store();
+        let a = store.create(CreateOptions::default()).unwrap();
+        let mgr = TxnManager::new();
+        let txn = mgr.begin();
+        a.append_at(&[txn_record(txn, b"x")], &IoCtx::new(0)).unwrap();
+        mgr.register_participant(txn, a.clone()).unwrap();
+        mgr.prepare_decide(txn).unwrap();
+        // Not yet visible: resolution has not run.
+        assert!(a.read_at(0, ReadCtrl::default(), &IoCtx::new(0)).unwrap().0.is_empty());
+        let decided = mgr.mvcc().decided().unwrap();
+        assert_eq!(decided.len(), 1);
+        assert_eq!(decided[0].txn, txn.raw());
+        let (key, value) = &decided[0].writes[0];
+        assert!(key.starts_with(PARTICIPANT_PREFIX));
+        assert_eq!(
+            participant_object(value.as_deref().unwrap()),
+            Some(a.id().raw())
+        );
+        // A recovering coordinator replays the flip, then resolves.
+        a.commit_txn(txn.raw());
+        mgr.resolve(txn).unwrap();
+        assert_eq!(a.read_at(0, ReadCtrl::default(), &IoCtx::new(0)).unwrap().0.len(), 1);
+        assert_eq!(mgr.mvcc().pending_intents(), 0);
     }
 }

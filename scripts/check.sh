@@ -37,6 +37,10 @@ cargo run --release -p bench --bin stream_scale
 # degrades beyond 1.5x the quiesced baseline, the rate limiter leaks, or a
 # same-seed replay diverges from its admission/breaker journal.
 cargo run --release -p bench --bin tenant_isolation
+# Stream⇄table atomicity smoke: seeded cross-subsystem transactions with
+# coordinator crashes at both crash points; fails on any partial-visibility
+# window, surviving intents, or a same-seed replay divergence.
+cargo run --release -p bench --bin txn_atomic
 # Wall-clock perf baseline: measure the hot kernels and validate the
 # trajectory file — a missing or malformed BENCH_PERF.json fails the gate.
 cargo run --release -p bench --bin perf_baseline

@@ -1,0 +1,214 @@
+//! Deterministic MVCC interleaving tests.
+//!
+//! Each scenario drives a seeded schedule through [`MvccStore`] and pins
+//! the outcome two ways: the semantic assertions (who wins, what a
+//! snapshot sees, what recovery cleans) and the resolution journal, whose
+//! byte encoding must be identical across same-seed runs. The journal is
+//! the replay log of intent resolution, so byte-equality here is the
+//! repo-wide determinism invariant applied to the transaction layer.
+
+use common::Error;
+use kvstore::store::KvStore;
+use kvstore::{MvccStore, SharedKv};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn key(rng: &mut StdRng, pool: u32) -> Vec<u8> {
+    format!("k{:02}", rng.gen_range(0..pool)).into_bytes()
+}
+
+/// Materialized committed state: every key's newest version at `ts`.
+fn visible_state(mvcc: &MvccStore, pool: u32, ts: u64) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+    (0..pool)
+        .map(|i| {
+            let k = format!("k{i:02}").into_bytes();
+            let v = mvcc.read_at(&k, ts);
+            (k, v)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 1. write-write intent collision
+// ---------------------------------------------------------------------------
+
+/// One seeded run of the collision schedule; returns the journal bytes.
+fn run_write_write_collisions(seed: u64) -> Vec<u8> {
+    let mvcc = MvccStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..24u32 {
+        let a = mvcc.begin();
+        let b = mvcc.begin();
+        let k = key(&mut rng, 4);
+        // The seed picks which transaction reaches the key first; the
+        // other must collide on the live intent immediately (no waiting).
+        let (first, second) = if rng.gen_range(0..2u32) == 0 { (a, b) } else { (b, a) };
+        mvcc.put(first.id, &k, format!("w{round}").as_bytes()).unwrap();
+        let err = mvcc.put(second.id, &k, b"loser").unwrap_err();
+        assert!(matches!(err, Error::Conflict(_)), "expected Conflict, got {err:?}");
+        // The loser aborts cleanly; the winner commits and resolves.
+        mvcc.abort(second.id).unwrap();
+        let cts = mvcc.commit_decide(first.id).unwrap();
+        mvcc.resolve_committed(first.id).unwrap();
+        assert!(cts >= first.id, "commit ts can never precede the begin ts");
+        assert_eq!(
+            mvcc.read_at(&k, u64::MAX),
+            Some(format!("w{round}").into_bytes()),
+            "winner's write must be the visible version"
+        );
+    }
+    assert_eq!(mvcc.pending_intents(), 0, "no intent survives the schedule");
+    assert_eq!(mvcc.active_count(), 0);
+    mvcc.journal_bytes()
+}
+
+#[test]
+fn write_write_collision_is_deterministic() {
+    let first = run_write_write_collisions(42);
+    let second = run_write_write_collisions(42);
+    assert_eq!(first, second, "same seed must replay byte-identically");
+    assert!(!first.is_empty());
+    // A different schedule produces a different resolution history.
+    assert_ne!(first, run_write_write_collisions(43));
+}
+
+// ---------------------------------------------------------------------------
+// 2. a read pushes the writer's commit timestamp
+// ---------------------------------------------------------------------------
+
+fn run_read_push(seed: u64) -> Vec<u8> {
+    let mvcc = MvccStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for round in 0..16u32 {
+        let k = key(&mut rng, 3);
+        let before = mvcc.read_at(&k, u64::MAX);
+
+        let writer = mvcc.begin();
+        mvcc.put(writer.id, &k, format!("v{round}").as_bytes()).unwrap();
+        // The reader begins after the write intent exists, so its snapshot
+        // timestamp sits above the writer's provisional timestamp.
+        let reader = mvcc.begin();
+        let seen = mvcc.get(reader.id, &k).unwrap();
+        assert_eq!(seen, before, "reader must see beneath the live intent");
+
+        // The read pushed the writer's provisional timestamp past the
+        // reader's snapshot: the eventual commit lands above it.
+        let cts = mvcc.commit_decide(writer.id).unwrap();
+        assert!(
+            cts > reader.read_ts,
+            "round {round}: commit ts {cts} must exceed reader snapshot {}",
+            reader.read_ts
+        );
+        mvcc.resolve_committed(writer.id).unwrap();
+
+        // Snapshot stability: even after resolution the reader's timestamp
+        // still excludes the pushed commit.
+        assert_eq!(mvcc.read_at(&k, reader.read_ts), before);
+        assert_eq!(mvcc.read_at(&k, cts), Some(format!("v{round}").into_bytes()));
+        mvcc.abort(reader.id).unwrap();
+    }
+    assert_eq!(mvcc.pending_intents(), 0);
+    mvcc.journal_bytes()
+}
+
+#[test]
+fn read_pushes_writer_commit_timestamp() {
+    let first = run_read_push(7);
+    assert_eq!(first, run_read_push(7), "same seed must replay byte-identically");
+}
+
+// ---------------------------------------------------------------------------
+// 3. orphaned-intent cleanup across a simulated coordinator crash
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    /// Committed and resolved before the crash — must survive.
+    Resolved,
+    /// Decided but the coordinator died before resolving — recovery must
+    /// roll the intents forward.
+    DecidedUnresolved,
+    /// Never decided, coordinator died — recovery must abort and clean.
+    CrashedPending,
+}
+
+fn run_crash_recovery(seed: u64) -> (Vec<u8>, Vec<(Vec<u8>, Option<Vec<u8>>)>) {
+    const POOL: u32 = 8;
+    let mvcc = MvccStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut expected: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut fates = [0u32; 3];
+    for i in 0..32u32 {
+        let txn = mvcc.begin();
+        let mut writes = Vec::new();
+        for _ in 0..rng.gen_range(1..=3u32) {
+            let k = key(&mut rng, POOL);
+            if writes.iter().any(|(wk, _)| *wk == k) {
+                continue; // one intent per key per txn
+            }
+            let v = format!("t{i}").into_bytes();
+            match mvcc.put(txn.id, &k, &v) {
+                Ok(()) => writes.push((k, v)),
+                // An earlier "crashed" transaction may still hold an
+                // unresolved intent on this key; skip it.
+                Err(Error::Conflict(_)) => continue,
+                Err(e) => panic!("unexpected write error: {e:?}"),
+            }
+        }
+        let fate = match rng.gen_range(0..3u32) {
+            0 => Fate::Resolved,
+            1 => Fate::DecidedUnresolved,
+            _ => Fate::CrashedPending,
+        };
+        fates[fate as usize] += 1;
+        match fate {
+            Fate::Resolved => {
+                mvcc.commit_decide(txn.id).unwrap();
+                mvcc.resolve_committed(txn.id).unwrap();
+                expected.extend(writes);
+            }
+            Fate::DecidedUnresolved => {
+                mvcc.commit_decide(txn.id).unwrap();
+                mvcc.forget(txn.id); // coordinator dies holding the decision
+                expected.extend(writes);
+            }
+            Fate::CrashedPending => {
+                mvcc.forget(txn.id); // coordinator dies before deciding
+            }
+        }
+    }
+    assert!(fates.iter().all(|&n| n > 0), "seed must exercise every fate");
+
+    // Process crash: only the WAL survives. Rebuild the store from its
+    // bytes and run recovery on the rebuilt instance.
+    let wal = mvcc.kv().with_read(|s| s.wal_bytes().to_vec());
+    let recovered = MvccStore::over(SharedKv::from_store(KvStore::recover(wal).unwrap()));
+    let report = recovered.recover().unwrap();
+    assert_eq!(report.committed_resolved, u64::from(fates[Fate::DecidedUnresolved as usize]));
+    assert_eq!(report.aborted_cleaned, u64::from(fates[Fate::CrashedPending as usize]));
+    assert_eq!(recovered.pending_intents(), 0, "no orphaned intent survives recovery");
+
+    // Every decided write is visible; last writer per key wins in schedule
+    // order, and crashed-pending writes are gone.
+    let mut last: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = Default::default();
+    for (k, v) in expected {
+        last.insert(k, v);
+    }
+    let state = visible_state(&recovered, POOL, u64::MAX);
+    for (k, v) in &state {
+        assert_eq!(v.as_ref(), last.get(k), "key {:?}", String::from_utf8_lossy(k));
+    }
+
+    // Recovery is idempotent: a second pass finds nothing to do.
+    assert_eq!(recovered.recover().unwrap(), Default::default());
+    (recovered.journal_bytes(), state)
+}
+
+#[test]
+fn orphaned_intent_cleanup_is_deterministic() {
+    let (journal_a, state_a) = run_crash_recovery(1234);
+    let (journal_b, state_b) = run_crash_recovery(1234);
+    assert_eq!(journal_a, journal_b, "same seed must replay byte-identically");
+    assert_eq!(state_a, state_b);
+    assert!(!journal_a.is_empty());
+}
